@@ -1,0 +1,45 @@
+// Figure 9: percentage breakup of STGraph-GPMA's total processing time
+// into GNN processing time and graph update time, per DTDG, across
+// feature sizes (5% snapshot change). Expected shape: the graph-update
+// share shrinks as the feature size grows.
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace stgraph;
+using namespace stgraph::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions opts = parse_options(argc, argv);
+
+  datasets::DynamicLoadOptions dyo;
+  dyo.scale = opts.scale_dynamic;
+
+  CsvWriter csv({"dataset", "feature_size", "update_s", "gnn_s",
+                 "update_pct", "gnn_pct"});
+
+  for (const auto& ds : datasets::load_all_dynamic(dyo)) {
+    const DtdgEvents events = datasets::make_dtdg(ds, 5.0);
+    for (int64_t F : feature_sweep(opts)) {
+      dyo.feature_size = F;
+      const datasets::TemporalSignal signal =
+          datasets::make_dynamic_signal(events, dyo);
+      const RunResult gpma =
+          run_dtdg(events, signal, System::kStgraphGpma, opts);
+      const double total = gpma.graph_update_seconds + gpma.gnn_seconds;
+      csv.add_row({ds.name, std::to_string(F),
+                   CsvWriter::fmt(gpma.graph_update_seconds, 4),
+                   CsvWriter::fmt(gpma.gnn_seconds, 4),
+                   CsvWriter::fmt(100.0 * gpma.graph_update_seconds /
+                                      std::max(total, 1e-9),
+                                  1),
+                   CsvWriter::fmt(100.0 * gpma.gnn_seconds /
+                                      std::max(total, 1e-9),
+                                  1)});
+      std::cout << "." << std::flush;
+    }
+  }
+  std::cout << "\n";
+  emit("fig9_gpma_time_breakup", csv, opts);
+  return 0;
+}

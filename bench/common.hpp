@@ -1,0 +1,69 @@
+// Shared harness code for the figure/table benches: experiment runners for
+// each system (STGraph static, STGraph-Naive, STGraph-GPMA, PyG-T
+// baseline), wall-clock + peak-device-memory measurement, CLI parsing and
+// CSV emission.
+//
+// Scaling: the paper ran 100 epochs per point on an A100; these binaries
+// default to a scale factor and epoch count that finish each figure in
+// minutes on a small CPU host. Pass --scale/--epochs/--timestamps to
+// approach paper-sized runs; shapes (who wins, where crossovers fall) are
+// stable across scales because they are driven by V/E/density ratios.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "datasets/synthetic.hpp"
+#include "util/csv.hpp"
+
+namespace stgraph::bench {
+
+struct BenchOptions {
+  double scale_static = 0.25;
+  double scale_dynamic = 0.02;
+  uint32_t timestamps = 24;   // static-temporal signal length
+  uint32_t warmup_epochs = 1; // ignored in reported numbers (GPU-warmup analogue)
+  uint32_t epochs = 2;        // measured epochs
+  uint32_t sequence_length = 8;
+  std::string csv_dir;        // when set, each bench also writes <name>.csv
+  bool full = false;          // paper-sized sweeps
+};
+
+/// Parse --scale-static= --scale-dynamic= --timestamps= --epochs=
+/// --warmup= --seq-len= --csv-dir= --full from argv.
+BenchOptions parse_options(int argc, char** argv);
+
+/// One measured configuration's result.
+struct RunResult {
+  double per_epoch_seconds = 0.0;
+  double peak_device_mib = 0.0;
+  double final_loss = 0.0;
+  double graph_update_seconds = 0.0;  // per epoch
+  double gnn_seconds = 0.0;           // per epoch
+};
+
+enum class System { kStgraphStatic, kStgraphNaive, kStgraphGpma, kPygt };
+const char* system_name(System s);
+
+/// Train a TGCN regressor on a static-temporal dataset and measure.
+RunResult run_static(const datasets::StaticTemporalDataset& ds,
+                     const datasets::TemporalSignal& signal, System system,
+                     const BenchOptions& opts, int64_t hidden = 16);
+
+/// Train a TGCN link-prediction encoder on a DTDG and measure.
+/// `events` must come from the same dataset for every system compared.
+RunResult run_dtdg(const DtdgEvents& events,
+                   const datasets::TemporalSignal& signal, System system,
+                   const BenchOptions& opts, int64_t hidden = 16);
+
+/// Print a table and optionally persist CSV under opts.csv_dir.
+void emit(const std::string& bench_name, const CsvWriter& csv,
+          const BenchOptions& opts);
+
+/// Feature sizes swept by the time figures.
+std::vector<int64_t> feature_sweep(const BenchOptions& opts);
+
+}  // namespace stgraph::bench

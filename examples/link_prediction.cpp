@@ -1,0 +1,114 @@
+// Link prediction on an evolving interaction network — the DTDG workload
+// from the paper's evaluation (stack-exchange style interaction streams).
+//
+// Demonstrates the DTDG-specific machinery end to end:
+//   * windowing a raw interaction stream into snapshots with a bounded
+//     %-change between consecutive snapshots,
+//   * the two DTDG storage formats (NaiveGraph vs GPMAGraph) trained
+//     interchangeably through the same STGraphBase abstraction,
+//   * the memory/speed trade-off between them, measured live,
+//   * ranking held-out candidate pairs by predicted link score.
+//
+// Build & run:  ./build/examples/link_prediction
+#include <algorithm>
+#include <iostream>
+
+#include "core/trainer.hpp"
+#include "datasets/synthetic.hpp"
+#include "gpma/gpma_graph.hpp"
+#include "graph/naive_graph.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace stgraph;
+
+int main() {
+  // Load an sx-mathoverflow-like interaction stream and window it.
+  datasets::DynamicLoadOptions opts;
+  opts.scale = 0.02;
+  opts.feature_size = 8;
+  opts.link_samples_per_step = 128;
+  datasets::DynamicDataset ds = datasets::load_sx_mathoverflow(opts);
+  const DtdgEvents events = datasets::make_dtdg(ds, /*percent_change=*/5.0);
+  std::cout << ds.name << ": " << ds.num_nodes << " users, "
+            << ds.stream.size() << " interactions → "
+            << events.num_timestamps() << " snapshots ("
+            << events.mean_percent_change() << "% mean change)\n";
+
+  const datasets::TemporalSignal signal =
+      datasets::make_dynamic_signal(events, opts);
+
+  // Train the same encoder on both DTDG formats and compare their system
+  // behaviour (losses are identical by construction).
+  core::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.sequence_length = 8;
+  cfg.lr = 2e-2f;
+  cfg.task = core::Task::kLinkPrediction;
+
+  auto train_on = [&](STGraphBase& graph, const char* label) {
+    Rng rng(11);
+    nn::TGCNEncoder model(opts.feature_size, 16, rng);
+    core::STGraphTrainer trainer(graph, model, signal, cfg);
+    Timer timer;
+    double loss = 0;
+    for (int e = 0; e < 12; ++e) loss = trainer.train_epoch().loss;
+    std::cout << label << ": final bce " << loss << ", " << timer.seconds()
+              << " s, resident graph bytes "
+              << graph.device_bytes() / 1024.0 << " KiB\n";
+    return loss;
+  };
+
+  NaiveGraph naive(events);
+  GpmaGraph gpma(events);
+  const double loss_naive = train_on(naive, "STGraph-Naive");
+  const double loss_gpma = train_on(gpma, "STGraph-GPMA ");
+  std::cout << "loss agreement: |Δ| = "
+            << std::abs(loss_naive - loss_gpma) << "\n\n";
+
+  // Use the trained encoder to rank candidate pairs at the final snapshot.
+  Rng rng(11);
+  nn::TGCNEncoder model(opts.feature_size, 16, rng);
+  core::STGraphTrainer trainer(gpma, model, signal, cfg);
+  for (int e = 0; e < 12; ++e) trainer.train_epoch();
+
+  {
+    NoGradGuard ng;
+    core::TemporalExecutor exec(gpma);
+    Tensor h = model.initial_state(ds.num_nodes);
+    for (uint32_t t = 0; t < events.num_timestamps(); ++t) {
+      exec.begin_forward_step(t);
+      auto [out, h_next] = model.step(exec, signal.features[t], h, nullptr);
+      h = h_next;
+    }
+    // Score a candidate set: true edges of the last snapshot vs random
+    // non-edges; report how well scores separate them.
+    Rng sample_rng(99);
+    const EdgeList last = events.snapshot_edges(events.num_timestamps() - 1);
+    std::vector<uint32_t> src, dst;
+    const uint32_t k = 200;
+    for (uint32_t i = 0; i < k; ++i) {
+      const auto& [s, d] = last[sample_rng.next_below(last.size())];
+      src.push_back(s);
+      dst.push_back(d);
+    }
+    for (uint32_t i = 0; i < k; ++i) {
+      src.push_back(static_cast<uint32_t>(sample_rng.next_below(ds.num_nodes)));
+      dst.push_back(static_cast<uint32_t>(sample_rng.next_below(ds.num_nodes)));
+    }
+    Tensor logits = nn::link_logits(h, src, dst);
+    // AUC via rank statistic: P(score_pos > score_neg).
+    uint64_t wins = 0, ties = 0;
+    for (uint32_t p = 0; p < k; ++p)
+      for (uint32_t q = k; q < 2 * k; ++q) {
+        if (logits.at(p) > logits.at(q)) ++wins;
+        else if (logits.at(p) == logits.at(q)) ++ties;
+      }
+    const double auc =
+        (wins + 0.5 * ties) / (static_cast<double>(k) * k);
+    std::cout << "link-ranking AUC on held-out candidates: " << auc << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: train a TGCN on a small static-temporal graph in ~40 lines
+// of user code. Shows the three core pieces of the public API:
+//
+//   1. a graph object (here StaticTemporalGraph) implementing the
+//      STGraphBase abstraction,
+//   2. a TGNN model built from the layer APIs (TGCNRegressor = TGCN cell +
+//      linear head),
+//   3. the Algorithm-1 trainer driving the temporally-aware executor.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/trainer.hpp"
+#include "datasets/synthetic.hpp"
+#include "graph/static_graph.hpp"
+#include "nn/models.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace stgraph;
+
+  // 1. Load a dataset (synthetic Hungary-Chickenpox equivalent: 20 county
+  //    nodes, ~100 adjacency edges, weekly case-count signal).
+  datasets::StaticLoadOptions opts;
+  opts.feature_size = 4;      // 4 lags of the signal per node
+  opts.num_timestamps = 48;
+  datasets::StaticTemporalDataset ds = datasets::load_chickenpox(opts);
+  std::cout << "dataset " << ds.name << ": " << ds.num_nodes << " nodes, "
+            << ds.edges.size() << " edges, " << ds.num_timestamps
+            << " timestamps\n";
+
+  // 2. Build the graph object and the model.
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+  Rng rng(42);
+  nn::TGCNRegressor model(opts.feature_size, /*hidden=*/16, rng);
+  std::cout << "model parameters: " << model.parameter_count() << "\n";
+
+  // 3. Train with the Algorithm-1 loop.
+  core::TrainConfig cfg;
+  cfg.epochs = 20;
+  cfg.sequence_length = 8;
+  cfg.lr = 1e-2f;
+  cfg.task = core::Task::kNodeRegression;
+  core::STGraphTrainer trainer(graph, model, ds.signal, cfg);
+
+  for (uint32_t epoch = 1; epoch <= cfg.epochs; ++epoch) {
+    const core::EpochStats stats = trainer.train_epoch();
+    if (epoch == 1 || epoch % 5 == 0) {
+      std::cout << "epoch " << epoch << "  mse " << stats.loss << "  ("
+                << stats.seconds * 1e3 << " ms)\n";
+    }
+  }
+  std::cout << "final evaluation mse: " << trainer.evaluate() << "\n";
+  return 0;
+}

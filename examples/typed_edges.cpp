@@ -1,0 +1,95 @@
+// Typed-edge modeling with the extension APIs: a social-commerce graph
+// whose edges carry relation types (follows / purchases / reviews), a
+// RelationalGCNConv encoder, per-node signal normalization, a StepLR
+// schedule and early stopping — the full "released framework" training
+// harness on one page.
+//
+// Build & run:  ./build/examples/typed_edges
+#include <iostream>
+
+#include "core/executor.hpp"
+#include "datasets/normalize.hpp"
+#include "datasets/synthetic.hpp"
+#include "graph/static_graph.hpp"
+#include "nn/optim.hpp"
+#include "nn/rgcn.hpp"
+#include "nn/schedule.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+using namespace stgraph;
+
+int main() {
+  // Reuse the WVM-style generator for the structure and assign each edge
+  // one of three relation types (hash of endpoints — deterministic).
+  datasets::StaticLoadOptions opts;
+  opts.scale = 0.15;
+  opts.num_timestamps = 40;
+  opts.feature_size = 4;
+  datasets::StaticTemporalDataset ds = datasets::load_wikimath(opts);
+  const int kRelations = 3;
+  std::cout << "typed graph: " << ds.num_nodes << " users, "
+            << ds.edges.size() << " interactions, " << kRelations
+            << " relation types\n";
+
+  // Normalize the signal per node (PyG-T datasets ship standardized).
+  const auto scaler = datasets::NodeScaler::fit(ds.signal);
+  const datasets::TemporalSignal signal = scaler.transform(ds.signal);
+
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+  core::TemporalExecutor exec(graph);
+
+  // Relation assignment keyed by the snapshot's edge labels: read the
+  // labels off the backward view so (src, dst) → eid is explicit.
+  SnapshotView view = graph.get_graph(0);
+  std::vector<uint8_t> relation_of(view.num_edges, 0);
+  for (uint32_t r = 0; r < view.num_nodes; ++r) {
+    for (uint32_t j = view.out_view.row_offset[r];
+         j < view.out_view.row_offset[r + 1]; ++j) {
+      const uint32_t c = view.out_view.col_indices[j];
+      relation_of[view.out_view.eids[j]] =
+          static_cast<uint8_t>((r * 2654435761u + c) % kRelations);
+    }
+  }
+  Rng enc_rng(42);
+  nn::RelationalGCNConv encoder(opts.feature_size, 16, kRelations, enc_rng);
+  nn::RelationAssignment relations(relation_of, kRelations);
+  relations.materialize();
+
+  Rng rng(43);
+  nn::Linear head(16, 1, rng);
+  std::vector<nn::Parameter> params = encoder.parameters();
+  for (auto& p : head.parameters()) params.push_back(p);
+  nn::Adam opt(params, 8e-3f);
+  nn::StepLR sched(opt, /*step_size=*/10, /*gamma=*/0.5f);
+  nn::EarlyStopping stopper(/*patience=*/6, /*min_delta=*/1e-4);
+
+  const uint32_t T = ds.num_timestamps;
+  for (int epoch = 1; epoch <= 60; ++epoch) {
+    double loss_total = 0;
+    for (uint32_t t = 0; t < T; ++t) {
+      exec.begin_forward_step(t);
+      Tensor h = encoder.forward(exec, signal.features[t], relations);
+      Tensor y = head.forward(ops::relu(h));
+      Tensor loss = ops::mse_loss(y, signal.targets[t]);
+      opt.zero_grad();
+      loss.backward();
+      opt.step();
+      exec.verify_drained();
+      loss_total += loss.item();
+    }
+    const double epoch_loss = loss_total / T;
+    sched.step();
+    if (epoch % 10 == 0) {
+      std::cout << "epoch " << epoch << "  mse " << epoch_loss << "  lr "
+                << opt.learning_rate() << "\n";
+    }
+    if (stopper.update(epoch_loss)) {
+      std::cout << "early stop at epoch " << epoch << " (best "
+                << stopper.best() << ")\n";
+      break;
+    }
+  }
+  std::cout << "best normalized mse: " << stopper.best() << "\n";
+  return 0;
+}

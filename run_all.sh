@@ -1,0 +1,12 @@
+#!/bin/sh
+# Final validation sweep: full test suite + every bench binary.
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt > /dev/null
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "===== $(basename "$b") ====="
+    "$b"
+    echo
+  fi
+done 2>&1 | tee /root/repo/bench_output.txt > /dev/null
+echo ALL_DONE > /root/repo/.run_all_done

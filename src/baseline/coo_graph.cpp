@@ -1,0 +1,49 @@
+#include "baseline/coo_graph.hpp"
+
+#include "util/check.hpp"
+
+namespace stgraph::baseline {
+
+CooSnapshot make_coo(uint32_t num_nodes, const EdgeList& edges) {
+  CooSnapshot s;
+  s.num_nodes = num_nodes;
+  std::vector<uint32_t> src, dst;
+  src.reserve(edges.size());
+  dst.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    STG_CHECK(u < num_nodes && v < num_nodes, "edge endpoint out of range");
+    src.push_back(u);
+    dst.push_back(v);
+  }
+  s.src = DeviceBuffer<uint32_t>(src, MemCategory::kGraph);
+  s.dst = DeviceBuffer<uint32_t>(dst, MemCategory::kGraph);
+  return s;
+}
+
+PygtTemporalGraph::PygtTemporalGraph(uint32_t num_nodes, const EdgeList& edges,
+                                     uint32_t num_timestamps)
+    : num_timestamps_(num_timestamps) {
+  snapshots_.push_back(make_coo(num_nodes, edges));
+}
+
+PygtTemporalGraph::PygtTemporalGraph(const DtdgEvents& events)
+    : num_timestamps_(events.num_timestamps()) {
+  snapshots_.reserve(num_timestamps_);
+  for (uint32_t t = 0; t < num_timestamps_; ++t) {
+    snapshots_.push_back(make_coo(events.num_nodes, events.snapshot_edges(t)));
+  }
+}
+
+const CooSnapshot& PygtTemporalGraph::snapshot(uint32_t t) const {
+  STG_CHECK(t < num_timestamps_, "timestamp ", t, " out of range ",
+            num_timestamps_);
+  return snapshots_.size() == 1 ? snapshots_[0] : snapshots_[t];
+}
+
+std::size_t PygtTemporalGraph::device_bytes() const {
+  std::size_t total = 0;
+  for (const CooSnapshot& s : snapshots_) total += s.device_bytes();
+  return total;
+}
+
+}  // namespace stgraph::baseline

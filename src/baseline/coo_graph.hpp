@@ -1,0 +1,53 @@
+// PyG-T-style graph storage: COO edge index per snapshot, every snapshot
+// resident on the device for the whole run (PyG-T iterates a list of
+// `Data(edge_index=...)` snapshots). This is the baseline whose memory
+// behaviour Figures 6 and 8 compare against.
+#pragma once
+
+#include <vector>
+
+#include "graph/dtdg.hpp"
+#include "runtime/device_buffer.hpp"
+
+namespace stgraph::baseline {
+
+/// One snapshot's edge index (2 × E in PyG terms; stored as two arrays).
+struct CooSnapshot {
+  uint32_t num_nodes = 0;
+  DeviceBuffer<uint32_t> src;
+  DeviceBuffer<uint32_t> dst;
+
+  CooSnapshot() = default;
+  CooSnapshot(CooSnapshot&&) = default;
+  CooSnapshot& operator=(CooSnapshot&&) = default;
+  CooSnapshot(const CooSnapshot&) = delete;
+  CooSnapshot& operator=(const CooSnapshot&) = delete;
+
+  uint32_t num_edges() const { return static_cast<uint32_t>(src.size()); }
+  std::size_t device_bytes() const { return src.bytes() + dst.bytes(); }
+};
+
+CooSnapshot make_coo(uint32_t num_nodes, const EdgeList& edges);
+
+/// The baseline's temporal container: one COO for static-temporal graphs,
+/// or every materialized snapshot for DTDGs.
+class PygtTemporalGraph {
+ public:
+  /// Static-temporal constructor.
+  PygtTemporalGraph(uint32_t num_nodes, const EdgeList& edges,
+                    uint32_t num_timestamps);
+  /// DTDG constructor: materializes every snapshot (PyG-T's iterator does
+  /// exactly this before training).
+  explicit PygtTemporalGraph(const DtdgEvents& events);
+
+  const CooSnapshot& snapshot(uint32_t t) const;
+  uint32_t num_timestamps() const { return num_timestamps_; }
+  bool is_dynamic() const { return snapshots_.size() > 1; }
+  std::size_t device_bytes() const;
+
+ private:
+  std::vector<CooSnapshot> snapshots_;
+  uint32_t num_timestamps_ = 0;
+};
+
+}  // namespace stgraph::baseline

@@ -1,0 +1,42 @@
+// Edge-parallel message-passing primitives — the PyG "message-reduce"
+// paradigm the paper contrasts with the vertex-centric approach. GNN
+// processing materializes an [E, F] message tensor per convolution (node
+// features duplicated per edge), scales it by per-edge coefficients, then
+// scatter-reduces into the destination rows with atomics.
+//
+// Memory semantics mirror what the paper measured in PyG-T: the [E, F]
+// message tensor of every timestamp stays saved in the autograd graph
+// until that timestamp's backward runs, so memory grows with sequence
+// length × edge count (Figure 6's steep baseline curve).
+#pragma once
+
+#include "baseline/coo_graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace stgraph::baseline {
+
+/// messages[e] = x[src[e]] — the per-edge feature duplication. The output
+/// is charged to MemCategory::kEdgeMessage so memory benches can attribute
+/// it. Backward scatter-adds the incoming gradient to x's rows.
+Tensor gather_messages(const Tensor& x, const CooSnapshot& g);
+
+/// out[e] = messages[e] * coef[e]; `coef` is a per-edge scalar array (GCN
+/// normalization in the baseline conv). The backward node retains the
+/// message tensor (torch.mul's conservative saved-tensor behaviour — the
+/// retention PyG-T exhibits).
+Tensor scale_messages(const Tensor& messages, const Tensor& coef);
+
+/// out[v] = Σ_{e: dst[e]=v} messages[e] — scatter-add reduction with
+/// atomics. Backward gathers the output gradient back per edge.
+Tensor scatter_add(const Tensor& messages, const CooSnapshot& g);
+
+/// Per-edge symmetric GCN norm 1/sqrt((din(src)+1)(din(dst)+1)), with
+/// optional per-edge weights folded in — recomputed every forward call,
+/// exactly as PyG's gcn_norm does. Returns a [E] tensor.
+Tensor gcn_norm(const CooSnapshot& g, const float* edge_weights = nullptr);
+
+/// x scaled per destination row by 1/(din+1): the self-loop contribution
+/// of GCN with symmetric normalization.
+Tensor self_loop_contribution(const Tensor& x, const CooSnapshot& g);
+
+}  // namespace stgraph::baseline

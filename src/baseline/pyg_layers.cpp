@@ -1,0 +1,71 @@
+#include "baseline/pyg_layers.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph::baseline {
+
+PygGCNConv::PygGCNConv(int64_t in_features, int64_t out_features, Rng& rng,
+                       bool bias)
+    : in_(in_features), out_(out_features) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_ + out_));
+  weight_ = register_parameter(
+      "weight", Tensor::uniform({in_, out_}, rng, -bound, bound));
+  if (bias) bias_ = register_parameter("bias", Tensor::zeros({out_}));
+}
+
+Tensor PygGCNConv::forward(const CooSnapshot& g, const Tensor& x,
+                           const float* edge_weights) const {
+  STG_CHECK(x.cols() == in_, "PygGCNConv(", in_, "→", out_, ") got ",
+            shape_str(x.shape()));
+  // PyG order: linear transform, then propagate.
+  Tensor xw = ops::matmul(x, weight_);
+  // gcn_norm is recomputed per call (PyG does this unless caching is on).
+  Tensor coef = gcn_norm(g, edge_weights);
+  // message(): duplicate source rows per edge, scale by norm.
+  Tensor msg = gather_messages(xw, g);
+  msg = scale_messages(msg, coef);
+  // aggregate(): scatter-add into destinations + self-loop contribution.
+  Tensor out = ops::add(scatter_add(msg, g), self_loop_contribution(xw, g));
+  if (bias_.defined()) out = ops::add_bias(out, bias_);
+  return out;
+}
+
+PygTGCN::PygTGCN(int64_t in_features, int64_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      conv_z_(in_features, out_features, rng),
+      conv_r_(in_features, out_features, rng),
+      conv_h_(in_features, out_features, rng),
+      linear_z_(2 * out_features, out_features, rng),
+      linear_r_(2 * out_features, out_features, rng),
+      linear_h_(2 * out_features, out_features, rng) {
+  register_module("conv_z", &conv_z_);
+  register_module("conv_r", &conv_r_);
+  register_module("conv_h", &conv_h_);
+  register_module("linear_z", &linear_z_);
+  register_module("linear_r", &linear_r_);
+  register_module("linear_h", &linear_h_);
+}
+
+Tensor PygTGCN::initial_state(int64_t num_nodes) const {
+  return Tensor::zeros({num_nodes, out_});
+}
+
+Tensor PygTGCN::forward(const CooSnapshot& g, const Tensor& x,
+                        const Tensor& h_in, const float* edge_weights) const {
+  Tensor h = h_in.defined() ? h_in : initial_state(x.rows());
+  using namespace ops;
+  Tensor z = sigmoid(
+      linear_z_.forward(cat_cols(conv_z_.forward(g, x, edge_weights), h)));
+  Tensor r = sigmoid(
+      linear_r_.forward(cat_cols(conv_r_.forward(g, x, edge_weights), h)));
+  Tensor h_tilde = tanh_op(linear_h_.forward(
+      cat_cols(conv_h_.forward(g, x, edge_weights), mul(r, h))));
+  return add(mul(z, h), mul(one_minus(z), h_tilde));
+}
+
+}  // namespace stgraph::baseline

@@ -1,0 +1,49 @@
+// Baseline layers re-implementing PyG's GCNConv and PyG-T's TGCN on the
+// edge-parallel primitives. Same math as the STGraph layers (tests assert
+// numerical equivalence), different system behaviour: per-edge message
+// materialization, atomic scatter reduction, no degree-ordered scheduling,
+// per-call norm recomputation.
+#pragma once
+
+#include "baseline/edge_ops.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace stgraph::baseline {
+
+class PygGCNConv : public nn::Module {
+ public:
+  PygGCNConv(int64_t in_features, int64_t out_features, Rng& rng,
+             bool bias = true);
+
+  Tensor forward(const CooSnapshot& g, const Tensor& x,
+                 const float* edge_weights = nullptr) const;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+
+ private:
+  int64_t in_, out_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+/// PyG-T's TGCN cell on top of PygGCNConv (same gate structure as
+/// stgraph::nn::TGCN).
+class PygTGCN : public nn::Module {
+ public:
+  PygTGCN(int64_t in_features, int64_t out_features, Rng& rng);
+
+  Tensor forward(const CooSnapshot& g, const Tensor& x, const Tensor& h,
+                 const float* edge_weights = nullptr) const;
+  Tensor initial_state(int64_t num_nodes) const;
+
+  int64_t out_features() const { return out_; }
+
+ private:
+  int64_t in_, out_;
+  PygGCNConv conv_z_, conv_r_, conv_h_;
+  nn::Linear linear_z_, linear_r_, linear_h_;
+};
+
+}  // namespace stgraph::baseline

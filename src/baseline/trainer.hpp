@@ -1,0 +1,51 @@
+// PyG-T-style training loop: same sequence chunking and losses as the
+// STGraph trainer, but over the baseline's COO snapshots and edge-parallel
+// layers, with no executor — per-edge message tensors simply stay in the
+// autograd graph until backward, as in the PyTorch original.
+#pragma once
+
+#include "baseline/pyg_layers.hpp"
+#include "core/trainer.hpp"  // TrainConfig / EpochStats / Task
+#include "datasets/signal.hpp"
+#include "nn/optim.hpp"
+
+namespace stgraph::baseline {
+
+/// Baseline model mirroring nn::TGCNRegressor / nn::TGCNEncoder.
+class PygTemporalModel : public nn::Module {
+ public:
+  /// head=true builds the regression head (node regression task).
+  PygTemporalModel(int64_t in_features, int64_t hidden, Rng& rng, bool head);
+
+  std::pair<Tensor, Tensor> step(const CooSnapshot& g, const Tensor& x,
+                                 const Tensor& h, const float* edge_weights);
+  Tensor initial_state(int64_t num_nodes) const {
+    return tgcn_.initial_state(num_nodes);
+  }
+
+ private:
+  PygTGCN tgcn_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+class PygtTrainer {
+ public:
+  PygtTrainer(PygtTemporalGraph& graph, PygTemporalModel& model,
+              const datasets::TemporalSignal& signal,
+              core::TrainConfig config);
+
+  core::EpochStats train_epoch();
+  std::vector<core::EpochStats> train();
+  double evaluate();
+
+ private:
+  core::EpochStats run_epoch(bool training);
+
+  PygtTemporalGraph& graph_;
+  PygTemporalModel& model_;
+  const datasets::TemporalSignal& signal_;
+  core::TrainConfig config_;
+  nn::Adam optimizer_;
+};
+
+}  // namespace stgraph::baseline

@@ -1,0 +1,72 @@
+#include "compiler/autodiff.hpp"
+
+#include "compiler/passes.hpp"
+#include "util/check.hpp"
+
+namespace stgraph::compiler {
+
+Program differentiate(const Program& p, int input) {
+  if (p.agg == AggKind::kMax) {
+    // d max / d x flows only along the argmax edge of each (vertex,
+    // feature) pair; the backward program is the same (single) term over
+    // the transposed graph with argmax routing enabled.
+    STG_CHECK(p.terms.size() == 1 && p.terms[0].input == input,
+              "max aggregation supports exactly one message term");
+    Program b;
+    b.agg = AggKind::kMax;
+    b.max_backward = true;
+    MessageTerm bt;
+    bt.coefs = p.terms[0].coefs;
+    bt.input = 0;  // gather grad_out
+    b.terms.push_back(std::move(bt));
+    if (p.include_self && p.self_input == input) {
+      b.include_self = true;
+      b.self_coefs = p.self_coefs;
+      b.self_input = 0;
+    }
+    b.out_scale = p.out_scale;
+    return fold_constants(std::move(b));
+  }
+  STG_CHECK(p.agg == AggKind::kSum,
+            "differentiate expects an optimized (mean-lowered) program");
+  Program b;
+  b.agg = AggKind::kSum;
+  // d out[v] / d x[u] for edge u→v is the coef product — unchanged. The
+  // backward program gathers g (slot 0) along the transposed graph; the
+  // kernel's role-swap flag keeps each coefficient evaluated with the same
+  // (u, v) orientation it had in the forward pass.
+  for (const MessageTerm& t : p.terms) {
+    if (t.input != input) continue;
+    MessageTerm bt;
+    bt.coefs = t.coefs;
+    bt.input = 0;  // gather grad_out
+    b.terms.push_back(std::move(bt));
+  }
+  if (p.include_self && p.self_input == input) {
+    b.include_self = true;
+    b.self_coefs = p.self_coefs;
+    b.self_input = 0;
+  }
+  b.out_scale = p.out_scale;
+  STG_CHECK(!b.terms.empty() || b.include_self,
+            "program does not depend on input ", input);
+  if (b.terms.empty()) {
+    // Self-only dependency: keep a zero-coefficient neighbor term out of
+    // the IR; the kernel handles empty term lists.
+  }
+  return optimize(std::move(b));
+}
+
+BackwardNeeds backward_needs(const Program& p) {
+  BackwardNeeds n;
+  // Coefficients never reference feature values in this IR family, so the
+  // backward kernel is independent of the forward inputs and outputs. Max
+  // aggregation additionally needs the recorded argmax routing.
+  n.input_features = false;
+  n.output_values = false;
+  n.graph = true;
+  n.argmax = p.agg == AggKind::kMax;
+  return n;
+}
+
+}  // namespace stgraph::compiler

@@ -1,0 +1,45 @@
+// IR-level automatic differentiation (Seastar derives the backward CUDA
+// kernel from the forward IR; we derive a backward Program).
+//
+// Every traced program is linear in its feature inputs (coefficients only
+// read degrees / edge weights / constants), so:
+//
+//   forward:  out[v] = Σ_{u→v} c(u,v)·x[u] + s(v)·x[v]
+//   backward: gx[u]  = Σ_{v: u→v} c(u,v)·g[v] + s(u)·g[u]
+//
+// i.e. the backward pass runs the SAME aggregation over the transposed
+// adjacency (the paper's out-neighbor CSR), gathering the output gradient
+// instead of features. Crucially the backward program never reads the
+// forward input features — backward_needs() reports this, and the
+// executor's State Stack uses it to avoid storing feature tensors that the
+// backward pass will not touch (the paper's State-Stack memory
+// optimization).
+#pragma once
+
+#include <vector>
+
+#include "compiler/ir.hpp"
+
+namespace stgraph::compiler {
+
+/// What the backward kernel of a program requires at backward time.
+struct BackwardNeeds {
+  bool input_features = false;  // x from the forward pass
+  bool output_values = false;   // out from the forward pass
+  bool graph = true;            // the snapshot (always, via the Graph Stack)
+  /// Max aggregation only: the argmax indices recorded during forward.
+  /// The executor's State Stack is what carries them to the backward pass.
+  bool argmax = false;
+};
+
+/// Derive the backward program of `p` with respect to feature input
+/// `input`. The returned program gathers the OUTPUT GRADIENT (its terms
+/// reference input slot 0 = grad_out) and must be executed with the
+/// producer/consumer roles swapped (KernelArgs::producer_is_col = false)
+/// over the transposed adjacency views.
+Program differentiate(const Program& p, int input = 0);
+
+/// Static analysis of what `p`'s backward pass needs saved.
+BackwardNeeds backward_needs(const Program& p);
+
+}  // namespace stgraph::compiler

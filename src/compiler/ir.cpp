@@ -1,0 +1,73 @@
+#include "compiler/ir.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace stgraph::compiler {
+
+int Program::num_inputs() const {
+  int n = 0;
+  for (const MessageTerm& t : terms) n = std::max(n, t.input + 1);
+  if (include_self) n = std::max(n, self_input + 1);
+  return n;
+}
+
+namespace {
+const char* coef_name(CoefKind k) {
+  switch (k) {
+    case CoefKind::kConst: return "const";
+    case CoefKind::kGcnNorm: return "gcn_norm";
+    case CoefKind::kInvDegree: return "inv_deg";
+    case CoefKind::kInvDegreeP1: return "inv_deg_p1";
+    case CoefKind::kEdgeWeight: return "edge_w";
+    default: return "?";
+  }
+}
+void print_coefs(std::ostringstream& oss, const std::vector<Coef>& coefs) {
+  if (coefs.empty()) {
+    oss << "1";
+    return;
+  }
+  for (size_t i = 0; i < coefs.size(); ++i) {
+    if (i) oss << "*";
+    oss << coef_name(coefs[i].kind);
+    if (coefs[i].kind == CoefKind::kConst) oss << "(" << coefs[i].value << ")";
+  }
+}
+}  // namespace
+
+std::string Program::to_string() const {
+  std::ostringstream oss;
+  const char* agg_name = agg == AggKind::kSum    ? "sum"
+                         : agg == AggKind::kMean ? "mean"
+                                                 : "max";
+  oss << "out[v] = " << (out_scale != 1.0f ? std::to_string(out_scale) + " * " : "")
+      << (max_backward ? "max_bwd" : agg_name) << "_{u in N(v)} [";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i) oss << " + ";
+    print_coefs(oss, terms[i].coefs);
+    oss << " * x" << terms[i].input << "[u]";
+  }
+  oss << "]";
+  if (include_self) {
+    oss << " + ";
+    print_coefs(oss, self_coefs);
+    oss << " * x" << self_input << "[v]";
+  }
+  return oss.str();
+}
+
+bool operator==(const Coef& a, const Coef& b) {
+  return a.kind == b.kind && (a.kind != CoefKind::kConst || a.value == b.value);
+}
+bool operator==(const MessageTerm& a, const MessageTerm& b) {
+  return a.input == b.input && a.coefs == b.coefs;
+}
+bool operator==(const Program& a, const Program& b) {
+  return a.agg == b.agg && a.terms == b.terms &&
+         a.include_self == b.include_self && a.self_coefs == b.self_coefs &&
+         a.self_input == b.self_input && a.out_scale == b.out_scale &&
+         a.max_backward == b.max_backward;
+}
+
+}  // namespace stgraph::compiler

@@ -1,0 +1,70 @@
+// Intermediate representation for vertex-centric programs (the Seastar
+// layer STGraph inherits, §IV). A user-written vertex function is traced
+// into this IR, optimized, auto-differentiated, and lowered to a fused
+// gather-aggregate kernel spec executed by the device runtime.
+//
+// The IR models the message-passing family the paper's models need:
+//
+//   out[v] = Σ / mean over in-neighbors u of v:
+//              (Π coefs(u→v)) · x_input[u]
+//          + (optional self term) (Π self_coefs(v)) · x_input[v]
+//
+// Coefficients never depend on feature values (they read degrees, per-edge
+// weights or constants), so every program in this family is LINEAR in its
+// feature inputs — which the autodiff pass exploits: the backward program
+// is the same aggregation over the transposed graph, and — key for the
+// paper's State-Stack memory optimization — it does not need the forward
+// input features at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stgraph::compiler {
+
+/// Multiplicative coefficient attached to a message along edge u→v.
+enum class CoefKind : uint8_t {
+  kConst,        // literal
+  kGcnNorm,      // 1 / sqrt((din(u)+1) (din(v)+1))  — symmetric GCN norm
+  kInvDegree,    // 1 / din(v)            — mean aggregation (consumer side)
+  kInvDegreeP1,  // 1 / (din(v)+1)        — mean with self loop
+  kEdgeWeight,   // w[eid]                — per-edge scalar
+};
+
+struct Coef {
+  CoefKind kind = CoefKind::kConst;
+  float value = 1.0f;  // used by kConst
+};
+
+/// One additive message term: (Π coefs) · x_{input}[producer].
+struct MessageTerm {
+  std::vector<Coef> coefs;
+  int input = 0;  // which feature input the producer value is read from
+};
+
+enum class AggKind : uint8_t { kSum, kMean, kMax };
+
+/// A full vertex program (single fused aggregation stage).
+struct Program {
+  AggKind agg = AggKind::kSum;
+  std::vector<MessageTerm> terms;
+  bool include_self = false;
+  std::vector<Coef> self_coefs;  // multiply x_{self_input}[v]
+  int self_input = 0;
+  float out_scale = 1.0f;  // post-aggregation scaling, fused into the kernel
+  /// True for the derivative of a max aggregation: gather the output
+  /// gradient, routed only along the argmax edges recorded in the forward
+  /// pass (the kernel consumes KernelArgs::argmax_in).
+  bool max_backward = false;
+  /// Number of distinct feature inputs referenced.
+  int num_inputs() const;
+  std::string to_string() const;
+};
+
+/// Structural equality (used by pass tests).
+bool operator==(const Coef& a, const Coef& b);
+bool operator==(const MessageTerm& a, const MessageTerm& b);
+bool operator==(const Program& a, const Program& b);
+
+}  // namespace stgraph::compiler

@@ -1,0 +1,256 @@
+#include "compiler/kernel.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "compiler/passes.hpp"
+#include "runtime/parallel.hpp"
+#include "util/check.hpp"
+
+namespace stgraph::compiler {
+
+KernelSpec compile(Program p) {
+  KernelSpec spec;
+  spec.program = optimize(std::move(p));
+  if (spec.program.agg == AggKind::kMax) {
+    STG_CHECK(spec.program.terms.size() == 1,
+              "max aggregation supports exactly one message term");
+    STG_CHECK(spec.program.out_scale > 0.0f,
+              "max aggregation requires a positive output scale");
+  } else {
+    STG_CHECK(spec.program.agg == AggKind::kSum,
+              "mean lowering should leave only sum aggregation");
+  }
+  spec.num_inputs = spec.program.num_inputs();
+  auto scan = [&](const std::vector<Coef>& coefs) {
+    for (const Coef& c : coefs) {
+      if (c.kind == CoefKind::kEdgeWeight) spec.uses_edge_weight = true;
+      if (c.kind == CoefKind::kGcnNorm || c.kind == CoefKind::kInvDegree ||
+          c.kind == CoefKind::kInvDegreeP1)
+        spec.uses_degrees = true;
+    }
+  };
+  for (const MessageTerm& t : spec.program.terms) scan(t.coefs);
+  if (spec.program.include_self) scan(spec.program.self_coefs);
+  return spec;
+}
+
+namespace {
+
+// Evaluate a coefficient product for edge producer→consumer.
+inline float eval_coefs(const std::vector<Coef>& coefs, uint32_t producer,
+                        uint32_t consumer, uint32_t eid,
+                        const uint32_t* in_deg, const float* edge_w) {
+  float c = 1.0f;
+  for (const Coef& k : coefs) {
+    switch (k.kind) {
+      case CoefKind::kConst:
+        c *= k.value;
+        break;
+      case CoefKind::kGcnNorm: {
+        const float dp = static_cast<float>(in_deg[producer] + 1);
+        const float dc = static_cast<float>(in_deg[consumer] + 1);
+        c *= 1.0f / std::sqrt(dp * dc);
+        break;
+      }
+      case CoefKind::kInvDegree: {
+        const uint32_t d = in_deg[consumer];
+        c *= d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+        break;
+      }
+      case CoefKind::kInvDegreeP1:
+        c *= 1.0f / static_cast<float>(in_deg[consumer] + 1);
+        break;
+      case CoefKind::kEdgeWeight:
+        c *= edge_w[eid];
+        break;
+    }
+  }
+  return c;
+}
+
+// Max-aggregation forward: element-wise max over neighbor candidates
+// (plus the optional self candidate), recording the winning producer per
+// (row, feature) cell into argmax_out.
+inline void process_row_max(const KernelSpec& spec, const KernelArgs& a,
+                            uint32_t row, uint32_t f0, uint32_t f1) {
+  const Program& p = spec.program;
+  float* orow = a.out + static_cast<std::size_t>(row) * a.num_feats;
+  uint32_t* arow = a.argmax_out + static_cast<std::size_t>(row) * a.num_feats;
+  for (uint32_t f = f0; f < f1; ++f) {
+    orow[f] = -std::numeric_limits<float>::infinity();
+    arow[f] = kSpace;
+  }
+  const MessageTerm& term = p.terms[0];
+  const uint32_t start = a.view.row_offset[row];
+  const uint32_t end = a.view.row_offset[row + 1];
+  for (uint32_t j = start; j < end; ++j) {
+    const uint32_t col = a.view.col_indices[j];
+    if (a.view.has_gaps && col == kSpace) continue;
+    const uint32_t eid = a.view.eids ? a.view.eids[j] : j;
+    const float c =
+        eval_coefs(term.coefs, col, row, eid, a.in_degrees, a.edge_weights);
+    const float* src =
+        a.inputs[term.input] + static_cast<std::size_t>(col) * a.num_feats;
+    for (uint32_t f = f0; f < f1; ++f) {
+      const float val = c * src[f];
+      if (val > orow[f]) {
+        orow[f] = val;
+        arow[f] = col;
+      }
+    }
+  }
+  if (p.include_self) {
+    const float c = eval_coefs(p.self_coefs, row, row, 0, a.in_degrees,
+                               a.edge_weights);
+    const float* src =
+        a.self_features + static_cast<std::size_t>(row) * a.num_feats;
+    for (uint32_t f = f0; f < f1; ++f) {
+      const float val = c * src[f];
+      if (val > orow[f]) {
+        orow[f] = val;
+        arow[f] = row;
+      }
+    }
+  }
+  for (uint32_t f = f0; f < f1; ++f) {
+    if (arow[f] == kSpace) {
+      orow[f] = 0.0f;  // no candidates: empty max defined as 0
+    } else {
+      orow[f] *= p.out_scale;
+    }
+  }
+}
+
+// Max-aggregation backward over the transposed view (rows are producers):
+// gradient flows only along recorded argmax edges.
+inline void process_row_max_bwd(const KernelSpec& spec, const KernelArgs& a,
+                                uint32_t row, uint32_t f0, uint32_t f1) {
+  const Program& p = spec.program;
+  float* orow = a.out + static_cast<std::size_t>(row) * a.num_feats;
+  for (uint32_t f = f0; f < f1; ++f) orow[f] = 0.0f;
+  const MessageTerm& term = p.terms[0];
+  const uint32_t start = a.view.row_offset[row];
+  const uint32_t end = a.view.row_offset[row + 1];
+  for (uint32_t j = start; j < end; ++j) {
+    const uint32_t col = a.view.col_indices[j];  // consumer vertex
+    if (a.view.has_gaps && col == kSpace) continue;
+    const uint32_t eid = a.view.eids ? a.view.eids[j] : j;
+    const uint32_t* amax =
+        a.argmax_in + static_cast<std::size_t>(col) * a.num_feats;
+    const float* grad =
+        a.inputs[term.input] + static_cast<std::size_t>(col) * a.num_feats;
+    float c = 0.0f;
+    bool have_c = false;
+    for (uint32_t f = f0; f < f1; ++f) {
+      if (amax[f] != row) continue;
+      if (!have_c) {
+        c = eval_coefs(term.coefs, row, col, eid, a.in_degrees,
+                       a.edge_weights) *
+            p.out_scale;
+        have_c = true;
+      }
+      orow[f] += c * grad[f];
+    }
+  }
+  if (p.include_self) {
+    // The consumer `row` itself may have picked its self candidate.
+    const uint32_t* amax =
+        a.argmax_in + static_cast<std::size_t>(row) * a.num_feats;
+    const float* grad =
+        a.self_features + static_cast<std::size_t>(row) * a.num_feats;
+    const float c = eval_coefs(p.self_coefs, row, row, 0, a.in_degrees,
+                               a.edge_weights) *
+                    p.out_scale;
+    for (uint32_t f = f0; f < f1; ++f) {
+      if (amax[f] == row) orow[f] += c * grad[f];
+    }
+  }
+}
+
+// Process one row's aggregation over feature columns [f0, f1).
+inline void process_row(const KernelSpec& spec, const KernelArgs& a,
+                        uint32_t row, uint32_t f0, uint32_t f1) {
+  if (spec.program.max_backward) {
+    process_row_max_bwd(spec, a, row, f0, f1);
+    return;
+  }
+  if (spec.program.agg == AggKind::kMax) {
+    process_row_max(spec, a, row, f0, f1);
+    return;
+  }
+  const Program& p = spec.program;
+  float* orow = a.out + static_cast<std::size_t>(row) * a.num_feats;
+  for (uint32_t f = f0; f < f1; ++f) orow[f] = 0.0f;
+
+  const uint32_t start = a.view.row_offset[row];
+  const uint32_t end = a.view.row_offset[row + 1];
+  for (uint32_t j = start; j < end; ++j) {
+    const uint32_t col = a.view.col_indices[j];
+    if (a.view.has_gaps && col == kSpace) continue;  // skip SPACE slots
+    const uint32_t eid = a.view.eids ? a.view.eids[j] : j;
+    const uint32_t producer = a.producer_is_col ? col : row;
+    const uint32_t consumer = a.producer_is_col ? row : col;
+    for (const MessageTerm& t : p.terms) {
+      const float c = eval_coefs(t.coefs, producer, consumer, eid,
+                                 a.in_degrees, a.edge_weights) *
+                      p.out_scale;
+      if (c == 0.0f) continue;
+      const float* src =
+          a.inputs[t.input] + static_cast<std::size_t>(col) * a.num_feats;
+      for (uint32_t f = f0; f < f1; ++f) orow[f] += c * src[f];
+    }
+  }
+  if (p.include_self) {
+    // Self loop: producer == consumer == row in both directions.
+    const float c = eval_coefs(p.self_coefs, row, row, 0, a.in_degrees,
+                               a.edge_weights) *
+                    p.out_scale;
+    const float* src =
+        a.self_features + static_cast<std::size_t>(row) * a.num_feats;
+    for (uint32_t f = f0; f < f1; ++f) orow[f] += c * src[f];
+  }
+}
+
+}  // namespace
+
+void run_kernel(const KernelSpec& spec, const KernelArgs& args) {
+  STG_CHECK(args.out != nullptr && args.inputs != nullptr,
+            "kernel launched without output/input buffers");
+  STG_CHECK(!spec.uses_edge_weight || args.edge_weights != nullptr,
+            "program uses edge weights but none were bound");
+  STG_CHECK(!spec.uses_degrees || args.in_degrees != nullptr,
+            "program uses degrees but no degree array was bound");
+  STG_CHECK(!spec.program.include_self || args.self_features != nullptr,
+            "program has a self term but self_features is unbound");
+  STG_CHECK(spec.program.agg != AggKind::kMax || spec.program.max_backward ||
+                args.argmax_out != nullptr,
+            "max-aggregation forward needs an argmax_out buffer");
+  STG_CHECK(!spec.program.max_backward || args.argmax_in != nullptr,
+            "max-aggregation backward needs the recorded argmax_in");
+  const uint32_t n = args.view.num_nodes;
+  const uint32_t F = args.num_feats;
+  const uint32_t* order = args.view.node_ids;
+
+  if (F < kFeatureTileThreshold) {
+    // One vertex per work item, degree-sorted order, strided lanes.
+    device::parallel_for_strided(n, [&](std::size_t i) {
+      const uint32_t row = order ? order[i] : static_cast<uint32_t>(i);
+      process_row(spec, args, row, 0, F);
+    });
+  } else {
+    // Feature-adaptive: (vertex × feature tile) grid.
+    const uint32_t tiles = (F + kFeatureTile - 1) / kFeatureTile;
+    device::parallel_for_strided(
+        static_cast<std::size_t>(n) * tiles, [&](std::size_t item) {
+          const std::size_t i = item / tiles;
+          const uint32_t tile = static_cast<uint32_t>(item % tiles);
+          const uint32_t row = order ? order[i] : static_cast<uint32_t>(i);
+          const uint32_t f0 = tile * kFeatureTile;
+          const uint32_t f1 = std::min(F, f0 + kFeatureTile);
+          process_row(spec, args, row, f0, f1);
+        });
+  }
+}
+
+}  // namespace stgraph::compiler

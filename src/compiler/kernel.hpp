@@ -1,0 +1,66 @@
+// Kernel lowering and execution — the stand-in for Seastar's CUDA code
+// generation. A Program is compiled into a KernelSpec (flattened coef
+// products + dispatch flags); run_kernel() executes it with:
+//
+//   * vertex parallelism in the degree-sorted node_ids order (heaviest
+//     vertices first, round-robin lane striding — the CPU analogue of the
+//     paper's "pre-sorting the CSR lets high-degree vertices overlap with
+//     many low-degree ones"),
+//   * feature-adaptive work shaping: small feature sizes run one vertex
+//     per work item; large feature sizes split rows into feature tiles so
+//     lanes stay busy on small graphs (the paper's feature-adaptive thread
+//     group allocation),
+//   * gap awareness: gapped PMA views are consumed in place by skipping
+//     kSpace slots, so GPMAGraph's backward pass needs no compaction.
+//
+// One launch performs gather + coefficient product + aggregate + self loop
+// + output scaling — the operator fusion Seastar's codegen performs (the
+// unfused path exists only as an ablation baseline in bench/).
+#pragma once
+
+#include "compiler/ir.hpp"
+#include "graph/csr.hpp"
+
+namespace stgraph::compiler {
+
+/// A compiled, executable kernel (forward or backward direction chosen at
+/// run time via KernelArgs::producer_is_col).
+struct KernelSpec {
+  Program program;              // optimized (mean-lowered, folded)
+  bool uses_edge_weight = false;
+  bool uses_degrees = false;
+  int num_inputs = 1;
+};
+
+KernelSpec compile(Program p);
+
+/// Runtime arguments for one launch.
+struct KernelArgs {
+  CsrView view;                    // adjacency rows iterated by the kernel
+  const uint32_t* in_degrees = nullptr;  // semantic in-degree array
+  /// Gather sources, indexed by MessageTerm::input. inputs[i] is a row-major
+  /// [num_nodes, num_feats] array read at the producer vertex.
+  const float* const* inputs = nullptr;
+  /// Row-side features for the self term (usually inputs[self_input]).
+  const float* self_features = nullptr;
+  const float* edge_weights = nullptr;   // indexed by eid; may be null
+  float* out = nullptr;                  // [num_nodes, num_feats], overwritten
+  /// Max aggregation forward: records the winning producer id per
+  /// (vertex, feature) cell (kSpace when no candidate existed).
+  uint32_t* argmax_out = nullptr;
+  /// Max-backward: the argmax recorded by the matching forward launch.
+  const uint32_t* argmax_in = nullptr;
+  uint32_t num_feats = 0;
+  /// true  → forward  (rows are consumers; producer is the column)
+  /// false → backward (rows are producers; consumer is the column)
+  bool producer_is_col = true;
+};
+
+void run_kernel(const KernelSpec& spec, const KernelArgs& args);
+
+/// Feature-size threshold at which the scheduler switches from
+/// vertex-per-item to (vertex × feature-tile) work shaping.
+inline constexpr uint32_t kFeatureTileThreshold = 64;
+inline constexpr uint32_t kFeatureTile = 32;
+
+}  // namespace stgraph::compiler

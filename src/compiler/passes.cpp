@@ -1,0 +1,114 @@
+#include "compiler/passes.hpp"
+
+#include <algorithm>
+
+namespace stgraph::compiler {
+namespace {
+
+// Fold kConst factors of a coef product into a single leading constant;
+// non-const factors keep their order (they commute, but stable order keeps
+// pass output deterministic and comparable).
+std::vector<Coef> fold_product(const std::vector<Coef>& coefs) {
+  float c = 1.0f;
+  std::vector<Coef> rest;
+  for (const Coef& k : coefs) {
+    if (k.kind == CoefKind::kConst) {
+      c *= k.value;
+    } else {
+      rest.push_back(k);
+    }
+  }
+  std::vector<Coef> out;
+  if (c != 1.0f || rest.empty()) out.push_back(Coef{CoefKind::kConst, c});
+  out.insert(out.end(), rest.begin(), rest.end());
+  return out;
+}
+
+float leading_const(const std::vector<Coef>& coefs) {
+  return (!coefs.empty() && coefs[0].kind == CoefKind::kConst) ? coefs[0].value
+                                                               : 1.0f;
+}
+
+// Non-const tail of a folded product (for structural comparison).
+std::vector<Coef> non_const(const std::vector<Coef>& coefs) {
+  std::vector<Coef> out;
+  for (const Coef& k : coefs)
+    if (k.kind != CoefKind::kConst) out.push_back(k);
+  return out;
+}
+
+}  // namespace
+
+Program fold_constants(Program p) {
+  for (MessageTerm& t : p.terms) t.coefs = fold_product(t.coefs);
+  if (p.include_self) p.self_coefs = fold_product(p.self_coefs);
+  return p;
+}
+
+Program lower_mean(Program p) {
+  if (p.agg != AggKind::kMean) return p;
+  p.agg = AggKind::kSum;
+  for (MessageTerm& t : p.terms)
+    t.coefs.push_back(Coef{CoefKind::kInvDegree, 1.0f});
+  // The self term is not part of the neighbor mean; it is unchanged.
+  return p;
+}
+
+Program dedup_terms(Program p) {
+  // Additive-term merging is only sound for sum aggregation; max treats
+  // terms as independent candidates.
+  if (p.agg == AggKind::kMax) return p;
+  std::vector<MessageTerm> merged;
+  std::vector<float> consts;
+  for (const MessageTerm& t : p.terms) {
+    const std::vector<Coef> tail = non_const(t.coefs);
+    const float c = leading_const(fold_product(t.coefs));
+    bool found = false;
+    for (size_t i = 0; i < merged.size(); ++i) {
+      if (merged[i].input == t.input && non_const(merged[i].coefs) == tail) {
+        consts[i] += c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      merged.push_back(t);
+      consts.push_back(c);
+    }
+  }
+  for (size_t i = 0; i < merged.size(); ++i) {
+    std::vector<Coef> coefs;
+    coefs.push_back(Coef{CoefKind::kConst, consts[i]});
+    const std::vector<Coef> tail = non_const(merged[i].coefs);
+    coefs.insert(coefs.end(), tail.begin(), tail.end());
+    merged[i].coefs = fold_product(coefs);
+  }
+  p.terms = std::move(merged);
+  return p;
+}
+
+Program eliminate_dead_terms(Program p) {
+  // A zero-coefficient candidate still participates in a max (it
+  // contributes 0), so the pass only applies to sum aggregation.
+  if (p.agg == AggKind::kMax) return p;
+  auto dead = [](const MessageTerm& t) {
+    return leading_const(t.coefs) == 0.0f;
+  };
+  p.terms.erase(std::remove_if(p.terms.begin(), p.terms.end(), dead),
+                p.terms.end());
+  if (p.include_self && leading_const(p.self_coefs) == 0.0f) {
+    p.include_self = false;
+    p.self_coefs.clear();
+  }
+  return p;
+}
+
+Program optimize(Program p) {
+  p = lower_mean(std::move(p));
+  p = fold_constants(std::move(p));
+  p = dedup_terms(std::move(p));
+  p = eliminate_dead_terms(std::move(p));
+  return p;
+}
+
+}  // namespace stgraph::compiler

@@ -1,0 +1,26 @@
+// Optimization passes over the vertex-program IR, mirroring Seastar's
+// pipeline of IR rewrites before CUDA code generation:
+//
+//  * constant folding      — collapse products of kConst coefficients,
+//  * mean lowering         — rewrite mean aggregation as sum with an
+//                            InvDegree coefficient so there is one fused
+//                            kernel shape,
+//  * term deduplication    — merge additive terms with identical coefs and
+//                            input (their constants add),
+//  * dead term elimination — drop terms whose folded constant is zero.
+#pragma once
+
+#include "compiler/ir.hpp"
+
+namespace stgraph::compiler {
+
+/// Run the full pass pipeline; idempotent.
+Program optimize(Program p);
+
+// Individual passes (exposed for pass unit tests).
+Program fold_constants(Program p);
+Program lower_mean(Program p);
+Program dedup_terms(Program p);
+Program eliminate_dead_terms(Program p);
+
+}  // namespace stgraph::compiler

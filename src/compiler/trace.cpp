@@ -1,0 +1,56 @@
+#include "compiler/trace.hpp"
+
+#include "util/check.hpp"
+
+namespace stgraph::compiler {
+
+AggExpr& AggExpr::with_self_loop(const CoefExpr& coef, int input) {
+  has_self_ = true;
+  self_coef_ = coef;
+  self_input_ = input;
+  return *this;
+}
+
+AggExpr& AggExpr::scaled(float s) {
+  scale_ *= s;
+  return *this;
+}
+
+MsgExpr VertexContext::src_feature(int i) const {
+  STG_CHECK(i >= 0, "feature input slot must be non-negative");
+  MessageTerm t;
+  t.input = i;
+  return MsgExpr({t});
+}
+
+CoefExpr VertexContext::gcn_norm() const {
+  return CoefExpr({Coef{CoefKind::kGcnNorm, 1.0f}});
+}
+CoefExpr VertexContext::inv_degree() const {
+  return CoefExpr({Coef{CoefKind::kInvDegree, 1.0f}});
+}
+CoefExpr VertexContext::inv_degree_p1() const {
+  return CoefExpr({Coef{CoefKind::kInvDegreeP1, 1.0f}});
+}
+CoefExpr VertexContext::edge_weight() const {
+  return CoefExpr({Coef{CoefKind::kEdgeWeight, 1.0f}});
+}
+CoefExpr VertexContext::constant(float c) const {
+  return CoefExpr({Coef{CoefKind::kConst, c}});
+}
+
+Program trace(const std::function<AggExpr(VertexContext&)>& fn) {
+  VertexContext ctx;
+  AggExpr agg = fn(ctx);
+  Program p;
+  p.agg = agg.kind();
+  p.terms = agg.msg().terms();
+  STG_CHECK(!p.terms.empty(), "vertex program aggregates an empty message");
+  p.include_self = agg.has_self();
+  p.self_coefs = agg.self_coef().coefs();
+  p.self_input = agg.self_input();
+  p.out_scale = agg.scale();
+  return p;
+}
+
+}  // namespace stgraph::compiler

@@ -1,0 +1,110 @@
+// Vertex-centric tracing frontend — STGraph's analogue of Seastar's
+// Python-level operator tracing. The user writes a function over a
+// VertexContext using symbolic values; executing it once records the
+// Program IR (no feature data is touched during tracing).
+//
+// Example (the GCN aggregation used by the TGCN layer):
+//
+//   Program p = trace([](VertexContext& v) {
+//     auto msg = v.gcn_norm() * v.src_feature(0);
+//     return v.agg_sum(msg).with_self_loop(v.gcn_norm());
+//   });
+#pragma once
+
+#include <functional>
+
+#include "compiler/ir.hpp"
+
+namespace stgraph::compiler {
+
+class VertexContext;
+
+/// Symbolic per-edge coefficient expression (product of Coefs).
+class CoefExpr {
+ public:
+  CoefExpr() = default;
+  explicit CoefExpr(std::vector<Coef> coefs) : coefs_(std::move(coefs)) {}
+  const std::vector<Coef>& coefs() const { return coefs_; }
+  friend CoefExpr operator*(const CoefExpr& a, const CoefExpr& b) {
+    std::vector<Coef> out = a.coefs_;
+    out.insert(out.end(), b.coefs_.begin(), b.coefs_.end());
+    return CoefExpr(std::move(out));
+  }
+
+ private:
+  std::vector<Coef> coefs_;
+};
+
+/// Symbolic message expression: a sum of coef·feature terms.
+class MsgExpr {
+ public:
+  MsgExpr() = default;
+  explicit MsgExpr(std::vector<MessageTerm> terms) : terms_(std::move(terms)) {}
+  const std::vector<MessageTerm>& terms() const { return terms_; }
+  friend MsgExpr operator+(const MsgExpr& a, const MsgExpr& b) {
+    std::vector<MessageTerm> out = a.terms_;
+    out.insert(out.end(), b.terms_.begin(), b.terms_.end());
+    return MsgExpr(std::move(out));
+  }
+  friend MsgExpr operator*(const CoefExpr& c, const MsgExpr& m) {
+    std::vector<MessageTerm> out = m.terms_;
+    for (MessageTerm& t : out)
+      t.coefs.insert(t.coefs.end(), c.coefs().begin(), c.coefs().end());
+    return MsgExpr(std::move(out));
+  }
+
+ private:
+  std::vector<MessageTerm> terms_;
+};
+
+/// Builder for the aggregation result; allows chaining a self-loop term
+/// and an output scale before the trace finishes.
+class AggExpr {
+ public:
+  AggExpr(AggKind kind, MsgExpr msg) : kind_(kind), msg_(std::move(msg)) {}
+  AggExpr& with_self_loop(const CoefExpr& coef, int input = 0);
+  AggExpr& scaled(float s);
+
+  AggKind kind() const { return kind_; }
+  const MsgExpr& msg() const { return msg_; }
+  bool has_self() const { return has_self_; }
+  const CoefExpr& self_coef() const { return self_coef_; }
+  int self_input() const { return self_input_; }
+  float scale() const { return scale_; }
+
+ private:
+  AggKind kind_;
+  MsgExpr msg_;
+  bool has_self_ = false;
+  CoefExpr self_coef_;
+  int self_input_ = 0;
+  float scale_ = 1.0f;
+};
+
+/// The symbolic vertex handed to the traced function.
+class VertexContext {
+ public:
+  /// Feature vector of the message-producing neighbor, input slot `i`.
+  MsgExpr src_feature(int i = 0) const;
+  /// Symmetric GCN normalization 1/sqrt((din(u)+1)(din(v)+1)).
+  CoefExpr gcn_norm() const;
+  /// 1 / din(v) — plain mean over in-neighbors.
+  CoefExpr inv_degree() const;
+  /// 1 / (din(v)+1) — mean including the self loop.
+  CoefExpr inv_degree_p1() const;
+  /// Per-edge weight w[eid].
+  CoefExpr edge_weight() const;
+  CoefExpr constant(float c) const;
+
+  AggExpr agg_sum(const MsgExpr& msg) const { return AggExpr(AggKind::kSum, msg); }
+  AggExpr agg_mean(const MsgExpr& msg) const { return AggExpr(AggKind::kMean, msg); }
+  /// Element-wise max over neighbor messages (GraphSAGE-maxpool style).
+  /// Restricted to a single message term; the forward kernel records
+  /// argmax indices that the backward pass routes gradients along.
+  AggExpr agg_max(const MsgExpr& msg) const { return AggExpr(AggKind::kMax, msg); }
+};
+
+/// Trace a vertex-centric function into Program IR.
+Program trace(const std::function<AggExpr(VertexContext&)>& fn);
+
+}  // namespace stgraph::compiler

@@ -1,0 +1,75 @@
+#include "core/executor.hpp"
+
+#include "util/check.hpp"
+
+namespace stgraph::core {
+
+TemporalExecutor::TemporalExecutor(STGraphBase& graph) : graph_(graph) {}
+
+void TemporalExecutor::begin_forward_step(uint32_t t) {
+  {
+    PhaseScope scope(positioning_timer_);
+    current_view_ = graph_.get_graph(t);
+  }
+  fwd_timestamp_ = t;
+  bwd_timestamp_.reset();
+  record("fwd t=" + std::to_string(t));
+  // No backward pass will pop during evaluation, so record snapshots only
+  // when autograd is recording.
+  if (graph_.is_dynamic() && NoGradGuard::grad_enabled()) {
+    graph_stack_.push(t);
+    record("push graph t=" + std::to_string(t));
+  }
+}
+
+const SnapshotView& TemporalExecutor::forward_view() const {
+  STG_CHECK(fwd_timestamp_.has_value(),
+            "forward_view() before begin_forward_step()");
+  return current_view_;
+}
+
+uint32_t TemporalExecutor::current_forward_timestamp() const {
+  STG_CHECK(fwd_timestamp_.has_value(), "no forward step in progress");
+  return *fwd_timestamp_;
+}
+
+StateStack::Ticket TemporalExecutor::save_for_backward(
+    std::vector<Tensor> pruned, std::vector<Tensor> unpruned) {
+  const StateStack::Ticket ticket = state_stack_.push(
+      state_pruning_ ? std::move(pruned) : std::move(unpruned));
+  record("push state #" + std::to_string(ticket));
+  return ticket;
+}
+
+const SnapshotView& TemporalExecutor::backward_view(uint32_t t) {
+  if (bwd_timestamp_ == t) return current_view_;  // sibling node, same step
+  record("bwd t=" + std::to_string(t));
+  if (graph_.is_dynamic()) {
+    const uint32_t popped = graph_stack_.pop();
+    STG_CHECK(popped == t, "Graph Stack returned snapshot ", popped,
+              " for backward step of timestamp ", t,
+              " — forward/backward order mismatch");
+    record("pop graph t=" + std::to_string(popped));
+  }
+  {
+    PhaseScope scope(positioning_timer_);
+    current_view_ = graph_.get_backward_graph(t);
+  }
+  bwd_timestamp_ = t;
+  fwd_timestamp_.reset();
+  return current_view_;
+}
+
+std::vector<Tensor> TemporalExecutor::retrieve_saved(StateStack::Ticket ticket) {
+  record("pop state #" + std::to_string(ticket));
+  return state_stack_.pop(ticket);
+}
+
+void TemporalExecutor::verify_drained() const {
+  STG_CHECK(state_stack_.empty(), "State Stack not drained: depth ",
+            state_stack_.depth());
+  STG_CHECK(graph_stack_.empty(), "Graph Stack not drained: depth ",
+            graph_stack_.depth());
+}
+
+}  // namespace stgraph::core

@@ -1,0 +1,19 @@
+#include "core/graph_stack.hpp"
+
+#include "util/check.hpp"
+
+namespace stgraph::core {
+
+uint32_t GraphStack::pop() {
+  STG_CHECK(!stack_.empty(), "Graph Stack pop on empty stack");
+  const uint32_t t = stack_.back();
+  stack_.pop_back();
+  return t;
+}
+
+uint32_t GraphStack::top() const {
+  STG_CHECK(!stack_.empty(), "Graph Stack top on empty stack");
+  return stack_.back();
+}
+
+}  // namespace stgraph::core

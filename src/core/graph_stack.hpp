@@ -1,0 +1,24 @@
+// Graph Stack (paper §V-B): for DTDGs the executor records which snapshot
+// (timestamp) each forward step used, so the corresponding backward step
+// re-materializes the same snapshot. Static-temporal graphs never touch
+// it (Algorithm 1: "if G is DTDG").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stgraph::core {
+
+class GraphStack {
+ public:
+  void push(uint32_t timestamp) { stack_.push_back(timestamp); }
+  uint32_t pop();
+  uint32_t top() const;
+  bool empty() const { return stack_.empty(); }
+  std::size_t depth() const { return stack_.size(); }
+
+ private:
+  std::vector<uint32_t> stack_;
+};
+
+}  // namespace stgraph::core

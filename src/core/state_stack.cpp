@@ -1,0 +1,36 @@
+#include "core/state_stack.hpp"
+
+#include "util/check.hpp"
+
+namespace stgraph::core {
+
+StateStack::Ticket StateStack::push(std::vector<Tensor> tensors) {
+  const Ticket ticket = next_ticket_++;
+  entries_.push_back(Entry{ticket, std::move(tensors)});
+  peak_bytes_ = std::max(peak_bytes_, device_bytes());
+  return ticket;
+}
+
+std::vector<Tensor> StateStack::pop(Ticket expected) {
+  STG_CHECK(!entries_.empty(), "State Stack pop on empty stack (ticket ",
+            expected, ")");
+  STG_CHECK(entries_.back().ticket == expected,
+            "State Stack LIFO discipline violated: top ticket ",
+            entries_.back().ticket, ", popped ", expected,
+            " — forward/backward timestamp order mismatch");
+  std::vector<Tensor> out = std::move(entries_.back().tensors);
+  entries_.pop_back();
+  return out;
+}
+
+std::size_t StateStack::device_bytes() const {
+  std::size_t total = 0;
+  for (const Entry& e : entries_) {
+    for (const Tensor& t : e.tensors) {
+      if (t.defined()) total += static_cast<std::size_t>(t.numel()) * sizeof(float);
+    }
+  }
+  return total;
+}
+
+}  // namespace stgraph::core

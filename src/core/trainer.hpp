@@ -1,0 +1,66 @@
+// STGraph-Training (Algorithm 1): sequence-chunked TGNN training over a
+// temporally-aware executor.
+//
+// Per sequence: the forward loop positions the graph object per timestamp
+// (pushing DTDG snapshots onto the Graph Stack), layers push saved state
+// onto the State Stack, and the accumulated loss is backpropagated — the
+// autograd engine visits timestamps in LIFO order, so the executor's
+// stacks drain exactly in reverse, which verify_drained() asserts after
+// every sequence.
+#pragma once
+
+#include <memory>
+
+#include "core/executor.hpp"
+#include "datasets/signal.hpp"
+#include "nn/models.hpp"
+#include "nn/optim.hpp"
+
+namespace stgraph::core {
+
+enum class Task { kNodeRegression, kLinkPrediction };
+
+struct TrainConfig {
+  uint32_t epochs = 1;
+  uint32_t sequence_length = 8;
+  float lr = 1e-2f;
+  Task task = Task::kNodeRegression;
+  /// State-Stack backward-needs pruning (Figure 6 ablation switch).
+  bool state_pruning = true;
+};
+
+struct EpochStats {
+  double loss = 0.0;                  // mean per-timestamp loss
+  double seconds = 0.0;               // wall clock for the epoch
+  double graph_update_seconds = 0.0;  // Figure 9: snapshot construction
+  double gnn_seconds = 0.0;           // Figure 9: everything else
+};
+
+class STGraphTrainer {
+ public:
+  STGraphTrainer(STGraphBase& graph, nn::TemporalModel& model,
+                 const datasets::TemporalSignal& signal, TrainConfig config);
+
+  /// One full training epoch (all sequences); returns stats.
+  EpochStats train_epoch();
+
+  /// Run `config.epochs` epochs; returns per-epoch stats.
+  std::vector<EpochStats> train();
+
+  /// Mean per-timestamp loss without training (evaluation pass).
+  double evaluate();
+
+  TemporalExecutor& executor() { return executor_; }
+
+ private:
+  EpochStats run_epoch(bool training);
+
+  STGraphBase& graph_;
+  nn::TemporalModel& model_;
+  const datasets::TemporalSignal& signal_;
+  TrainConfig config_;
+  TemporalExecutor executor_;
+  nn::Adam optimizer_;
+};
+
+}  // namespace stgraph::core

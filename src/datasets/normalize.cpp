@@ -1,0 +1,97 @@
+#include "datasets/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stgraph::datasets {
+
+NodeScaler NodeScaler::fit(const TemporalSignal& signal) {
+  STG_CHECK(signal.has_node_targets(), "NodeScaler fits target series");
+  const int64_t n = signal.targets[0].rows();
+  NodeScaler s;
+  s.mean.assign(n, 0.0f);
+  s.stddev.assign(n, 0.0f);
+  const uint32_t T = signal.num_timestamps();
+  for (uint32_t t = 0; t < T; ++t) {
+    for (int64_t v = 0; v < n; ++v) s.mean[v] += signal.targets[t].at(v, 0);
+  }
+  for (float& m : s.mean) m /= static_cast<float>(T);
+  for (uint32_t t = 0; t < T; ++t) {
+    for (int64_t v = 0; v < n; ++v) {
+      const float d = signal.targets[t].at(v, 0) - s.mean[v];
+      s.stddev[v] += d * d;
+    }
+  }
+  for (float& sd : s.stddev) {
+    sd = std::sqrt(sd / static_cast<float>(T));
+    if (sd < 1e-8f) sd = 1.0f;  // constant series: identity scaling
+  }
+  return s;
+}
+
+TemporalSignal NodeScaler::transform(const TemporalSignal& signal) const {
+  const int64_t n = static_cast<int64_t>(mean.size());
+  TemporalSignal out;
+  out.edge_weights = signal.edge_weights;
+  out.links = signal.links;
+  for (const Tensor& x : signal.features) {
+    STG_CHECK(x.rows() == n, "feature rows mismatch scaler");
+    Tensor t = Tensor::empty(x.shape());
+    for (int64_t v = 0; v < n; ++v)
+      for (int64_t f = 0; f < x.cols(); ++f)
+        t.data()[v * x.cols() + f] =
+            (x.at(v, f) - mean[v]) / stddev[v];
+    out.features.push_back(std::move(t));
+  }
+  for (const Tensor& y : signal.targets) {
+    Tensor t = Tensor::empty(y.shape());
+    for (int64_t v = 0; v < n; ++v)
+      t.data()[v] = (y.at(v, 0) - mean[v]) / stddev[v];
+    out.targets.push_back(std::move(t));
+  }
+  return out;
+}
+
+Tensor NodeScaler::inverse(const Tensor& pred) const {
+  STG_CHECK(pred.dim() == 2 && pred.cols() == 1 &&
+                pred.rows() == static_cast<int64_t>(mean.size()),
+            "inverse expects [N, 1] predictions");
+  Tensor out = Tensor::empty(pred.shape());
+  for (int64_t v = 0; v < pred.rows(); ++v)
+    out.data()[v] = pred.at(v, 0) * stddev[v] + mean[v];
+  return out;
+}
+
+MinMaxScaler MinMaxScaler::fit(const TemporalSignal& signal) {
+  STG_CHECK(!signal.features.empty(), "empty signal");
+  MinMaxScaler s;
+  s.min = signal.features[0].at(0);
+  s.max = s.min;
+  for (const Tensor& x : signal.features) {
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      s.min = std::min(s.min, x.at(i));
+      s.max = std::max(s.max, x.at(i));
+    }
+  }
+  if (s.max - s.min < 1e-12f) s.max = s.min + 1.0f;
+  return s;
+}
+
+TemporalSignal MinMaxScaler::transform(const TemporalSignal& signal) const {
+  TemporalSignal out;
+  out.edge_weights = signal.edge_weights;
+  out.targets = signal.targets;
+  out.links = signal.links;
+  const float range = max - min;
+  for (const Tensor& x : signal.features) {
+    Tensor t = Tensor::empty(x.shape());
+    for (int64_t i = 0; i < x.numel(); ++i)
+      t.data()[i] = (x.at(i) - min) / range;
+    out.features.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace stgraph::datasets

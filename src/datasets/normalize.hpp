@@ -1,0 +1,37 @@
+// Signal normalization — PyG-T's bundled datasets ship z-score
+// standardized; these utilities provide the same preprocessing for
+// user-supplied signals, with the inverse transform for reporting
+// predictions in original units.
+#pragma once
+
+#include "datasets/signal.hpp"
+
+namespace stgraph::datasets {
+
+/// Per-node affine normalization parameters: x' = (x - mean) / std.
+struct NodeScaler {
+  std::vector<float> mean;  // per node
+  std::vector<float> stddev;
+
+  /// Fit per-node statistics over all timestamps of the TARGET series
+  /// (the quantity being forecast).
+  static NodeScaler fit(const TemporalSignal& signal);
+
+  /// Normalized copy of the signal (features AND targets, per node).
+  TemporalSignal transform(const TemporalSignal& signal) const;
+
+  /// Map a prediction tensor [N, 1] back to original units.
+  Tensor inverse(const Tensor& pred) const;
+};
+
+/// Global min-max scaling of features to [0, 1] (fit over all
+/// timestamps); common for bounded sensor signals.
+struct MinMaxScaler {
+  float min = 0.0f;
+  float max = 1.0f;
+
+  static MinMaxScaler fit(const TemporalSignal& signal);
+  TemporalSignal transform(const TemporalSignal& signal) const;
+};
+
+}  // namespace stgraph::datasets

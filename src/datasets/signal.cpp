@@ -1,0 +1,43 @@
+#include "datasets/signal.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stgraph::datasets {
+
+std::pair<TemporalSignal, TemporalSignal> temporal_signal_split(
+    const TemporalSignal& signal, double train_ratio) {
+  STG_CHECK(train_ratio > 0.0 && train_ratio < 1.0,
+            "train_ratio must be in (0, 1)");
+  const uint32_t total = signal.num_timestamps();
+  STG_CHECK(total >= 2, "need at least two timestamps to split");
+  const uint32_t cut = std::clamp<uint32_t>(
+      static_cast<uint32_t>(total * train_ratio), 1, total - 1);
+  TemporalSignal train, test;
+  train.edge_weights = signal.edge_weights;
+  test.edge_weights = signal.edge_weights;
+  for (uint32_t t = 0; t < total; ++t) {
+    TemporalSignal& dst = t < cut ? train : test;
+    dst.features.push_back(signal.features[t]);
+    if (signal.has_node_targets()) dst.targets.push_back(signal.targets[t]);
+    if (signal.has_link_samples()) dst.links.push_back(signal.links[t]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+std::size_t TemporalSignal::device_bytes() const {
+  std::size_t total = edge_weights.size() * sizeof(float);
+  for (const Tensor& t : features)
+    total += static_cast<std::size_t>(t.numel()) * sizeof(float);
+  for (const Tensor& t : targets)
+    total += static_cast<std::size_t>(t.numel()) * sizeof(float);
+  for (const LinkSamples& l : links) {
+    total += (l.src.size() + l.dst.size()) * sizeof(uint32_t);
+    if (l.labels.defined())
+      total += static_cast<std::size_t>(l.labels.numel()) * sizeof(float);
+  }
+  return total;
+}
+
+}  // namespace stgraph::datasets

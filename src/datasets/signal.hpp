@@ -1,0 +1,53 @@
+// Temporal signal containers — the analogue of PyG-T's
+// StaticGraphTemporalSignal / DynamicGraphTemporalSignal iterators. A
+// signal carries, per timestamp, the node features the model consumes and
+// the supervision targets of the benchmark task (node regression for
+// static-temporal graphs, link prediction for DTDGs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace stgraph::datasets {
+
+/// Positive + negative vertex pairs with 0/1 labels for one timestamp's
+/// link-prediction step.
+struct LinkSamples {
+  std::vector<uint32_t> src;
+  std::vector<uint32_t> dst;
+  Tensor labels;  // [P], 1 for positive pairs, 0 for sampled negatives
+};
+
+/// Per-timestamp features + targets over a fixed node set.
+struct TemporalSignal {
+  std::vector<Tensor> features;       // T × [N, F]
+  std::vector<Tensor> targets;        // node regression: T × [N, 1]
+  std::vector<LinkSamples> links;     // link prediction: T entries
+  /// Static graphs: per-edge weights shared by all timestamps, indexed by
+  /// the edge labels both CSRs share. Empty when unweighted.
+  std::vector<float> edge_weights;
+
+  uint32_t num_timestamps() const {
+    return static_cast<uint32_t>(features.size());
+  }
+  int64_t feature_size() const {
+    return features.empty() ? 0 : features[0].cols();
+  }
+  bool has_node_targets() const { return !targets.empty(); }
+  bool has_link_samples() const { return !links.empty(); }
+
+  std::size_t device_bytes() const;
+};
+
+/// Temporal split at `train_ratio` of the timestamps (PyG-T's
+/// temporal_signal_split): the first part trains, the remainder
+/// evaluates. Tensors are shared, not copied; static edge weights are
+/// carried into both halves.
+std::pair<TemporalSignal, TemporalSignal> temporal_signal_split(
+    const TemporalSignal& signal, double train_ratio);
+
+}  // namespace stgraph::datasets

@@ -1,0 +1,352 @@
+#include "datasets/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph::datasets {
+namespace {
+
+uint32_t scaled(uint32_t base, double scale, uint32_t minimum = 4) {
+  return std::max(minimum,
+                  static_cast<uint32_t>(std::llround(base * scale)));
+}
+
+uint64_t pack(uint32_t s, uint32_t d) {
+  return (static_cast<uint64_t>(s) << 32) | d;
+}
+
+class ZipfSampler;
+EdgeList zipf_graph(uint32_t n, std::size_t target_edges, Rng& rng);
+
+/// Directed graph with heavy-tailed degrees — the hyperlink-graph shape of
+/// WVM. Implemented with Zipf-popular endpoints (see ZipfSampler below).
+EdgeList preferential_attachment(uint32_t n, std::size_t target_edges,
+                                 Rng& rng) {
+  STG_CHECK(n >= 2, "need at least two nodes");
+  return zipf_graph(n, target_edges, rng);
+}
+
+/// Complete directed graph including self pairs excluded (n·(n-1) edges) —
+/// plus self pairs if `with_self` to hit exact n² counts like WO/PM.
+EdgeList complete_graph(uint32_t n, bool with_self) {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * n);
+  for (uint32_t s = 0; s < n; ++s)
+    for (uint32_t d = 0; d < n; ++d) {
+      if (!with_self && s == d) continue;
+      edges.emplace_back(s, d);
+    }
+  return edges;
+}
+
+/// Ring of n nodes plus random chords until the edge target is met (county
+/// adjacency shape for HC).
+EdgeList ring_with_chords(uint32_t n, std::size_t target_edges, Rng& rng) {
+  EdgeList edges;
+  std::unordered_set<uint64_t> seen;
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint32_t w = (v + 1) % n;
+    edges.emplace_back(v, w);
+    edges.emplace_back(w, v);
+    seen.insert(pack(v, w));
+    seen.insert(pack(w, v));
+  }
+  std::size_t attempts = 0;
+  while (edges.size() < target_edges && attempts++ < target_edges * 50) {
+    const uint32_t s = static_cast<uint32_t>(rng.next_below(n));
+    const uint32_t d = static_cast<uint32_t>(rng.next_below(n));
+    if (s == d || !seen.insert(pack(s, d)).second) continue;
+    edges.emplace_back(s, d);
+  }
+  return edges;
+}
+
+/// Chain of stops with occasional transfer links (MB's 675-node / 690-edge
+/// near-tree shape).
+EdgeList bus_network(uint32_t n, std::size_t target_edges, Rng& rng) {
+  EdgeList edges;
+  for (uint32_t v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  std::unordered_set<uint64_t> seen;
+  for (const auto& [s, d] : edges) seen.insert(pack(s, d));
+  std::size_t attempts = 0;
+  while (edges.size() < target_edges && attempts++ < target_edges * 50) {
+    const uint32_t s = static_cast<uint32_t>(rng.next_below(n));
+    const uint32_t d = static_cast<uint32_t>(rng.next_below(n));
+    if (s == d || !seen.insert(pack(s, d)).second) continue;
+    edges.emplace_back(s, d);
+  }
+  return edges;
+}
+
+/// Zipf endpoint sampler: node popularity ∝ rank^(-alpha) under an
+/// independent random rank permutation, giving the heavy-tailed degree
+/// distributions of the SNAP interaction networks.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double alpha, Rng& rng) : perm_(n) {
+    cum_.reserve(n);
+    double total = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      total += std::pow(static_cast<double>(i + 1), -alpha);
+      cum_.push_back(total);
+    }
+    for (uint32_t i = 0; i < n; ++i) perm_[i] = i;
+    rng.shuffle(perm_);
+  }
+  uint32_t sample(Rng& rng) const {
+    const double u = rng.next_double() * cum_.back();
+    const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+    const auto rank = static_cast<std::size_t>(it - cum_.begin());
+    return perm_[std::min(rank, perm_.size() - 1)];
+  }
+
+ private:
+  std::vector<double> cum_;
+  std::vector<uint32_t> perm_;
+};
+
+/// Unique-edge Zipf graph: sample endpoints until `target_edges` distinct
+/// directed edges exist (or the attempt budget runs out on dense corners).
+EdgeList zipf_graph(uint32_t n, std::size_t target_edges, Rng& rng) {
+  const ZipfSampler src_sampler(n, 0.8, rng);
+  const ZipfSampler dst_sampler(n, 0.9, rng);
+  EdgeList edges;
+  edges.reserve(target_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(target_edges * 2);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_edges * 40;
+  while (edges.size() < target_edges && attempts++ < max_attempts) {
+    const uint32_t s = src_sampler.sample(rng);
+    const uint32_t d = dst_sampler.sample(rng);
+    if (s == d || !seen.insert(pack(s, d)).second) continue;
+    edges.emplace_back(s, d);
+  }
+  return edges;
+}
+
+/// Time-ordered interaction stream with Zipf-popular endpoints and
+/// repeated interactions (SNAP temporal network shape).
+EdgeList interaction_stream(uint32_t n, std::size_t events, Rng& rng) {
+  EdgeList stream;
+  stream.reserve(events);
+  // Separate popularity orders for sources and destinations: question
+  // askers and answerers are distinct hub sets in the sx-* networks.
+  const ZipfSampler src_sampler(n, 0.85, rng);
+  const ZipfSampler dst_sampler(n, 0.85, rng);
+  for (std::size_t e = 0; e < events; ++e) {
+    const uint32_t s = src_sampler.sample(rng);
+    uint32_t d = dst_sampler.sample(rng);
+    if (s == d) d = (d + 1) % n;
+    stream.emplace_back(s, d);
+  }
+  return stream;
+}
+
+/// Row-normalized adjacency step of the diffusion process used to
+/// synthesize learnable static-temporal signals.
+std::vector<float> diffuse(const std::vector<float>& s, uint32_t n,
+                           const EdgeList& edges,
+                           const std::vector<uint32_t>& in_deg) {
+  std::vector<float> out(n, 0.0f);
+  for (const auto& [u, v] : edges) out[v] += s[u] / static_cast<float>(in_deg[v]);
+  return out;
+}
+
+StaticTemporalDataset finish_static(std::string name, uint32_t n,
+                                    EdgeList edges,
+                                    const StaticLoadOptions& opts) {
+  StaticTemporalDataset ds;
+  ds.name = std::move(name);
+  ds.num_nodes = n;
+  ds.edges = std::move(edges);
+  ds.num_timestamps = opts.num_timestamps;
+  ds.signal = make_static_signal(ds, opts.feature_size, opts.seed);
+  return ds;
+}
+
+}  // namespace
+
+TemporalSignal make_static_signal(const StaticTemporalDataset& ds,
+                                  int64_t feature_size, uint64_t seed) {
+  STG_CHECK(feature_size >= 1, "feature size must be positive");
+  Rng rng(seed ^ 0x57474e4eULL);
+  const uint32_t n = ds.num_nodes;
+  const uint32_t T = ds.num_timestamps;
+  const int64_t F = feature_size;
+
+  std::vector<uint32_t> in_deg(n, 1);  // +1 avoids division by zero
+  for (const auto& [u, v] : ds.edges) ++in_deg[v];
+
+  // Run the diffusion process for F warm-up lags + T steps + 1 target step.
+  std::vector<std::vector<float>> series;
+  series.reserve(F + T + 1);
+  std::vector<float> s(n);
+  for (uint32_t v = 0; v < n; ++v) s[v] = rng.normal(0.0f, 1.0f);
+  series.push_back(s);
+  for (int64_t step = 1; step < F + T + 1; ++step) {
+    std::vector<float> next = diffuse(series.back(), n, ds.edges, in_deg);
+    const float seasonal =
+        0.3f * std::sin(2.0f * static_cast<float>(M_PI) * step / 24.0f);
+    for (uint32_t v = 0; v < n; ++v) {
+      next[v] = 0.7f * next[v] + 0.2f * series.back()[v] + seasonal +
+                0.05f * rng.normal();
+    }
+    series.push_back(std::move(next));
+  }
+
+  TemporalSignal signal;
+  signal.features.reserve(T);
+  signal.targets.reserve(T);
+  for (uint32_t t = 0; t < T; ++t) {
+    // Features: lags s_{t}, s_{t+1}, ..., s_{t+F-1}; target: s_{t+F}.
+    std::vector<float> feat(static_cast<std::size_t>(n) * F);
+    for (uint32_t v = 0; v < n; ++v)
+      for (int64_t l = 0; l < F; ++l)
+        feat[static_cast<std::size_t>(v) * F + l] = series[t + l][v];
+    signal.features.push_back(
+        Tensor::from_vector(feat, {n, F}));
+    std::vector<float> target(n);
+    for (uint32_t v = 0; v < n; ++v) target[v] = series[t + F][v];
+    signal.targets.push_back(Tensor::from_vector(target, {n, 1}));
+  }
+  // Edge weights in (0.5, 1.5) — exercised through the shared edge labels.
+  signal.edge_weights.resize(ds.edges.size());
+  for (float& w : signal.edge_weights) w = rng.uniform(0.5f, 1.5f);
+  return signal;
+}
+
+StaticTemporalDataset load_wikimath(const StaticLoadOptions& opts) {
+  Rng rng(opts.seed ^ 0x01);
+  const uint32_t n = scaled(1068, opts.scale);
+  const std::size_t m = static_cast<std::size_t>(27000 * opts.scale);
+  return finish_static("WVM", n, preferential_attachment(n, m, rng), opts);
+}
+
+StaticTemporalDataset load_windmill(const StaticLoadOptions& opts) {
+  const uint32_t n = scaled(319, opts.scale);
+  return finish_static("WO", n, complete_graph(n, /*with_self=*/true), opts);
+}
+
+StaticTemporalDataset load_chickenpox(const StaticLoadOptions& opts) {
+  Rng rng(opts.seed ^ 0x03);
+  const uint32_t n = scaled(20, opts.scale);
+  const std::size_t m = static_cast<std::size_t>(102 * opts.scale);
+  return finish_static("HC", n, ring_with_chords(n, std::max<std::size_t>(m, 2 * n), rng),
+                       opts);
+}
+
+StaticTemporalDataset load_montevideo_bus(const StaticLoadOptions& opts) {
+  Rng rng(opts.seed ^ 0x04);
+  const uint32_t n = scaled(675, opts.scale);
+  const std::size_t m = static_cast<std::size_t>(690 * opts.scale);
+  return finish_static("MB", n, bus_network(n, std::max<std::size_t>(m, n), rng), opts);
+}
+
+StaticTemporalDataset load_pedalme(const StaticLoadOptions& opts) {
+  const uint32_t n = scaled(15, opts.scale);
+  return finish_static("PM", n, complete_graph(n, /*with_self=*/true), opts);
+}
+
+std::vector<StaticTemporalDataset> load_all_static(
+    const StaticLoadOptions& opts) {
+  std::vector<StaticTemporalDataset> out;
+  out.push_back(load_wikimath(opts));
+  out.push_back(load_windmill(opts));
+  out.push_back(load_chickenpox(opts));
+  out.push_back(load_montevideo_bus(opts));
+  out.push_back(load_pedalme(opts));
+  return out;
+}
+
+namespace {
+DynamicDataset make_dynamic(std::string name, uint32_t nodes,
+                            std::size_t events, const DynamicLoadOptions& opts,
+                            uint64_t salt) {
+  Rng rng(opts.seed ^ salt);
+  DynamicDataset ds;
+  ds.name = std::move(name);
+  ds.num_nodes = scaled(nodes, opts.scale, 16);
+  ds.stream = interaction_stream(
+      ds.num_nodes, static_cast<std::size_t>(events * opts.scale), rng);
+  return ds;
+}
+}  // namespace
+
+DynamicDataset load_wiki_talk(const DynamicLoadOptions& opts) {
+  // Pruned to the first 2M interactions in the paper (Table II footnote).
+  return make_dynamic("wiki-talk-temporal", 120000, 2000000, opts, 0x10);
+}
+DynamicDataset load_sx_superuser(const DynamicLoadOptions& opts) {
+  return make_dynamic("sx-superuser", 194000, 1443000, opts, 0x11);
+}
+DynamicDataset load_sx_stackoverflow(const DynamicLoadOptions& opts) {
+  return make_dynamic("sx-stackoverflow", 194000, 2000000, opts, 0x12);
+}
+DynamicDataset load_sx_mathoverflow(const DynamicLoadOptions& opts) {
+  return make_dynamic("sx-mathoverflow", 24000, 506000, opts, 0x13);
+}
+DynamicDataset load_reddit_title(const DynamicLoadOptions& opts) {
+  return make_dynamic("reddit-title", 55000, 858000, opts, 0x14);
+}
+
+std::vector<DynamicDataset> load_all_dynamic(const DynamicLoadOptions& opts) {
+  std::vector<DynamicDataset> out;
+  out.push_back(load_wiki_talk(opts));
+  out.push_back(load_sx_superuser(opts));
+  out.push_back(load_sx_stackoverflow(opts));
+  out.push_back(load_sx_mathoverflow(opts));
+  out.push_back(load_reddit_title(opts));
+  return out;
+}
+
+DtdgEvents make_dtdg(const DynamicDataset& ds, double percent_change) {
+  return window_edge_stream(ds.num_nodes, ds.stream, percent_change);
+}
+
+TemporalSignal make_dynamic_signal(const DtdgEvents& events,
+                                   const DynamicLoadOptions& opts) {
+  Rng rng(opts.seed ^ 0x4c494e4bULL);
+  TemporalSignal signal;
+  const uint32_t n = events.num_nodes;
+  const int64_t F = opts.feature_size;
+  const uint32_t T = events.num_timestamps();
+
+  // Persistent node features (identity-like random embeddings): the same
+  // tensor handle is reused every timestamp, as PyG-T's dynamic iterators
+  // do for feature-less link datasets.
+  Tensor base = Tensor::randn({n, F}, rng, 0.5f);
+  signal.features.assign(T, base);
+
+  signal.links.reserve(T);
+  for (uint32_t t = 0; t < T; ++t) {
+    const EdgeList edges = events.snapshot_edges(t);
+    LinkSamples ls;
+    const uint32_t pos = std::min<uint32_t>(
+        opts.link_samples_per_step, static_cast<uint32_t>(edges.size()));
+    ls.src.reserve(2 * pos);
+    ls.dst.reserve(2 * pos);
+    std::vector<float> labels;
+    labels.reserve(2 * pos);
+    for (uint32_t i = 0; i < pos; ++i) {
+      const auto& [s, d] = edges[rng.next_below(edges.size())];
+      ls.src.push_back(s);
+      ls.dst.push_back(d);
+      labels.push_back(1.0f);
+    }
+    for (uint32_t i = 0; i < pos; ++i) {  // negative samples
+      ls.src.push_back(static_cast<uint32_t>(rng.next_below(n)));
+      ls.dst.push_back(static_cast<uint32_t>(rng.next_below(n)));
+      labels.push_back(0.0f);
+    }
+    ls.labels = Tensor::from_vector(labels, {static_cast<int64_t>(labels.size())});
+    signal.links.push_back(std::move(ls));
+  }
+  return signal;
+}
+
+}  // namespace stgraph::datasets

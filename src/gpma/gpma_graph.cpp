@@ -1,0 +1,263 @@
+#include "gpma/gpma_graph.hpp"
+
+#include <atomic>
+
+#include "runtime/parallel.hpp"
+#include "runtime/scan.hpp"
+#include "runtime/sort.hpp"
+#include "util/check.hpp"
+
+namespace stgraph {
+
+void reverse_gpma(uint32_t num_nodes, const DeviceBuffer<uint32_t>& row_offset,
+                  const DeviceBuffer<uint32_t>& col,
+                  const DeviceBuffer<uint32_t>& eids,
+                  const DeviceBuffer<uint32_t>& in_degrees, uint32_t num_edges,
+                  DeviceBuffer<uint32_t>& r_row_offset,
+                  DeviceBuffer<uint32_t>& r_col,
+                  DeviceBuffer<uint32_t>& r_eids) {
+  // Line 1: cursor array = inclusive prefix sum of in-degrees. Entry v
+  // marks the END of v's neighbor list; the atomic_sub scatter walks each
+  // cursor back to the list's start.
+  r_row_offset = DeviceBuffer<uint32_t>(num_nodes + 1, MemCategory::kGraph);
+  device::inclusive_scan(in_degrees.data(), r_row_offset.data(), num_nodes);
+  r_row_offset[num_nodes] = num_edges;
+  STG_CHECK(num_nodes == 0 || r_row_offset[num_nodes - 1] == num_edges,
+            "in-degree sum ", num_nodes ? r_row_offset[num_nodes - 1] : 0,
+            " != edge count ", num_edges);
+
+  // Lines 2-3: allocate output arrays.
+  r_col = DeviceBuffer<uint32_t>(num_edges, MemCategory::kGraph);
+  r_eids = DeviceBuffer<uint32_t>(num_edges, MemCategory::kGraph);
+
+  // Lines 4-16: parallel scatter over source vertices.
+  uint32_t* cursor = r_row_offset.data();
+  const uint32_t* ro = row_offset.data();
+  const uint32_t* pc = col.data();
+  const uint32_t* pe = eids.data();
+  uint32_t* rc = r_col.data();
+  uint32_t* re = r_eids.data();
+  device::parallel_for_ranges(
+      num_nodes, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const uint32_t start = ro[i];
+          const uint32_t end = ro[i + 1];
+          for (uint32_t j = start; j < end; ++j) {
+            const uint32_t dst = pc[j];
+            if (dst == kSpace) continue;  // line 10: skip gap slots
+            const uint32_t eid = pe[j];
+            // Line 11: atomic_sub so threads sharing a destination do not
+            // overwrite each other's slot.
+            std::atomic_ref<uint32_t> cell(cursor[dst]);
+            const uint32_t loc = cell.fetch_sub(1, std::memory_order_relaxed) - 1;
+            rc[loc] = static_cast<uint32_t>(i);
+            re[loc] = eid;
+          }
+        }
+      },
+      /*grain=*/256);
+  // After the scatter every cursor has walked back to its list start, so
+  // r_row_offset is exactly the reverse row-offset array.
+}
+
+GpmaGraph::GpmaGraph(const DtdgEvents& events) : num_nodes_(events.num_nodes) {
+  // Base snapshot: one batch insert of all base edges.
+  std::vector<uint64_t> base_keys;
+  base_keys.reserve(events.base_edges.size());
+  std::vector<uint32_t> in_deg(num_nodes_, 0), out_deg(num_nodes_, 0);
+  for (const auto& [s, d] : events.base_edges) {
+    base_keys.push_back(make_edge_key(s, d));
+    ++out_deg[s];
+    ++in_deg[d];
+  }
+  const std::size_t inserted = pma_.insert_batch(std::move(base_keys));
+  STG_CHECK(inserted == events.base_edges.size(),
+            "base edge list contains duplicates");
+  in_deg_ = DeviceBuffer<uint32_t>(in_deg, MemCategory::kPma);
+  out_deg_ = DeviceBuffer<uint32_t>(out_deg, MemCategory::kPma);
+
+  // Upload deltas (this is the entire per-timestamp structural storage —
+  // the memory win over NaiveGraph).
+  edges_at_.push_back(static_cast<uint32_t>(events.base_edges.size()));
+  deltas_.reserve(events.deltas.size());
+  for (const EdgeDelta& d : events.deltas) {
+    DeviceDelta dd;
+    std::vector<uint64_t> add, del;
+    add.reserve(d.additions.size());
+    del.reserve(d.deletions.size());
+    for (const auto& [s, dn] : d.additions) add.push_back(make_edge_key(s, dn));
+    for (const auto& [s, dn] : d.deletions) del.push_back(make_edge_key(s, dn));
+    dd.additions = DeviceBuffer<uint64_t>(add, MemCategory::kGraph);
+    dd.deletions = DeviceBuffer<uint64_t>(del, MemCategory::kGraph);
+    edges_at_.push_back(edges_at_.back() +
+                        static_cast<uint32_t>(add.size()) -
+                        static_cast<uint32_t>(del.size()));
+    deltas_.push_back(std::move(dd));
+  }
+  rebuild_views();
+}
+
+uint32_t GpmaGraph::num_edges_at(uint32_t t) const {
+  STG_CHECK(t < edges_at_.size(), "timestamp ", t, " out of range ",
+            edges_at_.size());
+  return edges_at_[t];
+}
+
+void GpmaGraph::apply_delta(uint32_t idx, bool forward) {
+  // Rolling forward over delta idx applies (erase deletions, insert
+  // additions); rolling backward inverts it.
+  const DeviceDelta& d = deltas_[idx];
+  const auto& to_erase = forward ? d.deletions : d.additions;
+  const auto& to_insert = forward ? d.additions : d.deletions;
+  const std::size_t erased = pma_.erase_batch(to_erase.to_host());
+  const std::size_t inserted = pma_.insert_batch(to_insert.to_host());
+  STG_CHECK(erased == to_erase.size() && inserted == to_insert.size(),
+            "delta ", idx, " did not apply cleanly (erase ", erased, "/",
+            to_erase.size(), ", insert ", inserted, "/", to_insert.size(),
+            ")");
+  // Incremental degree maintenance.
+  for (uint64_t k : to_erase) {
+    --out_deg_[edge_key_src(k)];
+    --in_deg_[edge_key_dst(k)];
+  }
+  for (uint64_t k : to_insert) {
+    ++out_deg_[edge_key_src(k)];
+    ++in_deg_[edge_key_dst(k)];
+  }
+  ++delta_replays_;
+}
+
+void GpmaGraph::save_cache() {
+  cache_pma_ = pma_.clone();
+  cache_in_deg_ = in_deg_.to_host();
+  cache_out_deg_ = out_deg_.to_host();
+  cache_time_ = curr_time_;
+}
+
+void GpmaGraph::restore_cache() {
+  pma_ = cache_pma_->clone();
+  std::copy(cache_in_deg_.begin(), cache_in_deg_.end(), in_deg_.data());
+  std::copy(cache_out_deg_.begin(), cache_out_deg_.end(), out_deg_.data());
+  curr_time_ = cache_time_;
+  views_fresh_ = false;
+}
+
+void GpmaGraph::position(uint32_t target) {
+  STG_CHECK(target < num_timestamps(), "timestamp ", target, " out of range ",
+            num_timestamps());
+  if (target == curr_time_) return;
+  if (target < curr_time_) {
+    // First backward roll of a sequence: cache the furthest-forward state
+    // so the next sequence's forward pass resumes from it instead of
+    // replaying every delta (Algorithm 2 lines 1-5 / line 10).
+    if (cache_enabled_ && (!cache_pma_ || cache_time_ < curr_time_))
+      save_cache();
+    while (curr_time_ > target) {
+      apply_delta(curr_time_ - 1, /*forward=*/false);
+      --curr_time_;
+    }
+  } else {
+    if (cache_enabled_ && cache_pma_ && cache_time_ <= target &&
+        cache_time_ > curr_time_) {
+      restore_cache();
+    }
+    while (curr_time_ < target) {
+      apply_delta(curr_time_, /*forward=*/true);
+      ++curr_time_;
+    }
+  }
+  views_fresh_ = false;
+}
+
+void GpmaGraph::rebuild_views() {
+  const std::size_t cap = pma_.capacity();
+  const uint32_t m = static_cast<uint32_t>(pma_.size());
+
+  // Single O(capacity) pass: edge relabelling in slot order (Algorithm 2
+  // line 8) + the dst/eid slot arrays + row offsets over slot positions.
+  col_ = DeviceBuffer<uint32_t>(cap, MemCategory::kPma);
+  eids_ = DeviceBuffer<uint32_t>(cap, MemCategory::kPma);
+  row_offset_ = DeviceBuffer<uint32_t>(num_nodes_ + 1, MemCategory::kPma);
+  const DeviceBuffer<uint64_t>& slots = pma_.slots();
+  uint32_t next_eid = 0;
+  uint32_t next_row = 0;
+  for (std::size_t i = 0; i < cap; ++i) {
+    if (slots[i] == Pma::kEmptyKey) {
+      col_[i] = kSpace;
+      eids_[i] = kSpace;
+      continue;
+    }
+    const uint32_t src = edge_key_src(slots[i]);
+    while (next_row <= src) row_offset_[next_row++] = static_cast<uint32_t>(i);
+    col_[i] = edge_key_dst(slots[i]);
+    eids_[i] = next_eid++;
+  }
+  while (next_row <= num_nodes_)
+    row_offset_[next_row++] = static_cast<uint32_t>(cap);
+  STG_CHECK(next_eid == m, "relabel pass saw ", next_eid, " edges, expected ", m);
+
+  // Degree-sorted processing orders (paper Figure 3 auxiliary node_ids).
+  const uint32_t* ind = in_deg_.data();
+  const uint32_t* outd = out_deg_.data();
+  fwd_order_ = DeviceBuffer<uint32_t>(
+      device::sort_indices(num_nodes_,
+                           [ind](uint32_t a, uint32_t b) { return ind[a] > ind[b]; }),
+      MemCategory::kPma);
+  bwd_order_ = DeviceBuffer<uint32_t>(
+      device::sort_indices(num_nodes_,
+                           [outd](uint32_t a, uint32_t b) { return outd[a] > outd[b]; }),
+      MemCategory::kPma);
+
+  // Algorithm 3: compacted reverse CSR for the forward pass.
+  reverse_gpma(num_nodes_, row_offset_, col_, eids_, in_deg_, m,
+               r_row_offset_, r_col_, r_eids_);
+  views_fresh_ = true;
+}
+
+SnapshotView GpmaGraph::get_graph(uint32_t t) {
+  {
+    PhaseScope scope(update_timer_);
+    position(t);
+    if (!views_fresh_) rebuild_views();
+  }
+  SnapshotView v;
+  v.num_nodes = num_nodes_;
+  v.num_edges = static_cast<uint32_t>(pma_.size());
+  // Forward pass: compacted reverse CSR (in-neighbors).
+  v.in_view.num_nodes = num_nodes_;
+  v.in_view.num_edges = v.num_edges;
+  v.in_view.row_offset = r_row_offset_.data();
+  v.in_view.col_indices = r_col_.data();
+  v.in_view.eids = r_eids_.data();
+  v.in_view.node_ids = fwd_order_.data();
+  v.in_view.has_gaps = false;
+  // Backward pass: gapped PMA arrays consumed in place.
+  v.out_view.num_nodes = num_nodes_;
+  v.out_view.num_edges = v.num_edges;
+  v.out_view.row_offset = row_offset_.data();
+  v.out_view.col_indices = col_.data();
+  v.out_view.eids = eids_.data();
+  v.out_view.node_ids = bwd_order_.data();
+  v.out_view.has_gaps = true;
+  v.in_degrees = in_deg_.data();
+  v.out_degrees = out_deg_.data();
+  return v;
+}
+
+SnapshotView GpmaGraph::get_backward_graph(uint32_t t) { return get_graph(t); }
+
+std::size_t GpmaGraph::device_bytes() const {
+  std::size_t total = pma_.device_bytes() + col_.bytes() + eids_.bytes() +
+                      row_offset_.bytes() + in_deg_.bytes() + out_deg_.bytes() +
+                      fwd_order_.bytes() + bwd_order_.bytes() +
+                      r_row_offset_.bytes() + r_col_.bytes() + r_eids_.bytes();
+  for (const DeviceDelta& d : deltas_)
+    total += d.additions.bytes() + d.deletions.bytes();
+  if (cache_pma_) {
+    total += cache_pma_->device_bytes() +
+             (cache_in_deg_.size() + cache_out_deg_.size()) * sizeof(uint32_t);
+  }
+  return total;
+}
+
+}  // namespace stgraph

@@ -1,0 +1,112 @@
+// GPMAGraph (paper §V-D): a DTDG stored as a base graph inside a Packed
+// Memory Array plus per-timestamp edge deltas. Snapshots are constructed
+// on demand:
+//
+//   * Algorithm 2 (Get-Graph): roll the PMA from its cached position to the
+//     requested timestamp by replaying (or inverting) deltas, then relabel
+//     edges 0..m-1 in slot order so forward and backward views share
+//     labels. A snapshot cache avoids replaying a whole sequence's deltas
+//     when training moves from the backward pass of one sequence to the
+//     forward pass of the next.
+//   * Algorithm 3 (Reverse-GPMA): build the compacted reverse CSR
+//     (in-neighbor view for the forward pass) straight from the gapped PMA
+//     arrays — seed the per-destination cursor array with an inclusive
+//     prefix sum of the in-degrees, then scatter in parallel with
+//     atomic_sub.
+//
+// The backward pass consumes the gapped PMA arrays directly (kernels skip
+// SPACE slots), so no out-CSR is ever materialized.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gpma/pma.hpp"
+#include "graph/dtdg.hpp"
+#include "graph/stgraph_base.hpp"
+#include "util/timer.hpp"
+
+namespace stgraph {
+
+class GpmaGraph final : public STGraphBase {
+ public:
+  explicit GpmaGraph(const DtdgEvents& events);
+
+  uint32_t num_nodes() const override { return num_nodes_; }
+  uint32_t num_edges_at(uint32_t t) const override;
+  uint32_t num_timestamps() const override {
+    return static_cast<uint32_t>(deltas_.size()) + 1;
+  }
+  bool is_dynamic() const override { return true; }
+  std::string format_name() const override { return "GPMAGraph"; }
+
+  SnapshotView get_graph(uint32_t t) override;
+  SnapshotView get_backward_graph(uint32_t t) override;
+
+  std::size_t device_bytes() const override;
+
+  /// Time spent replaying deltas + rebuilding views (Figure 9's
+  /// "graph update time").
+  PhaseTimer& update_timer() { return update_timer_; }
+
+  /// Current PMA position (exposed for tests).
+  uint32_t current_timestamp() const { return curr_time_; }
+  const Pma& pma() const { return pma_; }
+  /// Disable the Algorithm-2 snapshot cache (ablation bench).
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  uint64_t delta_replays() const { return delta_replays_; }
+
+ private:
+  struct DeviceDelta {
+    DeviceBuffer<uint64_t> additions;
+    DeviceBuffer<uint64_t> deletions;
+  };
+
+  /// Roll the PMA to timestamp `target` (Algorithm 2 core).
+  void position(uint32_t target);
+  void apply_delta(uint32_t idx, bool forward);
+  /// Relabel edges in slot order + rebuild row offsets, degree-sorted
+  /// orders and the Algorithm-3 reverse CSR.
+  void rebuild_views();
+  void save_cache();
+  void restore_cache();
+
+  uint32_t num_nodes_ = 0;
+  Pma pma_;
+  std::vector<DeviceDelta> deltas_;
+  std::vector<uint32_t> edges_at_;  // |E_t| per timestamp
+
+  // Derived per-snapshot arrays (device-resident).
+  DeviceBuffer<uint32_t> col_;         // dst per slot, kSpace for gaps
+  DeviceBuffer<uint32_t> eids_;        // edge label per slot
+  DeviceBuffer<uint32_t> row_offset_;  // V+1, into slot positions
+  DeviceBuffer<uint32_t> in_deg_, out_deg_;
+  DeviceBuffer<uint32_t> fwd_order_, bwd_order_;
+  // Algorithm-3 output.
+  DeviceBuffer<uint32_t> r_row_offset_, r_col_, r_eids_;
+
+  uint32_t curr_time_ = 0;
+  bool views_fresh_ = false;
+
+  // Algorithm-2 cache: deep PMA copy + degrees at cache_time_.
+  bool cache_enabled_ = true;
+  std::optional<Pma> cache_pma_;
+  std::vector<uint32_t> cache_in_deg_, cache_out_deg_;
+  uint32_t cache_time_ = 0;
+
+  PhaseTimer update_timer_;
+  uint64_t delta_replays_ = 0;
+};
+
+/// Algorithm 3, exposed standalone for unit tests and the ablation bench:
+/// build the compacted reverse CSR of a gapped adjacency.
+void reverse_gpma(uint32_t num_nodes, const DeviceBuffer<uint32_t>& row_offset,
+                  const DeviceBuffer<uint32_t>& col,
+                  const DeviceBuffer<uint32_t>& eids,
+                  const DeviceBuffer<uint32_t>& in_degrees, uint32_t num_edges,
+                  DeviceBuffer<uint32_t>& r_row_offset,
+                  DeviceBuffer<uint32_t>& r_col,
+                  DeviceBuffer<uint32_t>& r_eids);
+
+}  // namespace stgraph

@@ -1,0 +1,108 @@
+#include "graph/dtdg.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace stgraph {
+namespace {
+inline uint64_t edge_key(uint32_t s, uint32_t d) {
+  return (static_cast<uint64_t>(s) << 32) | d;
+}
+}  // namespace
+
+EdgeList DtdgEvents::snapshot_edges(uint32_t t) const {
+  STG_CHECK(t < num_timestamps(), "snapshot ", t, " out of range ",
+            num_timestamps());
+  // Multiset semantics are not needed: the windowing preprocessor
+  // deduplicates, so a plain map from key to multiplicity guards against
+  // malformed inputs instead.
+  std::unordered_map<uint64_t, uint32_t> present;
+  present.reserve(base_edges.size() * 2);
+  for (const auto& [s, d] : base_edges) ++present[edge_key(s, d)];
+  for (uint32_t i = 0; i < t; ++i) {
+    for (const auto& [s, d] : deltas[i].additions) ++present[edge_key(s, d)];
+    for (const auto& [s, d] : deltas[i].deletions) {
+      auto it = present.find(edge_key(s, d));
+      STG_CHECK(it != present.end() && it->second > 0,
+                "delta deletes non-existent edge (", s, ",", d, ") at t=",
+                i + 1);
+      if (--it->second == 0) present.erase(it);
+    }
+  }
+  EdgeList out;
+  out.reserve(present.size());
+  for (const auto& [key, mult] : present) {
+    for (uint32_t m = 0; m < mult; ++m)
+      out.emplace_back(static_cast<uint32_t>(key >> 32),
+                       static_cast<uint32_t>(key & 0xFFFFFFFFu));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double DtdgEvents::mean_percent_change() const {
+  if (deltas.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t size = base_edges.size();
+  for (const EdgeDelta& d : deltas) {
+    const std::size_t change = d.additions.size() + d.deletions.size();
+    total += size ? static_cast<double>(change) / static_cast<double>(size)
+                  : 0.0;
+    size += d.additions.size();
+    size -= d.deletions.size();
+  }
+  return 100.0 * total / static_cast<double>(deltas.size());
+}
+
+DtdgEvents window_edge_stream(
+    uint32_t num_nodes,
+    const std::vector<std::pair<uint32_t, uint32_t>>& stream,
+    double percent_change, double initial_fraction) {
+  STG_CHECK(percent_change > 0.0 && percent_change <= 100.0,
+            "percent_change must be in (0, 100]");
+  STG_CHECK(initial_fraction > 0.0 && initial_fraction <= 1.0,
+            "initial_fraction must be in (0, 1]");
+  STG_CHECK(!stream.empty(), "empty edge stream");
+
+  // Deduplicate the stream while preserving order: repeated interactions
+  // (common in the SNAP temporal datasets) would otherwise make window
+  // membership ambiguous.
+  std::vector<std::pair<uint32_t, uint32_t>> uniq;
+  uniq.reserve(stream.size());
+  {
+    std::unordered_map<uint64_t, bool> seen;
+    seen.reserve(stream.size() * 2);
+    for (const auto& [s, d] : stream) {
+      if (!seen.emplace(edge_key(s, d), true).second) continue;
+      uniq.emplace_back(s, d);
+    }
+  }
+
+  DtdgEvents events;
+  events.num_nodes = num_nodes;
+  const std::size_t n = uniq.size();
+  const std::size_t window =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   static_cast<double>(n) * initial_fraction));
+  const std::size_t slide = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(window) *
+                                  percent_change / 100.0 / 2.0));
+  // Each slide adds `slide` new edges and removes `slide` old ones, so the
+  // change between consecutive snapshots is 2*slide/window ≈ percent_change.
+
+  events.base_edges.assign(uniq.begin(), uniq.begin() + window);
+  std::size_t lo = 0, hi = window;
+  while (hi + slide <= n) {
+    EdgeDelta delta;
+    delta.deletions.assign(uniq.begin() + lo, uniq.begin() + lo + slide);
+    delta.additions.assign(uniq.begin() + hi, uniq.begin() + hi + slide);
+    lo += slide;
+    hi += slide;
+    events.deltas.push_back(std::move(delta));
+  }
+  return events;
+}
+
+}  // namespace stgraph

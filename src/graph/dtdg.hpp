@@ -1,0 +1,51 @@
+// Discrete-time dynamic graph event representation: a base edge set plus,
+// per subsequent timestamp, the edge additions and deletions that turn
+// snapshot t-1 into snapshot t. This is the on-disk/preprocessed format
+// both NaiveGraph (which materializes every snapshot) and GPMAGraph (which
+// replays deltas into the PMA on demand) are constructed from.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace stgraph {
+
+using EdgeList = std::vector<std::pair<uint32_t, uint32_t>>;
+
+/// Additions/deletions turning snapshot t-1 into snapshot t.
+struct EdgeDelta {
+  EdgeList additions;
+  EdgeList deletions;
+};
+
+/// Full DTDG description. timestamps = 1 + deltas.size().
+struct DtdgEvents {
+  uint32_t num_nodes = 0;
+  EdgeList base_edges;             // snapshot 0
+  std::vector<EdgeDelta> deltas;   // deltas[t-1] produces snapshot t
+
+  uint32_t num_timestamps() const {
+    return static_cast<uint32_t>(deltas.size()) + 1;
+  }
+
+  /// Materialize the edge set of snapshot t by replaying deltas (host-side;
+  /// used by NaiveGraph preprocessing and by tests as ground truth).
+  EdgeList snapshot_edges(uint32_t t) const;
+
+  /// Mean |delta| / |snapshot| over all deltas — the "percentage change"
+  /// knob of Figures 8/9.
+  double mean_percent_change() const;
+};
+
+/// Build a DtdgEvents from a timestamped edge stream using the paper's
+/// windowing rule: the first snapshot is the first `initial_fraction` of
+/// the stream; subsequent snapshots slide the window so each consecutive
+/// pair differs by `percent_change` of the window size (additions of new
+/// edges at the head, deletions of the oldest at the tail).
+DtdgEvents window_edge_stream(
+    uint32_t num_nodes,
+    const std::vector<std::pair<uint32_t, uint32_t>>& stream,
+    double percent_change, double initial_fraction = 0.5);
+
+}  // namespace stgraph

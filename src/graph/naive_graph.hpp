@@ -1,0 +1,40 @@
+// NaiveGraph (paper §V-C): every DTDG snapshot fully materialized as a
+// device-resident GraphSnapshot during preprocessing — forward CSR,
+// reverse CSR, shared edge labels, degree arrays and degree-sorted
+// node_ids all prebuilt. get_graph() is an index lookup (fastest variant);
+// the cost is O(T · (V + E)) device memory, which is what Figure 8
+// measures against GPMAGraph.
+#pragma once
+
+#include <vector>
+
+#include "graph/dtdg.hpp"
+#include "graph/stgraph_base.hpp"
+
+namespace stgraph {
+
+class NaiveGraph final : public STGraphBase {
+ public:
+  explicit NaiveGraph(const DtdgEvents& events);
+
+  uint32_t num_nodes() const override { return num_nodes_; }
+  uint32_t num_edges_at(uint32_t t) const override;
+  uint32_t num_timestamps() const override {
+    return static_cast<uint32_t>(snapshots_.size());
+  }
+  bool is_dynamic() const override { return true; }
+  std::string format_name() const override { return "NaiveGraph"; }
+
+  SnapshotView get_graph(uint32_t t) override;
+  SnapshotView get_backward_graph(uint32_t t) override;
+
+  std::size_t device_bytes() const override;
+
+  const GraphSnapshot& snapshot(uint32_t t) const;
+
+ private:
+  uint32_t num_nodes_ = 0;
+  std::vector<GraphSnapshot> snapshots_;
+};
+
+}  // namespace stgraph

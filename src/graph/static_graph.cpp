@@ -1,0 +1,43 @@
+#include "graph/static_graph.hpp"
+
+#include "util/check.hpp"
+
+namespace stgraph {
+
+StaticTemporalGraph::StaticTemporalGraph(
+    uint32_t num_nodes,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+    uint32_t num_timestamps)
+    : num_timestamps_(num_timestamps) {
+  STG_CHECK(num_timestamps > 0, "graph must cover at least one timestamp");
+  std::vector<CooEdge> coo;
+  coo.reserve(edges.size());
+  uint32_t eid = 0;
+  for (const auto& [s, d] : edges) coo.push_back({s, d, eid++});
+  snapshot_ = build_snapshot(num_nodes, coo);
+}
+
+SnapshotView StaticTemporalGraph::make_view() const {
+  SnapshotView v;
+  v.in_view = view_of(snapshot_.in_csr);
+  v.out_view = view_of(snapshot_.out_csr);
+  v.in_degrees = snapshot_.in_degrees.data();
+  v.out_degrees = snapshot_.out_degrees.data();
+  v.num_nodes = snapshot_.num_nodes;
+  v.num_edges = snapshot_.num_edges;
+  return v;
+}
+
+SnapshotView StaticTemporalGraph::get_graph(uint32_t t) {
+  STG_CHECK(t < num_timestamps_, "timestamp ", t, " out of range ",
+            num_timestamps_);
+  return make_view();
+}
+
+SnapshotView StaticTemporalGraph::get_backward_graph(uint32_t t) {
+  STG_CHECK(t < num_timestamps_, "timestamp ", t, " out of range ",
+            num_timestamps_);
+  return make_view();
+}
+
+}  // namespace stgraph

@@ -1,0 +1,38 @@
+// Static-temporal graph: one structure shared by every timestamp; only the
+// feature signal changes over time (paper Definition II.1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/stgraph_base.hpp"
+
+namespace stgraph {
+
+class StaticTemporalGraph final : public STGraphBase {
+ public:
+  /// Edges are labelled 0..m-1 in input order; both CSRs share the labels.
+  StaticTemporalGraph(uint32_t num_nodes,
+                      const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+                      uint32_t num_timestamps);
+
+  uint32_t num_nodes() const override { return snapshot_.num_nodes; }
+  uint32_t num_edges_at(uint32_t) const override { return snapshot_.num_edges; }
+  uint32_t num_timestamps() const override { return num_timestamps_; }
+  bool is_dynamic() const override { return false; }
+  std::string format_name() const override { return "StaticTemporalGraph"; }
+
+  SnapshotView get_graph(uint32_t t) override;
+  SnapshotView get_backward_graph(uint32_t t) override;
+
+  std::size_t device_bytes() const override { return snapshot_.device_bytes(); }
+
+  const GraphSnapshot& snapshot() const { return snapshot_; }
+
+ private:
+  SnapshotView make_view() const;
+  GraphSnapshot snapshot_;
+  uint32_t num_timestamps_;
+};
+
+}  // namespace stgraph

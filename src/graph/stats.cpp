@@ -1,0 +1,83 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace stgraph {
+
+std::vector<uint32_t> out_degrees(uint32_t num_nodes, const EdgeList& edges) {
+  std::vector<uint32_t> deg(num_nodes, 0);
+  for (const auto& [s, d] : edges) {
+    STG_CHECK(s < num_nodes && d < num_nodes, "edge endpoint out of range");
+    ++deg[s];
+  }
+  return deg;
+}
+
+std::vector<uint32_t> in_degrees(uint32_t num_nodes, const EdgeList& edges) {
+  std::vector<uint32_t> deg(num_nodes, 0);
+  for (const auto& [s, d] : edges) {
+    STG_CHECK(s < num_nodes && d < num_nodes, "edge endpoint out of range");
+    ++deg[d];
+  }
+  return deg;
+}
+
+DegreeStats degree_stats(const std::vector<uint32_t>& degrees) {
+  STG_CHECK(!degrees.empty(), "degree_stats of empty graph");
+  DegreeStats s;
+  s.min = *std::min_element(degrees.begin(), degrees.end());
+  s.max = *std::max_element(degrees.begin(), degrees.end());
+  double total = 0;
+  for (uint32_t d : degrees) total += d;
+  const double n = static_cast<double>(degrees.size());
+  s.mean = total / n;
+  double var = 0;
+  for (uint32_t d : degrees) var += (d - s.mean) * (d - s.mean);
+  s.stddev = std::sqrt(var / n);
+  // Gini via the sorted-rank formula: G = (2 Σ_i i·x_i)/(n Σ x) - (n+1)/n.
+  std::vector<uint32_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+  if (total > 0) {
+    double weighted = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+      weighted += static_cast<double>(i + 1) * sorted[i];
+    s.gini = 2.0 * weighted / (n * total) - (n + 1.0) / n;
+  }
+  return s;
+}
+
+double edge_density(uint32_t num_nodes, std::size_t num_edges) {
+  STG_CHECK(num_nodes > 0, "density of empty graph");
+  return static_cast<double>(num_edges) /
+         (static_cast<double>(num_nodes) * num_nodes);
+}
+
+double reciprocity(const EdgeList& edges) {
+  if (edges.empty()) return 0.0;
+  std::unordered_set<uint64_t> present;
+  present.reserve(edges.size() * 2);
+  for (const auto& [s, d] : edges)
+    present.insert((static_cast<uint64_t>(s) << 32) | d);
+  std::size_t mutual = 0;
+  for (const auto& [s, d] : edges)
+    mutual += present.count((static_cast<uint64_t>(d) << 32) | s);
+  return static_cast<double>(mutual) / static_cast<double>(edges.size());
+}
+
+std::string summarize_graph(uint32_t num_nodes, const EdgeList& edges) {
+  const DegreeStats out = degree_stats(out_degrees(num_nodes, edges));
+  std::ostringstream oss;
+  oss << "n=" << num_nodes << " m=" << edges.size()
+      << " density=" << edge_density(num_nodes, edges.size())
+      << " deg[mean=" << out.mean << " max=" << out.max
+      << " gini=" << out.gini << "]"
+      << " reciprocity=" << reciprocity(edges);
+  return oss.str();
+}
+
+}  // namespace stgraph

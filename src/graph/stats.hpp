@@ -1,0 +1,40 @@
+// Graph statistics used to validate the synthetic dataset generators
+// against the structural claims the paper's evaluation leans on (edge
+// density driving the memory gap, heavy-tailed degrees driving the
+// degree-sorted scheduling win) and to power dataset summaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dtdg.hpp"
+
+namespace stgraph {
+
+struct DegreeStats {
+  uint32_t min = 0;
+  uint32_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Gini coefficient of the degree distribution in [0, 1): ~0 for
+  /// regular graphs, large for heavy-tailed (power-law-ish) ones.
+  double gini = 0.0;
+};
+
+/// Out-degree / in-degree arrays of an edge list.
+std::vector<uint32_t> out_degrees(uint32_t num_nodes, const EdgeList& edges);
+std::vector<uint32_t> in_degrees(uint32_t num_nodes, const EdgeList& edges);
+
+DegreeStats degree_stats(const std::vector<uint32_t>& degrees);
+
+/// Edge density m / n² (the paper quotes e.g. HC 0.255, MB 0.0015).
+double edge_density(uint32_t num_nodes, std::size_t num_edges);
+
+/// Fraction of edges whose reverse edge is also present.
+double reciprocity(const EdgeList& edges);
+
+/// Human-readable one-line summary ("n=.. m=.. density=.. gini=..").
+std::string summarize_graph(uint32_t num_nodes, const EdgeList& edges);
+
+}  // namespace stgraph

@@ -1,0 +1,64 @@
+// STGraphBase — the paper's Figure 4 graph abstraction. It unifies how the
+// temporally-aware executor obtains, for any timestamp, the adjacency
+// views the generated kernels need:
+//   * forward pass  → in-neighbor view (reverse CSR) + in-degree-sorted
+//     processing order,
+//   * backward pass → out-neighbor view (CSR) + out-degree-sorted order,
+//   * shared edge labels between the two views,
+//   * graph property accessors (node/edge counts, degree arrays).
+//
+// Subclasses decide the storage format: one static snapshot
+// (StaticTemporalGraph), fully materialized per-timestamp snapshots
+// (NaiveGraph), or a GPMA base graph + deltas with on-demand snapshot
+// construction (GPMAGraph).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace stgraph {
+
+/// Adjacency views + degree arrays for one timestamp, handed to kernels.
+struct SnapshotView {
+  /// Forward pass: rows are destinations, neighbors are in-neighbors.
+  CsrView in_view;
+  /// Backward pass: rows are sources, neighbors are out-neighbors.
+  CsrView out_view;
+  const uint32_t* in_degrees = nullptr;
+  const uint32_t* out_degrees = nullptr;
+  uint32_t num_nodes = 0;
+  uint32_t num_edges = 0;
+};
+
+class STGraphBase {
+ public:
+  virtual ~STGraphBase() = default;
+
+  virtual uint32_t num_nodes() const = 0;
+  /// Edge count of the snapshot at timestamp t.
+  virtual uint32_t num_edges_at(uint32_t t) const = 0;
+  /// Number of timestamps this graph object covers.
+  virtual uint32_t num_timestamps() const = 0;
+  /// True for DTDGs (NaiveGraph, GPMAGraph), false for static-temporal.
+  virtual bool is_dynamic() const = 0;
+  virtual std::string format_name() const = 0;
+
+  /// Algorithm 2 analogue: position the graph object at timestamp t for a
+  /// forward pass and return the kernel views. For GPMAGraph this applies
+  /// edge updates from the cached position to t; for the other formats it
+  /// is an index lookup. The returned view is valid until the next
+  /// get_* call on this object.
+  virtual SnapshotView get_graph(uint32_t t) = 0;
+
+  /// Get-Backward-Graph analogue: position at timestamp t for a backward
+  /// pass (GPMA applies reverse updates and rebuilds the reverse view).
+  virtual SnapshotView get_backward_graph(uint32_t t) = 0;
+
+  /// Device bytes currently held by this graph object (for the memory
+  /// experiments).
+  virtual std::size_t device_bytes() const = 0;
+};
+
+}  // namespace stgraph

@@ -1,0 +1,314 @@
+#include "io/serialize.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace stgraph::io {
+namespace {
+
+constexpr uint32_t kMagicStatic = 0x53544753;  // "STGS"
+constexpr uint32_t kMagicDtdg = 0x53544744;    // "STGD"
+constexpr uint32_t kMagicCkpt = 0x53544743;    // "STGC"
+constexpr uint32_t kVersion = 1;
+
+// Little-endian scalar writers/readers. The formats are defined as
+// little-endian; on a big-endian host these would need byte swaps, which
+// we guard against rather than silently corrupting.
+static_assert(std::endian::native == std::endian::little,
+              "serializers assume a little-endian host");
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path) : out_(path, std::ios::binary) {
+    STG_CHECK(out_.good(), "cannot open '", path, "' for writing");
+    path_ = path;
+  }
+  template <typename T>
+  void scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+  void bytes(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  }
+  void str(const std::string& s) {
+    scalar<uint32_t>(static_cast<uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+  void finish() {
+    out_.flush();
+    STG_CHECK(out_.good(), "write to '", path_, "' failed");
+  }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {
+    STG_CHECK(in_.good(), "cannot open '", path, "' for reading");
+    path_ = path;
+  }
+  template <typename T>
+  T scalar() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    in_.read(reinterpret_cast<char*>(&v), sizeof(T));
+    STG_CHECK(in_.good(), "unexpected end of file in '", path_, "'");
+    return v;
+  }
+  void bytes(void* data, std::size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    STG_CHECK(in_.good(), "unexpected end of file in '", path_, "'");
+  }
+  std::string str(uint32_t max_len = 1u << 20) {
+    const uint32_t n = scalar<uint32_t>();
+    STG_CHECK(n <= max_len, "string length ", n, " too large in '", path_, "'");
+    std::string s(n, '\0');
+    if (n) bytes(s.data(), n);
+    return s;
+  }
+  void expect_magic(uint32_t magic) {
+    const uint32_t got = scalar<uint32_t>();
+    STG_CHECK(got == magic, "'", path_, "' has wrong magic (got 0x", std::hex,
+              got, ", want 0x", magic, ")");
+    const uint32_t version = scalar<uint32_t>();
+    STG_CHECK(version == kVersion, "'", path_, "' has unsupported version ",
+              version);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+};
+
+void write_edges(Writer& w, const EdgeList& edges) {
+  w.scalar<uint64_t>(edges.size());
+  for (const auto& [s, d] : edges) {
+    w.scalar<uint32_t>(s);
+    w.scalar<uint32_t>(d);
+  }
+}
+
+EdgeList read_edges(Reader& r, uint32_t num_nodes) {
+  const uint64_t m = r.scalar<uint64_t>();
+  STG_CHECK(m <= (1ull << 32), "edge count ", m, " implausible in '",
+            r.path(), "'");
+  EdgeList edges;
+  edges.reserve(m);
+  for (uint64_t e = 0; e < m; ++e) {
+    const uint32_t s = r.scalar<uint32_t>();
+    const uint32_t d = r.scalar<uint32_t>();
+    STG_CHECK(s < num_nodes && d < num_nodes, "edge (", s, ",", d,
+              ") out of range in '", r.path(), "'");
+    edges.emplace_back(s, d);
+  }
+  return edges;
+}
+
+void write_tensor(Writer& w, const Tensor& t) {
+  w.scalar<uint32_t>(static_cast<uint32_t>(t.dim()));
+  for (int64_t d = 0; d < t.dim(); ++d) w.scalar<int64_t>(t.size(d));
+  w.bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+}
+
+Tensor read_tensor(Reader& r) {
+  const uint32_t rank = r.scalar<uint32_t>();
+  STG_CHECK(rank <= 2, "tensor rank ", rank, " unsupported in '", r.path(), "'");
+  Shape shape;
+  for (uint32_t d = 0; d < rank; ++d) {
+    const int64_t dim = r.scalar<int64_t>();
+    STG_CHECK(dim >= 0 && dim <= (1 << 30), "tensor dim ", dim,
+              " implausible in '", r.path(), "'");
+    shape.push_back(dim);
+  }
+  Tensor t = Tensor::empty(shape);
+  if (t.numel())
+    r.bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+  return t;
+}
+
+}  // namespace
+
+void save_static_dataset(const datasets::StaticTemporalDataset& ds,
+                         const std::string& path) {
+  Writer w(path);
+  w.scalar(kMagicStatic);
+  w.scalar(kVersion);
+  w.str(ds.name);
+  w.scalar<uint32_t>(ds.num_nodes);
+  w.scalar<uint32_t>(ds.num_timestamps);
+  write_edges(w, ds.edges);
+  const auto& sig = ds.signal;
+  w.scalar<uint32_t>(sig.num_timestamps());
+  for (uint32_t t = 0; t < sig.num_timestamps(); ++t) {
+    write_tensor(w, sig.features[t]);
+    write_tensor(w, sig.targets[t]);
+  }
+  w.scalar<uint64_t>(sig.edge_weights.size());
+  if (!sig.edge_weights.empty())
+    w.bytes(sig.edge_weights.data(), sig.edge_weights.size() * sizeof(float));
+  w.finish();
+}
+
+datasets::StaticTemporalDataset load_static_dataset(const std::string& path) {
+  Reader r(path);
+  r.expect_magic(kMagicStatic);
+  datasets::StaticTemporalDataset ds;
+  ds.name = r.str(4096);
+  ds.num_nodes = r.scalar<uint32_t>();
+  ds.num_timestamps = r.scalar<uint32_t>();
+  ds.edges = read_edges(r, ds.num_nodes);
+  const uint32_t t_count = r.scalar<uint32_t>();
+  for (uint32_t t = 0; t < t_count; ++t) {
+    Tensor feat = read_tensor(r);
+    Tensor target = read_tensor(r);
+    STG_CHECK(feat.rows() == ds.num_nodes && target.rows() == ds.num_nodes,
+              "signal row count mismatch at t=", t, " in '", path, "'");
+    ds.signal.features.push_back(std::move(feat));
+    ds.signal.targets.push_back(std::move(target));
+  }
+  const uint64_t wn = r.scalar<uint64_t>();
+  STG_CHECK(wn == 0 || wn == ds.edges.size(),
+            "edge-weight count ", wn, " != edge count ", ds.edges.size(),
+            " in '", path, "'");
+  ds.signal.edge_weights.resize(wn);
+  if (wn) r.bytes(ds.signal.edge_weights.data(), wn * sizeof(float));
+  return ds;
+}
+
+void save_dtdg(const DtdgEvents& events, const std::string& path) {
+  Writer w(path);
+  w.scalar(kMagicDtdg);
+  w.scalar(kVersion);
+  w.scalar<uint32_t>(events.num_nodes);
+  write_edges(w, events.base_edges);
+  w.scalar<uint32_t>(static_cast<uint32_t>(events.deltas.size()));
+  for (const EdgeDelta& d : events.deltas) {
+    write_edges(w, d.additions);
+    write_edges(w, d.deletions);
+  }
+  w.finish();
+}
+
+DtdgEvents load_dtdg(const std::string& path) {
+  Reader r(path);
+  r.expect_magic(kMagicDtdg);
+  DtdgEvents events;
+  events.num_nodes = r.scalar<uint32_t>();
+  events.base_edges = read_edges(r, events.num_nodes);
+  const uint32_t deltas = r.scalar<uint32_t>();
+  events.deltas.reserve(deltas);
+  for (uint32_t i = 0; i < deltas; ++i) {
+    EdgeDelta d;
+    d.additions = read_edges(r, events.num_nodes);
+    d.deletions = read_edges(r, events.num_nodes);
+    events.deltas.push_back(std::move(d));
+  }
+  // Structural validation: every delta must apply cleanly.
+  events.snapshot_edges(events.num_timestamps() - 1);
+  return events;
+}
+
+void save_checkpoint(const nn::Module& module, const std::string& path) {
+  Writer w(path);
+  w.scalar(kMagicCkpt);
+  w.scalar(kVersion);
+  const auto params = module.parameters();
+  w.scalar<uint32_t>(static_cast<uint32_t>(params.size()));
+  for (const nn::Parameter& p : params) {
+    w.str(p.name);
+    write_tensor(w, p.tensor);
+  }
+  w.finish();
+}
+
+void load_checkpoint(nn::Module& module, const std::string& path) {
+  Reader r(path);
+  r.expect_magic(kMagicCkpt);
+  std::unordered_map<std::string, Tensor> loaded;
+  const uint32_t count = r.scalar<uint32_t>();
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name = r.str(4096);
+    loaded.emplace(std::move(name), read_tensor(r));
+  }
+  auto params = module.parameters();
+  STG_CHECK(params.size() == loaded.size(), "checkpoint '", path, "' has ",
+            loaded.size(), " tensors, model has ", params.size());
+  for (nn::Parameter& p : params) {
+    auto it = loaded.find(p.name);
+    STG_CHECK(it != loaded.end(), "checkpoint '", path,
+              "' is missing parameter '", p.name, "'");
+    STG_CHECK(it->second.shape() == p.tensor.shape(), "parameter '", p.name,
+              "' shape mismatch: checkpoint ", shape_str(it->second.shape()),
+              " vs model ", shape_str(p.tensor.shape()));
+    std::copy(it->second.data(), it->second.data() + it->second.numel(),
+              p.tensor.data());
+  }
+}
+
+EdgeList read_edge_list(const std::string& path, uint32_t* num_nodes_out) {
+  std::ifstream in(path);
+  STG_CHECK(in.good(), "cannot open edge list '", path, "'");
+  struct Row {
+    uint64_t src, dst;
+    int64_t ts;
+    uint64_t order;
+  };
+  std::vector<Row> rows;
+  std::string line;
+  uint64_t order = 0;
+  bool any_ts = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    Row row{0, 0, 0, order++};
+    STG_CHECK(static_cast<bool>(ls >> row.src >> row.dst),
+              "malformed line in '", path, "': '", line, "'");
+    if (ls >> row.ts) any_ts = true;
+    rows.push_back(row);
+  }
+  if (any_ts) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row& a, const Row& b) { return a.ts < b.ts; });
+  }
+  // Compact node ids in first-appearance order (deterministic).
+  std::unordered_map<uint64_t, uint32_t> remap;
+  remap.reserve(rows.size() * 2);
+  auto id_of = [&](uint64_t raw) {
+    auto [it, fresh] =
+        remap.emplace(raw, static_cast<uint32_t>(remap.size()));
+    (void)fresh;
+    return it->second;
+  };
+  EdgeList edges;
+  edges.reserve(rows.size());
+  for (const Row& row : rows) {
+    // Sequence the lookups: argument evaluation order is unspecified and
+    // id assignment must follow (src, dst) appearance order.
+    const uint32_t s = id_of(row.src);
+    const uint32_t d = id_of(row.dst);
+    edges.emplace_back(s, d);
+  }
+  if (num_nodes_out) *num_nodes_out = static_cast<uint32_t>(remap.size());
+  return edges;
+}
+
+void write_edge_list(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path);
+  STG_CHECK(out.good(), "cannot open '", path, "' for writing");
+  out << "# src dst\n";
+  for (const auto& [s, d] : edges) out << s << " " << d << "\n";
+  STG_CHECK(out.good(), "write to '", path, "' failed");
+}
+
+}  // namespace stgraph::io

@@ -1,0 +1,48 @@
+// On-disk formats: STGraph ships dataset loaders (paper §VI-3); this
+// module provides the disk half — a small, versioned, little-endian
+// binary container used for
+//
+//   * static-temporal datasets (graph + per-timestamp signal),
+//   * DTDG event sets (base edges + deltas),
+//   * model checkpoints (named parameter tensors),
+//
+// plus a plain-text edge-list reader for ingesting SNAP-style
+// `src dst [timestamp]` files, which is the format the paper's dynamic
+// datasets are distributed in.
+//
+// All readers validate magic, version and structural invariants and throw
+// StgError with a precise message on malformed input — loaders are a
+// user-facing surface and garbage files must not fault.
+#pragma once
+
+#include <string>
+
+#include "datasets/synthetic.hpp"
+#include "nn/module.hpp"
+
+namespace stgraph::io {
+
+// ---- static-temporal datasets ------------------------------------------
+void save_static_dataset(const datasets::StaticTemporalDataset& ds,
+                         const std::string& path);
+datasets::StaticTemporalDataset load_static_dataset(const std::string& path);
+
+// ---- DTDG event sets ------------------------------------------------------
+void save_dtdg(const DtdgEvents& events, const std::string& path);
+DtdgEvents load_dtdg(const std::string& path);
+
+// ---- model checkpoints -----------------------------------------------------
+/// Save every parameter of `module` (by dotted name) to `path`.
+void save_checkpoint(const nn::Module& module, const std::string& path);
+/// Load a checkpoint into `module`: every parameter name must be present
+/// with a matching shape (strict, like torch.load_state_dict default).
+void load_checkpoint(nn::Module& module, const std::string& path);
+
+// ---- plain-text edge lists ----------------------------------------------
+/// Parse `src dst [timestamp]` lines ('#'/'%' comments allowed). Rows are
+/// returned in timestamp order when timestamps are present, else file
+/// order. Node ids are compacted to 0..n-1; `num_nodes_out` receives n.
+EdgeList read_edge_list(const std::string& path, uint32_t* num_nodes_out);
+void write_edge_list(const EdgeList& edges, const std::string& path);
+
+}  // namespace stgraph::io

@@ -1,0 +1,73 @@
+#include "nn/a3tgcn.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph::nn {
+
+A3TGCN::A3TGCN(int64_t in_features, int64_t out_features, int64_t periods,
+               Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      periods_(periods),
+      tgcn_(in_features, out_features, rng) {
+  STG_CHECK(periods_ >= 1, "A3TGCN needs at least one period");
+  register_module("tgcn", &tgcn_);
+  // Uniform initial attention (zeros → softmax uniform).
+  att_score_ = register_parameter("att_score", Tensor::zeros({periods_}));
+}
+
+Tensor A3TGCN::initial_state(int64_t num_nodes) const {
+  return Tensor::zeros({num_nodes, out_ * periods_});
+}
+
+Tensor A3TGCN::attention() const {
+  NoGradGuard ng;
+  return ops::softmax(att_score_);
+}
+
+std::pair<Tensor, Tensor> A3TGCN::forward(core::TemporalExecutor& exec,
+                                          const Tensor& x,
+                                          const Tensor& packed,
+                                          const float* edge_weights) const {
+  STG_CHECK(packed.defined() && packed.cols() == out_ * periods_,
+            "packed A3TGCN state must be [N, hidden*periods]");
+  using namespace ops;
+  // Newest hidden state occupies columns [0, out_).
+  Tensor h_prev = slice_cols(packed, 0, out_);
+  Tensor h_new = tgcn_.forward(exec, x, h_prev, edge_weights);
+
+  // Shift the window: drop the oldest block, prepend the new state.
+  Tensor window = periods_ > 1
+                      ? cat_cols(h_new, slice_cols(packed, 0,
+                                                   out_ * (periods_ - 1)))
+                      : h_new;
+
+  // Attention-weighted combination over the window.
+  Tensor alpha = softmax(att_score_);
+  Tensor h_att;
+  for (int64_t p = 0; p < periods_; ++p) {
+    Tensor block = slice_cols(window, p * out_, (p + 1) * out_);
+    Tensor weighted = scale(block, element(alpha, p));
+    h_att = h_att.defined() ? add(h_att, weighted) : weighted;
+  }
+  return {h_att, window};
+}
+
+A3TGCNRegressor::A3TGCNRegressor(int64_t in_features, int64_t hidden,
+                                 int64_t periods, Rng& rng)
+    : a3_(in_features, hidden, periods, rng), head_(hidden, 1, rng) {
+  register_module("a3tgcn", &a3_);
+  register_module("head", &head_);
+}
+
+std::pair<Tensor, Tensor> A3TGCNRegressor::step(core::TemporalExecutor& exec,
+                                                const Tensor& x,
+                                                const Tensor& state,
+                                                const float* edge_weights) {
+  auto [h_att, window] = a3_.forward(exec, x, state, edge_weights);
+  return {head_.forward(ops::relu(h_att)), window};
+}
+
+}  // namespace stgraph::nn

@@ -1,0 +1,59 @@
+// A3TGCN — attention-temporal TGCN (Bai et al., also in PyG-T's zoo):
+// a TGCN cell whose output is an attention-weighted combination of the
+// last `periods` hidden states,
+//
+//   H_t        = TGCN(X_t, H_{t-1})
+//   α          = softmax(w),  w ∈ R^periods (learned)
+//   H_att(t)   = Σ_{p=0}^{periods-1} α_p · H_{t-p}
+//
+// so recent history contributes by learned importance rather than only
+// through the recurrence. The rolling window of hidden states is packed
+// into the model's state tensor ([N, hidden·periods], newest block first),
+// keeping the model a pure function of (x, state) as the Algorithm-1
+// trainer expects.
+#pragma once
+
+#include "nn/models.hpp"
+#include "nn/tgcn.hpp"
+
+namespace stgraph::nn {
+
+class A3TGCN : public Module {
+ public:
+  A3TGCN(int64_t in_features, int64_t out_features, int64_t periods, Rng& rng);
+
+  /// One step over the packed state; returns (attention output, new state).
+  std::pair<Tensor, Tensor> forward(core::TemporalExecutor& exec,
+                                    const Tensor& x, const Tensor& packed,
+                                    const float* edge_weights = nullptr) const;
+  Tensor initial_state(int64_t num_nodes) const;
+
+  int64_t periods() const { return periods_; }
+  int64_t out_features() const { return out_; }
+  /// Current attention distribution (softmax of the learned scores).
+  Tensor attention() const;
+
+ private:
+  int64_t in_, out_, periods_;
+  TGCN tgcn_;
+  Tensor att_score_;  // [periods], learned
+};
+
+class A3TGCNRegressor final : public TemporalModel {
+ public:
+  A3TGCNRegressor(int64_t in_features, int64_t hidden, int64_t periods,
+                  Rng& rng);
+  std::pair<Tensor, Tensor> step(core::TemporalExecutor& exec, const Tensor& x,
+                                 const Tensor& state,
+                                 const float* edge_weights) override;
+  Tensor initial_state(int64_t num_nodes) const override {
+    return a3_.initial_state(num_nodes);
+  }
+  const A3TGCN& cell() const { return a3_; }
+
+ private:
+  A3TGCN a3_;
+  Linear head_;
+};
+
+}  // namespace stgraph::nn

@@ -1,0 +1,59 @@
+// SeastarGCNConv — the STGraph GCN layer built on the vertex-centric
+// compiler and the temporally-aware executor.
+//
+// The layer's forward is ONE fused unit (as Seastar's generated kernels
+// are): X·W (GEMM) → fused gather-aggregate kernel over the in-neighbor
+// view → bias. Its backward is registered as a single autograd node that
+//   1. asks the executor for the backward snapshot of its timestamp
+//      (Graph Stack pop + Get-Backward-Graph),
+//   2. runs the compiler-derived backward kernel over the out-neighbor
+//      view (gapped PMA views are consumed in place),
+//   3. retrieves its saved tensors from the State Stack by ticket.
+//
+// Saved-state pruning: the compiler's backward-needs analysis shows the
+// aggregation itself needs nothing from the forward pass; only the weight
+// gradient needs X. With pruning enabled the layer saves exactly {X}; with
+// pruning disabled (Figure 6 ablation) it saves the conservative set
+// {X, X·W, out} a needs-unaware executor would keep.
+#pragma once
+
+#include "compiler/autodiff.hpp"
+#include "compiler/kernel.hpp"
+#include "core/executor.hpp"
+#include "nn/module.hpp"
+
+namespace stgraph {
+class Rng;
+}
+
+namespace stgraph::nn {
+
+class SeastarGCNConv : public Module {
+ public:
+  SeastarGCNConv(int64_t in_features, int64_t out_features, Rng& rng,
+                 bool bias = true);
+
+  /// Aggregate x [N, in] over the executor's current forward snapshot.
+  /// `edge_weights` (indexed by the snapshot's shared edge labels) are
+  /// optional; the kernel was compiled with GCN degree normalization.
+  Tensor forward(core::TemporalExecutor& exec, const Tensor& x,
+                 const float* edge_weights = nullptr) const;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+
+  const compiler::KernelSpec& forward_kernel() const { return fwd_weighted_; }
+  const compiler::KernelSpec& backward_kernel() const { return bwd_weighted_; }
+
+ private:
+  int64_t in_, out_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out], optional
+  // Kernels are compiled once per program variant at layer construction;
+  // the edge-weighted variant is selected when weights are bound.
+  compiler::KernelSpec fwd_weighted_, bwd_weighted_;
+  compiler::KernelSpec fwd_plain_, bwd_plain_;
+  compiler::BackwardNeeds needs_;
+};
+
+}  // namespace stgraph::nn

@@ -1,0 +1,35 @@
+#include "nn/gcn_stack.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph::nn {
+
+GCNStack::GCNStack(const std::vector<int64_t>& dims, Rng& rng, float dropout)
+    : dropout_(dropout), dropout_rng_(rng.next_u64()) {
+  STG_CHECK(dims.size() >= 2, "GCNStack needs at least {in, out} dims");
+  STG_CHECK(dropout >= 0.0f && dropout < 1.0f, "dropout must be in [0, 1)");
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(
+        std::make_unique<SeastarGCNConv>(dims[i], dims[i + 1], rng));
+    register_module("conv" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Tensor GCNStack::forward(core::TemporalExecutor& exec, const Tensor& x,
+                         const float* edge_weights) {
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(exec, h, edge_weights);
+    if (i + 1 < layers_.size()) {
+      h = ops::relu(h);
+      if (dropout_ > 0.0f)
+        h = ops::dropout(h, dropout_, dropout_rng_, is_training());
+    }
+  }
+  return h;
+}
+
+}  // namespace stgraph::nn

@@ -1,0 +1,34 @@
+// GCNStack — a deep GCN encoder: K SeastarGCNConv layers with ReLU and
+// optional inverted dropout between them. The multi-layer spatial
+// building block for models that need more than one hop of context per
+// timestep (each layer widens the receptive field by one hop).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/gcn.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph::nn {
+
+class GCNStack : public Module {
+ public:
+  /// dims = {in, hidden..., out}; dims.size() - 1 conv layers.
+  GCNStack(const std::vector<int64_t>& dims, Rng& rng, float dropout = 0.0f);
+
+  /// Forward through all layers over the executor's current snapshot.
+  /// Dropout is applied between layers only in training mode (uses the
+  /// module's own RNG stream for reproducibility).
+  Tensor forward(core::TemporalExecutor& exec, const Tensor& x,
+                 const float* edge_weights = nullptr);
+
+  std::size_t depth() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<SeastarGCNConv>> layers_;
+  float dropout_;
+  Rng dropout_rng_;
+};
+
+}  // namespace stgraph::nn

@@ -1,0 +1,77 @@
+// GConvGRU — the Chebyshev-convolutional GRU from PyG-T's layer zoo
+// (Seo et al., "Structured Sequence Modeling with Graph Convolutional
+// Recurrent Networks"). Included to demonstrate the paper's §V-A1 claim:
+// new temporal models are built by swapping the GNN building block or the
+// temporal structure, with no new kernels.
+//
+// Unlike TGCN (which convolves only the input X), GConvGRU convolves BOTH
+// the input and the hidden state in every gate:
+//
+//   Z  = σ(conv_xz(X) + conv_hz(H))
+//   R  = σ(conv_xr(X) + conv_hr(H))
+//   H~ = tanh(conv_xh(X) + conv_hh(R⊙H))
+//   H' = Z⊙H + (1-Z)⊙H~
+//
+// The convolution is a ChebConv-lite of order K ∈ {1, 2}: K=1 is a plain
+// linear map; K=2 adds one graph-aggregated hop (both hops share the
+// SeastarGCNConv fused kernel machinery).
+#pragma once
+
+#include "nn/gcn.hpp"
+#include "nn/linear.hpp"
+#include "nn/models.hpp"
+
+namespace stgraph::nn {
+
+/// ChebConv-lite: y = X·W0 (+ Agg(X)·W1 when K=2), Agg = symmetric-norm
+/// neighborhood aggregation through the vertex-centric kernel.
+class ChebConvLite : public Module {
+ public:
+  ChebConvLite(int64_t in_features, int64_t out_features, int k, Rng& rng,
+               bool bias = true);
+
+  Tensor forward(core::TemporalExecutor& exec, const Tensor& x,
+                 const float* edge_weights = nullptr) const;
+
+  int order() const { return k_; }
+
+ private:
+  int k_;
+  Linear lin0_;
+  std::unique_ptr<SeastarGCNConv> hop1_;  // K=2 only
+};
+
+class GConvGRU : public Module {
+ public:
+  GConvGRU(int64_t in_features, int64_t out_features, int k, Rng& rng);
+
+  Tensor forward(core::TemporalExecutor& exec, const Tensor& x,
+                 const Tensor& h, const float* edge_weights = nullptr) const;
+  Tensor initial_state(int64_t num_nodes) const;
+
+  int64_t out_features() const { return out_; }
+
+ private:
+  int64_t in_, out_;
+  ChebConvLite conv_xz_, conv_hz_;
+  ChebConvLite conv_xr_, conv_hr_;
+  ChebConvLite conv_xh_, conv_hh_;
+};
+
+/// Node-regression model over GConvGRU (mirrors TGCNRegressor).
+class GConvGRURegressor final : public TemporalModel {
+ public:
+  GConvGRURegressor(int64_t in_features, int64_t hidden, int k, Rng& rng);
+  std::pair<Tensor, Tensor> step(core::TemporalExecutor& exec, const Tensor& x,
+                                 const Tensor& h,
+                                 const float* edge_weights) override;
+  Tensor initial_state(int64_t num_nodes) const override {
+    return gru_.initial_state(num_nodes);
+  }
+
+ private:
+  GConvGRU gru_;
+  Linear head_;
+};
+
+}  // namespace stgraph::nn

@@ -1,0 +1,56 @@
+// GConvLSTM — the LSTM counterpart of GConvGRU (Seo et al.; also in
+// PyG-T's layer zoo). Demonstrates swapping the *temporal structure*
+// while keeping the spatial building block (paper §V-A1): the same
+// ChebConv-lite convolution drives LSTM gates with a separate cell state.
+//
+//   I  = σ(conv_xi(X) + conv_hi(H))        input gate
+//   Fg = σ(conv_xf(X) + conv_hf(H))        forget gate
+//   C' = Fg⊙C + I⊙tanh(conv_xc(X) + conv_hc(H))
+//   O  = σ(conv_xo(X) + conv_ho(H))        output gate
+//   H' = O⊙tanh(C')
+//
+// The recurrent state is (H, C); TemporalModel carries a single tensor,
+// so GConvLSTMRegressor packs the pair as [N, 2·hidden] (H ‖ C).
+#pragma once
+
+#include "nn/gconv_gru.hpp"
+
+namespace stgraph::nn {
+
+class GConvLSTM : public Module {
+ public:
+  GConvLSTM(int64_t in_features, int64_t out_features, int k, Rng& rng);
+
+  /// One step: (h, c) -> (h', c'). Undefined handles mean zero state.
+  std::pair<Tensor, Tensor> forward(core::TemporalExecutor& exec,
+                                    const Tensor& x, const Tensor& h,
+                                    const Tensor& c,
+                                    const float* edge_weights = nullptr) const;
+  Tensor initial_state(int64_t num_nodes) const;
+
+  int64_t out_features() const { return out_; }
+
+ private:
+  int64_t in_, out_;
+  ChebConvLite conv_xi_, conv_hi_;
+  ChebConvLite conv_xf_, conv_hf_;
+  ChebConvLite conv_xc_, conv_hc_;
+  ChebConvLite conv_xo_, conv_ho_;
+};
+
+/// Node-regression model over GConvLSTM with packed [H ‖ C] state.
+class GConvLSTMRegressor final : public TemporalModel {
+ public:
+  GConvLSTMRegressor(int64_t in_features, int64_t hidden, int k, Rng& rng);
+  std::pair<Tensor, Tensor> step(core::TemporalExecutor& exec, const Tensor& x,
+                                 const Tensor& state,
+                                 const float* edge_weights) override;
+  Tensor initial_state(int64_t num_nodes) const override;
+
+ private:
+  int64_t hidden_;
+  GConvLSTM lstm_;
+  Linear head_;
+};
+
+}  // namespace stgraph::nn

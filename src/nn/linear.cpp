@@ -1,0 +1,32 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_(in_features), out_(out_features) {
+  STG_CHECK(in_ > 0 && out_ > 0, "Linear dims must be positive: ", in_, "x",
+            out_);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_ + out_));  // Glorot uniform
+  weight_ = register_parameter(
+      "weight", Tensor::uniform({in_, out_}, rng, -bound, bound));
+  if (bias) {
+    bias_ = register_parameter("bias", Tensor::zeros({out_}));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  STG_CHECK(x.dim() == 2 && x.cols() == in_, "Linear(", in_, "→", out_,
+            ") got input ", shape_str(x.shape()));
+  Tensor y = ops::matmul(x, weight_);
+  if (bias_.defined()) y = ops::add_bias(y, bias_);
+  return y;
+}
+
+}  // namespace stgraph::nn

@@ -1,0 +1,32 @@
+// Fully connected layer y = x W + b with Glorot-uniform initialization
+// (matching the torch.nn.Linear defaults used inside PyG-T's TGCN cell).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace stgraph {
+class Rng;
+}
+
+namespace stgraph::nn {
+
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  /// x [N, in] -> [N, out].
+  Tensor forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+  Tensor weight() const { return weight_; }
+  Tensor bias() const { return bias_; }
+
+ private:
+  int64_t in_, out_;
+  Tensor weight_;  // [in, out] so forward is a plain x @ W
+  Tensor bias_;    // [out] (undefined when bias=false)
+};
+
+}  // namespace stgraph::nn

@@ -1,0 +1,44 @@
+// SeastarMaxPoolConv — GraphSAGE-maxpool-style convolution built on the
+// compiler's max aggregation:
+//
+//   out[v] = max_{u ∈ N_in(v) ∪ {v}} (X·W)[u]  (+ bias)
+//
+// This layer is the interesting State-Stack client: unlike the linear GCN
+// aggregation (whose backward needs nothing from the forward pass), max
+// aggregation must replay the argmax routing, so the compiler's
+// backward-needs analysis reports `argmax = true` and the layer pushes
+// the recorded indices through the executor's State Stack to its backward
+// node — exactly the forward→backward state transport Algorithm 1's
+// state-stack exists for.
+#pragma once
+
+#include "compiler/autodiff.hpp"
+#include "compiler/kernel.hpp"
+#include "core/executor.hpp"
+#include "nn/module.hpp"
+
+namespace stgraph {
+class Rng;
+}
+
+namespace stgraph::nn {
+
+class SeastarMaxPoolConv : public Module {
+ public:
+  SeastarMaxPoolConv(int64_t in_features, int64_t out_features, Rng& rng,
+                     bool bias = true);
+
+  Tensor forward(core::TemporalExecutor& exec, const Tensor& x) const;
+
+  const compiler::BackwardNeeds& backward_needs() const { return needs_; }
+
+ private:
+  int64_t in_, out_;
+  Tensor weight_;
+  Tensor bias_;
+  compiler::KernelSpec fwd_kernel_;
+  compiler::KernelSpec bwd_kernel_;
+  compiler::BackwardNeeds needs_;
+};
+
+}  // namespace stgraph::nn

@@ -1,0 +1,101 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stgraph::nn::metrics {
+
+double mae(const Tensor& pred, const Tensor& target) {
+  STG_CHECK(same_shape(pred, target), "mae shape mismatch");
+  double total = 0;
+  for (int64_t i = 0; i < pred.numel(); ++i)
+    total += std::abs(static_cast<double>(pred.at(i)) - target.at(i));
+  return total / static_cast<double>(pred.numel());
+}
+
+double rmse(const Tensor& pred, const Tensor& target) {
+  STG_CHECK(same_shape(pred, target), "rmse shape mismatch");
+  double total = 0;
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pred.at(i)) - target.at(i);
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(pred.numel()));
+}
+
+double mape(const Tensor& pred, const Tensor& target, float eps) {
+  STG_CHECK(same_shape(pred, target), "mape shape mismatch");
+  double total = 0;
+  int64_t counted = 0;
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    const double t = target.at(i);
+    if (std::abs(t) < eps) continue;
+    total += std::abs((pred.at(i) - t) / t);
+    ++counted;
+  }
+  STG_CHECK(counted > 0, "mape: no targets above eps");
+  return total / static_cast<double>(counted);
+}
+
+double roc_auc(const Tensor& scores, const Tensor& labels) {
+  STG_CHECK(same_shape(scores, labels), "roc_auc shape mismatch");
+  const int64_t n = scores.numel();
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return scores.at(a) < scores.at(b);
+  });
+  // Rank-sum (Mann–Whitney U) with midranks for ties.
+  std::vector<double> rank(n);
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = i;
+    while (j + 1 < n && scores.at(order[j + 1]) == scores.at(order[i])) ++j;
+    const double mid = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (int64_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0;
+  int64_t pos = 0;
+  for (int64_t k = 0; k < n; ++k) {
+    if (labels.at(k) > 0.5f) {
+      pos_rank_sum += rank[k];
+      ++pos;
+    }
+  }
+  const int64_t neg = n - pos;
+  STG_CHECK(pos > 0 && neg > 0, "roc_auc needs both classes present");
+  const double u = pos_rank_sum - static_cast<double>(pos) * (pos + 1) / 2.0;
+  return u / (static_cast<double>(pos) * neg);
+}
+
+double binary_accuracy(const Tensor& logits, const Tensor& labels) {
+  STG_CHECK(same_shape(logits, labels), "accuracy shape mismatch");
+  int64_t correct = 0;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    const bool pred = logits.at(i) > 0.0f;
+    const bool truth = labels.at(i) > 0.5f;
+    correct += pred == truth;
+  }
+  return static_cast<double>(correct) / static_cast<double>(logits.numel());
+}
+
+double precision_at_k(const Tensor& scores, const Tensor& labels, int64_t k) {
+  STG_CHECK(same_shape(scores, labels), "precision_at_k shape mismatch");
+  STG_CHECK(k > 0 && k <= scores.numel(), "k out of range");
+  std::vector<int64_t> order(scores.numel());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int64_t a, int64_t b) {
+                      return scores.at(a) > scores.at(b);
+                    });
+  int64_t hits = 0;
+  for (int64_t i = 0; i < k; ++i) hits += labels.at(order[i]) > 0.5f;
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+}  // namespace stgraph::nn::metrics

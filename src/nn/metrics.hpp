@@ -1,0 +1,27 @@
+// Evaluation metrics for the two benchmark tasks: regression errors for
+// static-temporal node forecasting, classification quality for DTDG link
+// prediction. Pure functions over tensors — no autograd involvement.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace stgraph::nn::metrics {
+
+/// Mean absolute error.
+double mae(const Tensor& pred, const Tensor& target);
+/// Root mean squared error.
+double rmse(const Tensor& pred, const Tensor& target);
+/// Mean absolute percentage error (entries with |target| < eps skipped).
+double mape(const Tensor& pred, const Tensor& target, float eps = 1e-6f);
+
+/// Area under the ROC curve via the rank statistic (handles ties).
+/// `scores` are arbitrary reals, `labels` are 0/1.
+double roc_auc(const Tensor& scores, const Tensor& labels);
+
+/// Classification accuracy of sign(logit) vs 0/1 labels at threshold 0.
+double binary_accuracy(const Tensor& logits, const Tensor& labels);
+
+/// Precision@k: fraction of the k highest-scoring entries whose label is 1.
+double precision_at_k(const Tensor& scores, const Tensor& labels, int64_t k);
+
+}  // namespace stgraph::nn::metrics

@@ -1,0 +1,40 @@
+#include "nn/models.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace stgraph::nn {
+
+TGCNRegressor::TGCNRegressor(int64_t in_features, int64_t hidden, Rng& rng)
+    : tgcn_(in_features, hidden, rng), head_(hidden, 1, rng) {
+  register_module("tgcn", &tgcn_);
+  register_module("head", &head_);
+}
+
+std::pair<Tensor, Tensor> TGCNRegressor::step(core::TemporalExecutor& exec,
+                                              const Tensor& x, const Tensor& h,
+                                              const float* edge_weights) {
+  Tensor h_next = tgcn_.forward(exec, x, h, edge_weights);
+  Tensor y = head_.forward(ops::relu(h_next));
+  return {y, h_next};
+}
+
+TGCNEncoder::TGCNEncoder(int64_t in_features, int64_t hidden, Rng& rng)
+    : tgcn_(in_features, hidden, rng) {
+  register_module("tgcn", &tgcn_);
+}
+
+std::pair<Tensor, Tensor> TGCNEncoder::step(core::TemporalExecutor& exec,
+                                            const Tensor& x, const Tensor& h,
+                                            const float* edge_weights) {
+  Tensor h_next = tgcn_.forward(exec, x, h, edge_weights);
+  return {h_next, h_next};
+}
+
+Tensor link_logits(const Tensor& h, const std::vector<uint32_t>& src,
+                   const std::vector<uint32_t>& dst) {
+  Tensor hu = ops::gather_rows(h, src);
+  Tensor hv = ops::gather_rows(h, dst);
+  return ops::row_sum(ops::mul(hu, hv));
+}
+
+}  // namespace stgraph::nn

@@ -1,0 +1,60 @@
+// Ready-made TGNN models on top of the layer APIs (the paper's "TGNN layer
+// APIs + model building blocks" deliverable). Both benchmark tasks are
+// covered:
+//   * TGCNRegressor — TGCN + ReLU + Linear head, node regression with MSE
+//     (the static-temporal benchmark),
+//   * TGCNEncoder — TGCN producing node embeddings scored with dot
+//     products, link prediction with BCE (the DTDG benchmark).
+#pragma once
+
+#include "core/executor.hpp"
+#include "nn/gcn.hpp"
+#include "nn/linear.hpp"
+#include "nn/tgcn.hpp"
+
+namespace stgraph::nn {
+
+/// Interface the Algorithm-1 trainer drives: one timestep in, (output,
+/// next hidden state) out.
+class TemporalModel : public Module {
+ public:
+  virtual std::pair<Tensor, Tensor> step(core::TemporalExecutor& exec,
+                                         const Tensor& x, const Tensor& h,
+                                         const float* edge_weights) = 0;
+  virtual Tensor initial_state(int64_t num_nodes) const = 0;
+};
+
+class TGCNRegressor final : public TemporalModel {
+ public:
+  TGCNRegressor(int64_t in_features, int64_t hidden, Rng& rng);
+  std::pair<Tensor, Tensor> step(core::TemporalExecutor& exec, const Tensor& x,
+                                 const Tensor& h,
+                                 const float* edge_weights) override;
+  Tensor initial_state(int64_t num_nodes) const override {
+    return tgcn_.initial_state(num_nodes);
+  }
+
+ private:
+  TGCN tgcn_;
+  Linear head_;
+};
+
+class TGCNEncoder final : public TemporalModel {
+ public:
+  TGCNEncoder(int64_t in_features, int64_t hidden, Rng& rng);
+  std::pair<Tensor, Tensor> step(core::TemporalExecutor& exec, const Tensor& x,
+                                 const Tensor& h,
+                                 const float* edge_weights) override;
+  Tensor initial_state(int64_t num_nodes) const override {
+    return tgcn_.initial_state(num_nodes);
+  }
+
+ private:
+  TGCN tgcn_;
+};
+
+/// Dot-product link scores: logits[i] = <h[src[i]], h[dst[i]]>.
+Tensor link_logits(const Tensor& h, const std::vector<uint32_t>& src,
+                   const std::vector<uint32_t>& dst);
+
+}  // namespace stgraph::nn

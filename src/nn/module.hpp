@@ -1,0 +1,50 @@
+// Module base class — parameter registration and train/eval mode, the
+// same contract PyG-T layers rely on from torch.nn.Module.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace stgraph::nn {
+
+/// Named parameter handle.
+struct Parameter {
+  std::string name;
+  Tensor tensor;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters, including those of registered submodules,
+  /// with dotted names ("conv_z.linear.weight").
+  std::vector<Parameter> parameters() const;
+
+  void train() { set_training(true); }
+  void eval() { set_training(false); }
+  bool is_training() const { return training_; }
+
+  void zero_grad();
+  /// Total parameter count (for model summaries).
+  int64_t parameter_count() const;
+
+ protected:
+  /// Register a leaf parameter (the tensor must be a requires-grad leaf).
+  Tensor register_parameter(const std::string& name, Tensor t);
+  /// Register a child module for recursive parameter collection.
+  void register_module(const std::string& name, Module* child);
+
+  virtual void set_training(bool training);
+
+ private:
+  std::vector<Parameter> own_params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace stgraph::nn

@@ -1,0 +1,85 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "runtime/parallel.hpp"
+
+namespace stgraph::nn {
+
+void Optimizer::zero_grad() {
+  for (Parameter& p : params_) p.tensor.zero_grad();
+}
+
+Sgd::Sgd(std::vector<Parameter> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Parameter& p : params_)
+      velocity_.push_back(Tensor::zeros(p.tensor.shape()));
+  }
+}
+
+void Sgd::step() {
+  NoGradGuard ng;
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& w = params_[pi].tensor;
+    Tensor g = w.grad();
+    if (!g.defined()) continue;
+    float* pw = w.data();
+    const float* pg = g.data();
+    const std::size_t n = static_cast<std::size_t>(w.numel());
+    if (momentum_ == 0.0f) {
+      device::parallel_for_ranges(n, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) pw[i] -= lr_ * pg[i];
+      });
+    } else {
+      float* pv = velocity_[pi].data();
+      device::parallel_for_ranges(n, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          pv[i] = momentum_ * pv[i] + pg[i];
+          pw[i] -= lr_ * pv[i];
+        }
+      });
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter& p : params_) {
+    m_.push_back(Tensor::zeros(p.tensor.shape()));
+    v_.push_back(Tensor::zeros(p.tensor.shape()));
+  }
+}
+
+void Adam::step() {
+  NoGradGuard ng;
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& w = params_[pi].tensor;
+    Tensor g = w.grad();
+    if (!g.defined()) continue;
+    float* pw = w.data();
+    const float* pg = g.data();
+    float* pm = m_[pi].data();
+    float* pv = v_[pi].data();
+    const std::size_t n = static_cast<std::size_t>(w.numel());
+    device::parallel_for_ranges(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        pm[i] = beta1_ * pm[i] + (1.0f - beta1_) * pg[i];
+        pv[i] = beta2_ * pv[i] + (1.0f - beta2_) * pg[i] * pg[i];
+        const float mhat = pm[i] / bc1;
+        const float vhat = pv[i] / bc2;
+        pw[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    });
+  }
+}
+
+}  // namespace stgraph::nn

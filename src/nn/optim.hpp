@@ -1,0 +1,50 @@
+// Optimizers over Module parameter lists: SGD (+momentum) and Adam (the
+// paper's training harness uses Adam, PyTorch defaults).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace stgraph::nn {
+
+class Optimizer {
+ public:
+  Optimizer(std::vector<Parameter> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+  virtual void step() = 0;
+  void zero_grad();
+
+  /// Current learning rate (mutable for schedulers).
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ protected:
+  std::vector<Parameter> params_;
+  float lr_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Parameter> params, float lr = 1e-2f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace stgraph::nn

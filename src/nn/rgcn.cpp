@@ -1,0 +1,68 @@
+#include "nn/rgcn.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph::nn {
+
+RelationAssignment::RelationAssignment(std::vector<uint8_t> relation_of,
+                                       int num_relations)
+    : relation_of_(std::move(relation_of)), num_relations_(num_relations) {
+  STG_CHECK(num_relations_ >= 1, "need at least one relation");
+  for (std::size_t e = 0; e < relation_of_.size(); ++e) {
+    STG_CHECK(relation_of_[e] < num_relations_, "edge ", e,
+              " has invalid relation ", int{relation_of_[e]});
+  }
+}
+
+void RelationAssignment::materialize(const float* edge_weights) {
+  masks_.assign(num_relations_,
+                std::vector<float>(relation_of_.size(), 0.0f));
+  for (std::size_t e = 0; e < relation_of_.size(); ++e) {
+    masks_[relation_of_[e]][e] = edge_weights ? edge_weights[e] : 1.0f;
+  }
+}
+
+const std::vector<float>& RelationAssignment::mask(int relation) const {
+  STG_CHECK(!masks_.empty(), "RelationAssignment::materialize() not called");
+  STG_CHECK(relation >= 0 && relation < num_relations_, "relation ", relation,
+            " out of range ", num_relations_);
+  return masks_[static_cast<std::size_t>(relation)];
+}
+
+RelationalGCNConv::RelationalGCNConv(int64_t in_features, int64_t out_features,
+                                     int num_relations, Rng& rng)
+    : in_(in_features), out_(out_features),
+      self_lin_(in_features, out_features, rng, /*bias=*/true) {
+  STG_CHECK(num_relations >= 1, "need at least one relation");
+  rel_convs_.reserve(num_relations);
+  for (int r = 0; r < num_relations; ++r) {
+    rel_convs_.push_back(std::make_unique<SeastarGCNConv>(
+        in_features, out_features, rng, /*bias=*/false));
+    register_module("rel" + std::to_string(r), rel_convs_[r].get());
+  }
+  register_module("self", &self_lin_);
+}
+
+Tensor RelationalGCNConv::forward(core::TemporalExecutor& exec,
+                                  const Tensor& x,
+                                  const RelationAssignment& relations) const {
+  STG_CHECK(relations.num_relations() == static_cast<int>(rel_convs_.size()),
+            "assignment has ", relations.num_relations(), " relations, layer ",
+            rel_convs_.size());
+  STG_CHECK(relations.num_edges() == exec.forward_view().num_edges,
+            "relation assignment covers ", relations.num_edges(),
+            " edges, snapshot has ", exec.forward_view().num_edges);
+  // Root/self transform plus one masked aggregation per relation. Each
+  // relation conv also contributes its built-in gcn_norm self loop under
+  // its own W_r — the "self loop belongs to every relation" convention.
+  Tensor out = self_lin_.forward(x);
+  for (std::size_t r = 0; r < rel_convs_.size(); ++r) {
+    const std::vector<float>& mask = relations.mask(static_cast<int>(r));
+    out = ops::add(out, rel_convs_[r]->forward(exec, x, mask.data()));
+  }
+  return out;
+}
+
+}  // namespace stgraph::nn

@@ -1,0 +1,69 @@
+// RelationalGCNConv — an RGCN-lite layer (Schlichtkrull et al., cited by
+// the paper among PyG-T's spatial building blocks) for graphs whose edges
+// carry a relation type:
+//
+//   out[v] = W_self·x[v] + b + Σ_r [ Σ_{u →_r v} norm(u,v)·(X·W_r)[u]
+//                                    + gcn_norm(v,v)·(X·W_r)[v] ]
+//
+// Composed entirely from the public kernel machinery: each relation r is
+// one weighted-aggregation launch whose per-edge weight array is the 0/1
+// relation mask (times optional user weights), indexed by the snapshot's
+// shared edge labels. No new kernels, no graph-abstraction changes —
+// the same recipe a downstream user would follow to add a typed layer.
+//
+// Lifetime: like all per-edge weight arrays, the materialized masks are
+// referenced by the backward kernels — keep the RelationAssignment alive
+// until the sequence's backward pass has run (it is per-snapshot data,
+// naturally owned next to the signal).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/gcn.hpp"
+#include "nn/linear.hpp"
+
+namespace stgraph::nn {
+
+/// Per-edge relation assignment for a snapshot: relation_of[eid] ∈
+/// [0, num_relations). Rebuild per snapshot when edge labels change
+/// (DTDGs relabel per timestamp).
+class RelationAssignment {
+ public:
+  RelationAssignment(std::vector<uint8_t> relation_of, int num_relations);
+
+  int num_relations() const { return num_relations_; }
+  std::size_t num_edges() const { return relation_of_.size(); }
+  uint8_t relation_of(std::size_t eid) const { return relation_of_[eid]; }
+
+  /// Materialize the per-relation masks (0/1 × optional user weights).
+  /// Must be called before forward(); masks stay owned by this object.
+  void materialize(const float* edge_weights = nullptr);
+  const std::vector<float>& mask(int relation) const;
+
+ private:
+  std::vector<uint8_t> relation_of_;
+  int num_relations_;
+  std::vector<std::vector<float>> masks_;
+};
+
+class RelationalGCNConv : public Module {
+ public:
+  RelationalGCNConv(int64_t in_features, int64_t out_features,
+                    int num_relations, Rng& rng);
+
+  /// Aggregate x over the executor's current snapshot. `relations` must be
+  /// materialized and cover the snapshot's edge labels.
+  Tensor forward(core::TemporalExecutor& exec, const Tensor& x,
+                 const RelationAssignment& relations) const;
+
+  int num_relations() const { return static_cast<int>(rel_convs_.size()); }
+
+ private:
+  int64_t in_, out_;
+  // One bias-free weighted conv per relation + the root/self transform.
+  std::vector<std::unique_ptr<SeastarGCNConv>> rel_convs_;
+  Linear self_lin_;
+};
+
+}  // namespace stgraph::nn

@@ -1,0 +1,38 @@
+#include "nn/schedule.hpp"
+
+#include "util/check.hpp"
+
+namespace stgraph::nn {
+
+StepLR::StepLR(Optimizer& optimizer, uint32_t step_size, float gamma)
+    : optimizer_(optimizer), step_size_(step_size), gamma_(gamma),
+      lr_(optimizer.learning_rate()) {
+  STG_CHECK(step_size_ >= 1, "step_size must be positive");
+  STG_CHECK(gamma_ > 0.0f, "gamma must be positive");
+}
+
+void StepLR::step() {
+  ++epoch_;
+  if (epoch_ % step_size_ == 0) {
+    lr_ *= gamma_;
+    optimizer_.set_learning_rate(lr_);
+  }
+}
+
+EarlyStopping::EarlyStopping(uint32_t patience, double min_delta)
+    : patience_(patience), min_delta_(min_delta) {
+  STG_CHECK(patience_ >= 1, "patience must be positive");
+}
+
+bool EarlyStopping::update(double loss) {
+  if (loss < best_ - min_delta_) {
+    best_ = loss;
+    stale_ = 0;
+  } else {
+    ++stale_;
+    if (stale_ >= patience_) stopped_ = true;
+  }
+  return stopped_;
+}
+
+}  // namespace stgraph::nn

@@ -1,0 +1,46 @@
+#include "nn/tgcn.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace stgraph::nn {
+
+TGCN::TGCN(int64_t in_features, int64_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      conv_z_(in_features, out_features, rng),
+      conv_r_(in_features, out_features, rng),
+      conv_h_(in_features, out_features, rng),
+      linear_z_(2 * out_features, out_features, rng),
+      linear_r_(2 * out_features, out_features, rng),
+      linear_h_(2 * out_features, out_features, rng) {
+  register_module("conv_z", &conv_z_);
+  register_module("conv_r", &conv_r_);
+  register_module("conv_h", &conv_h_);
+  register_module("linear_z", &linear_z_);
+  register_module("linear_r", &linear_r_);
+  register_module("linear_h", &linear_h_);
+}
+
+Tensor TGCN::initial_state(int64_t num_nodes) const {
+  return Tensor::zeros({num_nodes, out_});
+}
+
+Tensor TGCN::forward(core::TemporalExecutor& exec, const Tensor& x,
+                     const Tensor& h_in, const float* edge_weights) const {
+  Tensor h = h_in.defined() ? h_in : initial_state(x.rows());
+  STG_CHECK(h.rows() == x.rows() && h.cols() == out_,
+            "hidden state shape ", shape_str(h.shape()), " incompatible with ",
+            x.rows(), " nodes x ", out_, " features");
+
+  using namespace ops;
+  Tensor z = sigmoid(
+      linear_z_.forward(cat_cols(conv_z_.forward(exec, x, edge_weights), h)));
+  Tensor r = sigmoid(
+      linear_r_.forward(cat_cols(conv_r_.forward(exec, x, edge_weights), h)));
+  Tensor h_tilde = tanh_op(linear_h_.forward(
+      cat_cols(conv_h_.forward(exec, x, edge_weights), mul(r, h))));
+  return add(mul(z, h), mul(one_minus(z), h_tilde));
+}
+
+}  // namespace stgraph::nn

@@ -1,0 +1,106 @@
+// DeviceBuffer<T>: the unit of "device memory" in the CPU substrate.
+//
+// In the original system these arrays live on the GPU (allocated through
+// CUDA-Python / Thrust); here they are host vectors whose bytes are
+// charged to MemoryTracker so the paper's memory experiments remain
+// meaningful. The buffer is movable but not copyable — explicit `clone()`
+// keeps accidental O(E) copies out of hot paths.
+#pragma once
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "runtime/memory_tracker.hpp"
+#include "util/check.hpp"
+
+namespace stgraph {
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  explicit DeviceBuffer(std::size_t n, MemCategory cat = MemCategory::kScratch)
+      : cat_(cat) {
+    resize(n);
+  }
+  DeviceBuffer(std::size_t n, T fill, MemCategory cat)
+      : cat_(cat) {
+    resize(n);
+    std::fill(data_.begin(), data_.end(), fill);
+  }
+  /// Upload: copy a host vector into device memory.
+  DeviceBuffer(const std::vector<T>& host, MemCategory cat) : cat_(cat) {
+    resize(host.size());
+    if (!host.empty()) std::memcpy(data_.data(), host.data(), bytes());
+  }
+
+  ~DeviceBuffer() { charge(0); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      charge(0);
+      data_ = std::move(other.data_);
+      charged_ = other.charged_;
+      cat_ = other.cat_;
+      other.data_.clear();
+      other.charged_ = 0;
+    }
+    return *this;
+  }
+
+  DeviceBuffer clone() const {
+    DeviceBuffer out(size(), cat_);
+    if (size()) std::memcpy(out.data(), data(), bytes());
+    return out;
+  }
+
+  void resize(std::size_t n) {
+    data_.resize(n);
+    data_.shrink_to_fit();
+    charge(n * sizeof(T));
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+  T& operator[](std::size_t i) {
+    STG_DCHECK(i < data_.size(), "DeviceBuffer index ", i, " out of range ", data_.size());
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    STG_DCHECK(i < data_.size(), "DeviceBuffer index ", i, " out of range ", data_.size());
+    return data_[i];
+  }
+
+  /// Download to a host vector (for tests and debugging).
+  std::vector<T> to_host() const { return data_; }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  void charge(std::size_t new_bytes) {
+    auto& tracker = MemoryTracker::instance();
+    if (new_bytes > charged_) tracker.allocate(new_bytes - charged_, cat_);
+    if (new_bytes < charged_) tracker.release(charged_ - new_bytes, cat_);
+    charged_ = new_bytes;
+  }
+
+  std::vector<T> data_;
+  std::size_t charged_ = 0;
+  MemCategory cat_ = MemCategory::kScratch;
+};
+
+}  // namespace stgraph

@@ -1,0 +1,68 @@
+#include "runtime/memory_tracker.hpp"
+
+#include <sstream>
+
+namespace stgraph {
+
+const char* mem_category_name(MemCategory c) {
+  switch (c) {
+    case MemCategory::kTensor: return "tensor";
+    case MemCategory::kGraph: return "graph";
+    case MemCategory::kPma: return "pma";
+    case MemCategory::kEdgeMessage: return "edge_msg";
+    case MemCategory::kScratch: return "scratch";
+    default: return "?";
+  }
+}
+
+MemoryTracker& MemoryTracker::instance() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::allocate(std::size_t bytes, MemCategory cat) {
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t cur = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Peak update with CAS loop: multiple threads may race here.
+  std::size_t prev = peak_.load(std::memory_order_relaxed);
+  while (cur > prev &&
+         !peak_.compare_exchange_weak(prev, cur, std::memory_order_relaxed)) {
+  }
+  auto& cc = by_cat_[static_cast<size_t>(cat)];
+  std::size_t ccur = cc.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  auto& cp = peak_by_cat_[static_cast<size_t>(cat)];
+  std::size_t cprev = cp.load(std::memory_order_relaxed);
+  while (ccur > cprev &&
+         !cp.compare_exchange_weak(cprev, ccur, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::release(std::size_t bytes, MemCategory cat) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+  by_cat_[static_cast<size_t>(cat)].fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::reset_peak() {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  for (size_t c = 0; c < static_cast<size_t>(MemCategory::kCount); ++c) {
+    peak_by_cat_[c].store(by_cat_[c].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+}
+
+std::string MemoryTracker::summary() const {
+  auto mib = [](std::size_t b) { return static_cast<double>(b) / (1024.0 * 1024.0); };
+  std::ostringstream oss;
+  oss << "current=" << mib(current_bytes()) << "MiB peak=" << mib(peak_bytes())
+      << "MiB [";
+  for (size_t c = 0; c < static_cast<size_t>(MemCategory::kCount); ++c) {
+    if (c) oss << " ";
+    oss << mem_category_name(static_cast<MemCategory>(c)) << "="
+        << mib(by_cat_[c].load(std::memory_order_relaxed)) << "MiB";
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace stgraph

@@ -1,0 +1,76 @@
+// Device-memory accounting — the stand-in for `nvidia-smi` in the paper's
+// memory experiments (Figures 6 and 8).
+//
+// Every allocation that would live in GPU device memory in the original
+// system (tensor storage, CSR arrays, PMA arrays, per-edge message buffers)
+// is charged to this tracker, tagged with a category so benches can report
+// where the bytes went. The tracker keeps a running total and a
+// high-water mark; figure benches reset the peak before the measured
+// region and report `peak_bytes()` afterwards.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace stgraph {
+
+/// What kind of structure an allocation backs. Used for the per-category
+/// breakdowns in EXPERIMENTS.md and the memory benches.
+enum class MemCategory : uint8_t {
+  kTensor = 0,     // dense tensor storage (features, weights, activations)
+  kGraph,          // CSR/COO arrays for a materialized snapshot
+  kPma,            // packed-memory-array slots and metadata
+  kEdgeMessage,    // per-edge message buffers (baseline's duplication)
+  kScratch,        // transient kernel workspace
+  kCount
+};
+
+const char* mem_category_name(MemCategory c);
+
+/// Process-wide device memory tracker. Thread-safe; all counters are
+/// atomics because kernels may allocate scratch from worker threads.
+class MemoryTracker {
+ public:
+  static MemoryTracker& instance();
+
+  void allocate(std::size_t bytes, MemCategory cat);
+  void release(std::size_t bytes, MemCategory cat);
+
+  std::size_t current_bytes() const { return current_.load(std::memory_order_relaxed); }
+  std::size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  std::size_t current_bytes(MemCategory cat) const {
+    return by_cat_[static_cast<size_t>(cat)].load(std::memory_order_relaxed);
+  }
+  std::size_t peak_bytes(MemCategory cat) const {
+    return peak_by_cat_[static_cast<size_t>(cat)].load(std::memory_order_relaxed);
+  }
+  uint64_t allocation_count() const { return allocs_.load(std::memory_order_relaxed); }
+
+  /// Reset the high-water mark to the current residency (start of a
+  /// measured region). Does not touch live-allocation counters.
+  void reset_peak();
+
+  /// Human-readable snapshot ("current=…MiB peak=…MiB [tensor=… graph=…]").
+  std::string summary() const;
+
+ private:
+  MemoryTracker() = default;
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<uint64_t> allocs_{0};
+  std::array<std::atomic<std::size_t>, static_cast<size_t>(MemCategory::kCount)> by_cat_{};
+  std::array<std::atomic<std::size_t>, static_cast<size_t>(MemCategory::kCount)> peak_by_cat_{};
+};
+
+/// RAII helper: resets the global peak on construction; `peak()` reads the
+/// high-water mark reached since then.
+class PeakMemoryRegion {
+ public:
+  PeakMemoryRegion() { MemoryTracker::instance().reset_peak(); }
+  std::size_t peak() const { return MemoryTracker::instance().peak_bytes(); }
+};
+
+}  // namespace stgraph

@@ -1,0 +1,93 @@
+#include "runtime/parallel.hpp"
+
+#include <vector>
+
+namespace stgraph::device {
+
+KernelStats& KernelStats::instance() {
+  static KernelStats stats;
+  return stats;
+}
+
+unsigned lane_count() { return ThreadPool::instance().lanes(); }
+
+void parallel_for_ranges(std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t grain) {
+  if (n == 0) return;
+  auto& stats = KernelStats::instance();
+  stats.launches.fetch_add(1, std::memory_order_relaxed);
+  stats.total_threads.fetch_add(n, std::memory_order_relaxed);
+
+  auto& pool = ThreadPool::instance();
+  const unsigned lanes = pool.lanes();
+  if (lanes == 1 || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + lanes - 1) / lanes;
+  pool.run_on_lanes([&](unsigned lane) {
+    const std::size_t begin = static_cast<std::size_t>(lane) * chunk;
+    if (begin >= n) return;
+    const std::size_t end = std::min(n, begin + chunk);
+    fn(begin, end);
+  });
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  parallel_for_ranges(
+      n,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) fn(i);
+      },
+      grain);
+}
+
+void parallel_for_strided(std::size_t n,
+                          const std::function<void(std::size_t)>& fn,
+                          std::size_t grain) {
+  if (n == 0) return;
+  auto& stats = KernelStats::instance();
+  stats.launches.fetch_add(1, std::memory_order_relaxed);
+  stats.total_threads.fetch_add(n, std::memory_order_relaxed);
+
+  auto& pool = ThreadPool::instance();
+  const unsigned lanes = pool.lanes();
+  if (lanes == 1 || n <= grain) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool.run_on_lanes([&](unsigned lane) {
+    for (std::size_t i = lane; i < n; i += lanes) fn(i);
+  });
+}
+
+double parallel_reduce_sum(std::size_t n,
+                           const std::function<double(std::size_t)>& fn,
+                           std::size_t grain) {
+  if (n == 0) return 0.0;
+  auto& pool = ThreadPool::instance();
+  const unsigned lanes = pool.lanes();
+  if (lanes == 1 || n <= grain) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += fn(i);
+    return acc;
+  }
+  KernelStats::instance().launches.fetch_add(1, std::memory_order_relaxed);
+  std::vector<double> partial(lanes, 0.0);
+  const std::size_t chunk = (n + lanes - 1) / lanes;
+  pool.run_on_lanes([&](unsigned lane) {
+    const std::size_t begin = static_cast<std::size_t>(lane) * chunk;
+    if (begin >= n) return;
+    const std::size_t end = std::min(n, begin + chunk);
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += fn(i);
+    partial[lane] = acc;
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+}  // namespace stgraph::device

@@ -1,0 +1,56 @@
+// Grid-style parallel primitives — the CPU analogue of CUDA kernel
+// launches. `parallel_for` plays the role of a 1-D grid launch;
+// `KernelStats` counts launches the way the original system counts kernel
+// invocations (used by the fusion ablation bench: fewer launches == fused).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "runtime/thread_pool.hpp"
+
+namespace stgraph::device {
+
+/// Global launch statistics (reset per measured region in benches).
+struct KernelStats {
+  std::atomic<uint64_t> launches{0};
+  std::atomic<uint64_t> total_threads{0};
+  static KernelStats& instance();
+  void reset() { launches = 0; total_threads = 0; }
+};
+
+/// Launch `fn(i)` for i in [0, n). Static block partitioning across lanes;
+/// below `grain` elements the launch runs inline (launch overhead would
+/// dominate, mirroring how tiny kernels are not worth a grid launch).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1024);
+
+/// Launch `fn(begin, end)` over contiguous index ranges — the analogue of a
+/// thread-block processing a tile. Lower per-element overhead than
+/// parallel_for; preferred in kernels.
+void parallel_for_ranges(std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t grain = 1024);
+
+/// Launch `fn(i)` for i in [0, n) with ROUND-ROBIN lane assignment (lane k
+/// processes k, k+L, k+2L, ...). This emulates GPU warp scheduling: when
+/// work items are sorted by descending cost (degree-ordered vertices),
+/// striding balances lanes where contiguous blocks would not.
+void parallel_for_strided(std::size_t n,
+                          const std::function<void(std::size_t)>& fn,
+                          std::size_t grain = 512);
+
+/// Parallel sum-reduction of fn(i) over [0, n).
+double parallel_reduce_sum(std::size_t n,
+                           const std::function<double(std::size_t)>& fn,
+                           std::size_t grain = 4096);
+
+/// Number of parallel lanes available (threads in the device).
+unsigned lane_count();
+
+/// No-op on the CPU substrate (kernels are synchronous) but kept so call
+/// sites read like the CUDA original.
+inline void synchronize() {}
+
+}  // namespace stgraph::device

@@ -1,0 +1,93 @@
+#include "runtime/scan.hpp"
+
+#include <algorithm>
+
+#include "runtime/thread_pool.hpp"
+
+namespace stgraph::device {
+namespace {
+
+// Three-phase chunked scan (reduce / scan-of-sums / downsweep): the classic
+// work-efficient parallel scan, with each phase a lane-parallel pass.
+template <typename T>
+void inclusive_scan_impl(const T* in, T* out, std::size_t n) {
+  if (n == 0) return;
+  auto& pool = ThreadPool::instance();
+  const unsigned lanes = pool.lanes();
+  constexpr std::size_t kSerialCutoff = 1 << 14;
+  if (lanes == 1 || n <= kSerialCutoff) {
+    T acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += in[i];
+      out[i] = acc;
+    }
+    return;
+  }
+  const std::size_t chunk = (n + lanes - 1) / lanes;
+  std::vector<T> sums(lanes, 0);
+  pool.run_on_lanes([&](unsigned lane) {
+    const std::size_t b = static_cast<std::size_t>(lane) * chunk;
+    if (b >= n) return;
+    const std::size_t e = std::min(n, b + chunk);
+    T acc = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      acc += in[i];
+      out[i] = acc;
+    }
+    sums[lane] = acc;
+  });
+  // Scan of per-chunk sums (lanes is small; serial).
+  T carry = 0;
+  for (unsigned l = 0; l < lanes; ++l) {
+    T s = sums[l];
+    sums[l] = carry;
+    carry += s;
+  }
+  pool.run_on_lanes([&](unsigned lane) {
+    const std::size_t b = static_cast<std::size_t>(lane) * chunk;
+    if (b >= n || sums[lane] == 0) return;
+    const std::size_t e = std::min(n, b + chunk);
+    const T offset = sums[lane];
+    for (std::size_t i = b; i < e; ++i) out[i] += offset;
+  });
+}
+
+template <typename T>
+T exclusive_scan_impl(const T* in, T* out, std::size_t n) {
+  if (n == 0) return 0;
+  // Compute the inclusive scan, then shift. Keep the grand total before the
+  // shift destroys it when aliased.
+  inclusive_scan_impl(in, out, n);
+  const T total = out[n - 1];
+  for (std::size_t i = n; i-- > 1;) out[i] = out[i - 1];
+  out[0] = 0;
+  return total;
+}
+
+}  // namespace
+
+void inclusive_scan(const uint64_t* in, uint64_t* out, std::size_t n) {
+  inclusive_scan_impl(in, out, n);
+}
+void inclusive_scan(const uint32_t* in, uint32_t* out, std::size_t n) {
+  inclusive_scan_impl(in, out, n);
+}
+uint64_t exclusive_scan(const uint64_t* in, uint64_t* out, std::size_t n) {
+  return exclusive_scan_impl(in, out, n);
+}
+uint32_t exclusive_scan(const uint32_t* in, uint32_t* out, std::size_t n) {
+  return exclusive_scan_impl(in, out, n);
+}
+
+std::vector<uint64_t> inclusive_scan(const std::vector<uint64_t>& in) {
+  std::vector<uint64_t> out(in.size());
+  inclusive_scan(in.data(), out.data(), in.size());
+  return out;
+}
+std::vector<uint64_t> exclusive_scan(const std::vector<uint64_t>& in) {
+  std::vector<uint64_t> out(in.size());
+  exclusive_scan(in.data(), out.data(), in.size());
+  return out;
+}
+
+}  // namespace stgraph::device

@@ -1,0 +1,26 @@
+// Parallel prefix sums — the Thrust `inclusive_scan`/`exclusive_scan`
+// analogue. Algorithm 3 of the paper (reverse-CSR construction) seeds its
+// scatter cursor array with an inclusive prefix sum of the in-degree
+// array; CSR row_offset construction uses the exclusive form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stgraph::device {
+
+/// out[i] = in[0] + ... + in[i]. `out` may alias `in`.
+void inclusive_scan(const uint64_t* in, uint64_t* out, std::size_t n);
+void inclusive_scan(const uint32_t* in, uint32_t* out, std::size_t n);
+
+/// out[i] = in[0] + ... + in[i-1]; returns the grand total. `out` may
+/// alias `in`.
+uint64_t exclusive_scan(const uint64_t* in, uint64_t* out, std::size_t n);
+uint32_t exclusive_scan(const uint32_t* in, uint32_t* out, std::size_t n);
+
+/// Convenience vector forms.
+std::vector<uint64_t> inclusive_scan(const std::vector<uint64_t>& in);
+std::vector<uint64_t> exclusive_scan(const std::vector<uint64_t>& in);
+
+}  // namespace stgraph::device

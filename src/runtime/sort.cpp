@@ -1,0 +1,109 @@
+#include "runtime/sort.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "runtime/thread_pool.hpp"
+
+namespace stgraph::device {
+namespace {
+
+constexpr int kRadixBits = 8;
+constexpr std::size_t kBuckets = 1u << kRadixBits;
+
+// One LSD pass over `pass`-th byte; stable.
+void radix_pass(const std::vector<uint64_t>& in, std::vector<uint64_t>& out,
+                const std::vector<uint64_t>* payload_in,
+                std::vector<uint64_t>* payload_out, int pass) {
+  const int shift = pass * kRadixBits;
+  std::array<std::size_t, kBuckets> count{};
+  for (uint64_t k : in) ++count[(k >> shift) & (kBuckets - 1)];
+  std::size_t sum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    std::size_t c = count[b];
+    count[b] = sum;
+    sum += c;
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::size_t b = (in[i] >> shift) & (kBuckets - 1);
+    out[count[b]] = in[i];
+    if (payload_in) (*payload_out)[count[b]] = (*payload_in)[i];
+    ++count[b];
+  }
+}
+
+bool pass_needed(const std::vector<uint64_t>& keys, int pass) {
+  // Skip passes whose byte is constant across the whole batch (common:
+  // graph ids rarely use all 8 bytes).
+  const int shift = pass * kRadixBits;
+  if (keys.empty()) return false;
+  const uint64_t first = (keys[0] >> shift) & (kBuckets - 1);
+  for (uint64_t k : keys) {
+    if (((k >> shift) & (kBuckets - 1)) != first) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void radix_sort(std::vector<uint64_t>& keys) {
+  if (keys.size() < 2) return;
+  std::vector<uint64_t> tmp(keys.size());
+  std::vector<uint64_t>* src = &keys;
+  std::vector<uint64_t>* dst = &tmp;
+  for (int pass = 0; pass < 8; ++pass) {
+    if (!pass_needed(*src, pass)) continue;
+    radix_pass(*src, *dst, nullptr, nullptr, pass);
+    std::swap(src, dst);
+  }
+  if (src != &keys) keys = std::move(*src);
+}
+
+void radix_sort_pairs(std::vector<uint64_t>& keys,
+                      std::vector<uint64_t>& payload) {
+  if (keys.size() < 2) return;
+  std::vector<uint64_t> ktmp(keys.size()), ptmp(payload.size());
+  std::vector<uint64_t>*ks = &keys, *kd = &ktmp, *ps = &payload, *pd = &ptmp;
+  for (int pass = 0; pass < 8; ++pass) {
+    if (!pass_needed(*ks, pass)) continue;
+    radix_pass(*ks, *kd, ps, pd, pass);
+    std::swap(ks, kd);
+    std::swap(ps, pd);
+  }
+  if (ks != &keys) {
+    keys = std::move(*ks);
+    payload = std::move(*ps);
+  }
+}
+
+std::vector<uint32_t> sort_indices(
+    std::size_t n, const std::function<bool(uint32_t, uint32_t)>& less) {
+  std::vector<uint32_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+  auto& pool = ThreadPool::instance();
+  const unsigned lanes = pool.lanes();
+  if (lanes == 1 || n < (1u << 14)) {
+    std::stable_sort(idx.begin(), idx.end(), less);
+    return idx;
+  }
+  // Per-lane sort of contiguous chunks, then sequential k-way merge via
+  // repeated inplace_merge (lanes is small, merge depth is log2(lanes)).
+  const std::size_t chunk = (n + lanes - 1) / lanes;
+  pool.run_on_lanes([&](unsigned lane) {
+    const std::size_t b = static_cast<std::size_t>(lane) * chunk;
+    if (b >= n) return;
+    const std::size_t e = std::min(n, b + chunk);
+    std::stable_sort(idx.begin() + b, idx.begin() + e, less);
+  });
+  for (std::size_t width = chunk; width < n; width *= 2) {
+    for (std::size_t b = 0; b + width < n; b += 2 * width) {
+      const std::size_t mid = b + width;
+      const std::size_t e = std::min(n, b + 2 * width);
+      std::inplace_merge(idx.begin() + b, idx.begin() + mid, idx.begin() + e,
+                         less);
+    }
+  }
+  return idx;
+}
+
+}  // namespace stgraph::device

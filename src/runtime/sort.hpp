@@ -1,0 +1,27 @@
+// Parallel sorting — the Thrust/CUB `sort` analogue used by the GPMA batch
+// update path (updates must be key-sorted before leaf partitioning) and by
+// the degree-sort that builds the `node_ids` processing-order array.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace stgraph::device {
+
+/// LSD radix sort of 64-bit keys (stable). Fast path for PMA update
+/// batches where keys are (src << 32 | dst).
+void radix_sort(std::vector<uint64_t>& keys);
+
+/// Stable radix sort of (key, payload) pairs by key.
+void radix_sort_pairs(std::vector<uint64_t>& keys,
+                      std::vector<uint64_t>& payload);
+
+/// Parallel comparison sort of an index permutation [0, n) ordered by
+/// `less`. Used for degree sorting where the comparator reads a degree
+/// array. Merge-based: per-lane std::sort then pairwise merges.
+std::vector<uint32_t> sort_indices(
+    std::size_t n, const std::function<bool(uint32_t, uint32_t)>& less);
+
+}  // namespace stgraph::device

@@ -1,0 +1,87 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace stgraph {
+
+thread_local bool ThreadPool::in_pool_job_ = false;
+
+namespace {
+unsigned default_workers() {
+  if (const char* e = std::getenv("STGRAPH_NUM_THREADS")) {
+    int n = std::atoi(e);
+    if (n >= 1) return static_cast<unsigned>(n - 1);  // n lanes total
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  if (hc <= 1) return 0;
+  return hc - 1;  // caller thread is a lane too
+}
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(default_workers());
+  return pool;
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_on_lanes(const std::function<void(unsigned)>& fn) {
+  if (workers_.empty() || in_pool_job_) {
+    // Inline / reentrant execution: the caller covers every lane serially.
+    // Reentrant launches see a single lane so grid math stays correct.
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    pending_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  in_pool_job_ = true;
+  fn(0);  // lane 0 = calling thread
+  in_pool_job_ = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned lane) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    in_pool_job_ = true;
+    (*job)(lane);
+    in_pool_job_ = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace stgraph

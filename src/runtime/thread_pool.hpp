@@ -1,0 +1,52 @@
+// Persistent worker pool backing all "kernel launches" in the CPU device
+// substrate. One pool per process (like one CUDA context); workers park on
+// a condition variable between launches.
+//
+// Thread count comes from STGRAPH_NUM_THREADS if set, otherwise
+// hardware_concurrency. With a single hardware thread the pool degrades to
+// inline execution (zero workers) so tests remain fast on tiny machines.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stgraph {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool.
+  static ThreadPool& instance();
+
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallel lanes = workers + the calling thread.
+  unsigned lanes() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Run fn(lane) on every lane (0..lanes-1) and wait for completion.
+  /// The calling thread executes lane 0. Reentrant calls (fn itself calling
+  /// run_on_lanes) execute inline on the calling lane to avoid deadlock.
+  void run_on_lanes(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned lane);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+  static thread_local bool in_pool_job_;
+};
+
+}  // namespace stgraph

@@ -1,0 +1,205 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+
+#include "autograd/engine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+
+namespace {
+int64_t shape_numel(const Shape& s) {
+  int64_t n = 1;
+  for (int64_t d : s) {
+    STG_CHECK(d >= 0, "negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+TensorImpl::TensorImpl(Shape shape_in, MemCategory cat)
+    : shape(std::move(shape_in)),
+      data(static_cast<std::size_t>(shape_numel(shape)), cat) {
+  STG_CHECK(shape.size() <= 2, "tensors are rank 0/1/2, got rank ",
+            shape.size());
+}
+
+int64_t TensorImpl::numel() const { return shape_numel(shape); }
+
+Tensor Tensor::empty(Shape shape, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>(std::move(shape));
+  impl->requires_grad = requires_grad && g_grad_enabled;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::zeros(Shape shape, bool requires_grad) {
+  Tensor t = empty(std::move(shape), requires_grad);
+  t.impl()->data.fill(0.0f);
+  return t;
+}
+
+Tensor Tensor::ones(Shape shape, bool requires_grad) {
+  return full(std::move(shape), 1.0f, requires_grad);
+}
+
+Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
+  Tensor t = empty(std::move(shape), requires_grad);
+  t.impl()->data.fill(value);
+  return t;
+}
+
+Tensor Tensor::from_vector(const std::vector<float>& values, Shape shape,
+                           bool requires_grad) {
+  Tensor t = empty(std::move(shape), requires_grad);
+  STG_CHECK(static_cast<int64_t>(values.size()) == t.numel(),
+            "from_vector: ", values.size(), " values for shape ",
+            shape_str(t.shape()));
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
+  Tensor t = empty(std::move(shape), requires_grad);
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = rng.normal(0.0f, stddev);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi,
+                       bool requires_grad) {
+  Tensor t = empty(std::move(shape), requires_grad);
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+const Shape& Tensor::shape() const {
+  STG_CHECK(defined(), "shape() on undefined tensor");
+  return impl_->shape;
+}
+
+int64_t Tensor::dim() const { return static_cast<int64_t>(shape().size()); }
+
+int64_t Tensor::size(int64_t d) const {
+  STG_CHECK(d >= 0 && d < dim(), "size(", d, ") on rank-", dim(), " tensor");
+  return shape()[static_cast<size_t>(d)];
+}
+
+int64_t Tensor::numel() const {
+  STG_CHECK(defined(), "numel() on undefined tensor");
+  return impl_->numel();
+}
+
+int64_t Tensor::rows() const { return dim() == 2 ? size(0) : 1; }
+int64_t Tensor::cols() const {
+  return dim() == 2 ? size(1) : (dim() == 1 ? size(0) : 1);
+}
+
+float* Tensor::data() {
+  STG_CHECK(defined(), "data() on undefined tensor");
+  return impl_->data.data();
+}
+const float* Tensor::data() const {
+  STG_CHECK(defined(), "data() on undefined tensor");
+  return impl_->data.data();
+}
+
+float Tensor::item() const {
+  STG_CHECK(numel() == 1, "item() on tensor with ", numel(), " elements");
+  return data()[0];
+}
+
+float Tensor::at(int64_t i) const {
+  STG_CHECK(i >= 0 && i < numel(), "flat index ", i, " out of range ", numel());
+  return data()[i];
+}
+
+float Tensor::at(int64_t r, int64_t c) const {
+  STG_CHECK(dim() == 2, "at(r, c) needs a rank-2 tensor");
+  STG_CHECK(r >= 0 && r < rows() && c >= 0 && c < cols(), "index (", r, ",", c,
+            ") out of range (", rows(), ",", cols(), ")");
+  return data()[r * cols() + c];
+}
+
+std::vector<float> Tensor::to_vector() const { return impl_->data.to_host(); }
+
+bool Tensor::requires_grad() const {
+  return defined() && impl_->requires_grad;
+}
+
+Tensor& Tensor::set_requires_grad(bool v) {
+  STG_CHECK(defined(), "set_requires_grad on undefined tensor");
+  STG_CHECK(!v || impl_->grad_fn == nullptr,
+            "can only toggle requires_grad on leaf tensors");
+  impl_->requires_grad = v;
+  return *this;
+}
+
+Tensor Tensor::grad() const {
+  if (!defined() || !impl_->grad) return Tensor();
+  return Tensor(impl_->grad);
+}
+
+void Tensor::zero_grad() {
+  if (defined() && impl_->grad) impl_->grad->data.fill(0.0f);
+}
+
+void Tensor::backward() const {
+  STG_CHECK(defined() && numel() == 1,
+            "backward() without an explicit seed requires a scalar loss");
+  backward(Tensor::ones(shape()));
+}
+
+void Tensor::backward(const Tensor& grad_output) const {
+  autograd::run_backward(*this, grad_output);
+}
+
+Tensor Tensor::detach() const {
+  if (!defined()) return Tensor();
+  auto impl = std::make_shared<TensorImpl>(impl_->shape);
+  // Share nothing autograd-related; copy the data (cheap vs correctness —
+  // aliasing storage across the graph boundary invites in-place hazards).
+  std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::clone() const { return detach(); }
+
+std::string Tensor::to_string(int64_t max_elems) const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream oss;
+  oss << "Tensor" << shape_str(shape()) << " [";
+  const int64_t n = std::min<int64_t>(numel(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) oss << ", ";
+    oss << data()[i];
+  }
+  if (numel() > n) oss << ", ...";
+  oss << "]";
+  return oss.str();
+}
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+bool NoGradGuard::grad_enabled() { return g_grad_enabled; }
+
+bool same_shape(const Tensor& a, const Tensor& b) {
+  return a.defined() && b.defined() && a.shape() == b.shape();
+}
+
+std::string shape_str(const Shape& s) {
+  std::string out = "[";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(s[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace stgraph

@@ -1,0 +1,13 @@
+#include "util/check.hpp"
+
+namespace stgraph::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream oss;
+  oss << "STG_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw StgError(oss.str());
+}
+
+}  // namespace stgraph::detail

@@ -1,0 +1,50 @@
+// Assertion and error-handling macros used across STGraph.
+//
+// STG_CHECK is always on (it guards API contracts that user code can
+// violate); STG_DCHECK compiles out in NDEBUG builds and guards internal
+// invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stgraph {
+
+/// Exception thrown for violated API contracts (bad shapes, out-of-range
+/// timestamps, misuse of the executor, ...).
+class StgError : public std::runtime_error {
+ public:
+  explicit StgError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+
+template <typename... Args>
+std::string concat_message(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+}  // namespace stgraph
+
+#define STG_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::stgraph::detail::throw_check_failure(                             \
+          #cond, __FILE__, __LINE__,                                      \
+          ::stgraph::detail::concat_message("" __VA_ARGS__));             \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define STG_DCHECK(cond, ...) \
+  do {                        \
+  } while (0)
+#else
+#define STG_DCHECK(cond, ...) STG_CHECK(cond, __VA_ARGS__)
+#endif

@@ -1,0 +1,67 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace stgraph {
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  STG_CHECK(row.size() == header_.size(), "CSV row width ", row.size(),
+            " != header width ", header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_table() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      oss << std::left << std::setw(static_cast<int>(widths[c]) + 2) << r[c];
+    }
+    oss << "\n";
+  };
+  emit(header_);
+  std::string rule;
+  for (size_t c = 0; c < header_.size(); ++c)
+    rule += std::string(widths[c], '-') + "  ";
+  oss << rule << "\n";
+  for (const auto& r : rows_) emit(r);
+  return oss.str();
+}
+
+std::string CsvWriter::to_csv() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c) oss << ",";
+      oss << r[c];
+    }
+    oss << "\n";
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return oss.str();
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+std::string CsvWriter::fmt(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+}  // namespace stgraph

@@ -1,0 +1,35 @@
+// Tiny CSV emitter: every figure bench prints its series both as an
+// aligned human-readable table and (optionally) writes a CSV file so the
+// paper's plots can be regenerated.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace stgraph {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+  /// Render as an aligned text table (for stdout).
+  std::string to_table() const;
+  /// Render as CSV text.
+  std::string to_csv() const;
+  /// Write CSV to a file; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stgraph

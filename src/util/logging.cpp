@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace stgraph::log {
+namespace {
+
+Level parse_env() {
+  const char* e = std::getenv("STGRAPH_LOG");
+  if (e == nullptr) return Level::kWarn;
+  if (std::strcmp(e, "trace") == 0) return Level::kTrace;
+  if (std::strcmp(e, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(e, "info") == 0) return Level::kInfo;
+  if (std::strcmp(e, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(e, "error") == 0) return Level::kError;
+  if (std::strcmp(e, "off") == 0) return Level::kOff;
+  return Level::kWarn;
+}
+
+Level g_level = parse_env();
+std::mutex g_mutex;
+
+const char* name(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+Level level() { return g_level; }
+void set_level(Level lvl) { g_level = lvl; }
+
+namespace detail {
+void emit(Level lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[stgraph " << name(lvl) << "] " << msg << "\n";
+}
+}  // namespace detail
+
+}  // namespace stgraph::log

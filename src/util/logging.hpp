@@ -1,0 +1,51 @@
+// Minimal leveled logger. Level comes from the STGRAPH_LOG env var
+// (trace|debug|info|warn|error, default warn) so tests and benches stay
+// quiet unless asked.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace stgraph::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log level (resolved once from the environment).
+Level level();
+
+/// Override the level programmatically (tests use this).
+void set_level(Level lvl);
+
+namespace detail {
+void emit(Level lvl, const std::string& msg);
+}
+
+class LineLogger {
+ public:
+  LineLogger(Level lvl, bool enabled) : lvl_(lvl), enabled_(enabled) {}
+  ~LineLogger() {
+    if (enabled_) detail::emit(lvl_, oss_.str());
+  }
+  template <typename T>
+  LineLogger& operator<<(const T& v) {
+    if (enabled_) oss_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  bool enabled_;
+  std::ostringstream oss_;
+};
+
+inline LineLogger at(Level lvl) { return LineLogger(lvl, lvl >= level()); }
+
+}  // namespace stgraph::log
+
+#define STG_LOG_TRACE ::stgraph::log::at(::stgraph::log::Level::kTrace)
+#define STG_LOG_DEBUG ::stgraph::log::at(::stgraph::log::Level::kDebug)
+#define STG_LOG_INFO ::stgraph::log::at(::stgraph::log::Level::kInfo)
+#define STG_LOG_WARN ::stgraph::log::at(::stgraph::log::Level::kWarn)
+#define STG_LOG_ERROR ::stgraph::log::at(::stgraph::log::Level::kError)

@@ -1,0 +1,89 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace stgraph {
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  STG_CHECK(bound > 0, "next_below requires a positive bound");
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform(float lo, float hi) {
+  return lo + static_cast<float>(next_double()) * (hi - lo);
+}
+
+float Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; guard against log(0).
+  double u1 = next_double();
+  while (u1 <= 1e-300) u1 = next_double();
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = static_cast<float>(r * std::sin(theta));
+  has_cached_normal_ = true;
+  return static_cast<float>(r * std::cos(theta));
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+std::vector<uint64_t> Rng::sample_without_replacement(uint64_t n, uint64_t k) {
+  STG_CHECK(k <= n, "cannot sample ", k, " distinct values from ", n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k > n / 2) {
+    // Dense case: shuffle a full index vector and take a prefix.
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    uint64_t v = next_below(n);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace stgraph

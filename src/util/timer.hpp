@@ -1,0 +1,62 @@
+// Wall-clock timing helpers used by benches and the executor's phase
+// instrumentation (Figure 9 needs a GNN-time vs graph-update-time split).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace stgraph {
+
+/// Simple monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() { reset(); }
+  void reset() { start_ = clock::now(); }
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across many start/stop intervals; used to attribute
+/// executor time to phases (graph update vs GNN processing).
+class PhaseTimer {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += timer_.seconds();
+      ++intervals_;
+      running_ = false;
+    }
+  }
+  void reset() { total_ = 0; intervals_ = 0; running_ = false; }
+  double total_seconds() const { return total_; }
+  uint64_t intervals() const { return intervals_; }
+
+ private:
+  Timer timer_;
+  double total_ = 0;
+  uint64_t intervals_ = 0;
+  bool running_ = false;
+};
+
+/// RAII guard that charges a scope to a PhaseTimer.
+class PhaseScope {
+ public:
+  explicit PhaseScope(PhaseTimer& t) : t_(t) { t_.start(); }
+  ~PhaseScope() { t_.stop(); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseTimer& t_;
+};
+
+}  // namespace stgraph

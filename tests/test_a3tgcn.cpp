@@ -1,0 +1,186 @@
+// Tests for the attention ops (div/scale/softmax/element) and the A3TGCN
+// attention-temporal model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.hpp"
+#include "datasets/synthetic.hpp"
+#include "graph/static_graph.hpp"
+#include "nn/a3tgcn.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+// Light-weight finite-difference check (full version lives in
+// test_autograd; these ops were added later).
+void check_grad(Tensor& x, const std::function<Tensor()>& fn,
+                float eps = 1e-2f, float tol = 2e-2f) {
+  x.zero_grad();
+  fn().backward();
+  Tensor grad = x.grad();
+  ASSERT_TRUE(grad.defined());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const float up = fn().item();
+    x.data()[i] = orig - eps;
+    const float down = fn().item();
+    x.data()[i] = orig;
+    const float fd = (up - down) / (2 * eps);
+    const float scale = std::max({1.0f, std::abs(fd)});
+    EXPECT_NEAR(grad.at(i), fd, tol * scale) << i;
+  }
+}
+
+TEST(AttentionOps, DivForwardAndGrad) {
+  Tensor a = Tensor::from_vector({6, 8}, {2}, true);
+  Tensor b = Tensor::from_vector({2, 4}, {2}, true);
+  EXPECT_EQ(ops::div(a, b).to_vector(), (std::vector<float>{3, 2}));
+  check_grad(a, [&] { return ops::sum(ops::div(a, b)); });
+  check_grad(b, [&] { return ops::sum(ops::div(a, b)); });
+}
+
+TEST(AttentionOps, ScaleForwardAndGradBothInputs) {
+  Rng rng(1);
+  Tensor x = Tensor::randn({3, 2}, rng, 1.0f, true);
+  Tensor s = Tensor::full({1}, 0.7f, true);
+  Tensor y = ops::scale(x, s);
+  for (int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(y.at(i), 0.7f * x.at(i));
+  check_grad(x, [&] { return ops::sum(ops::scale(x, s)); });
+  check_grad(s, [&] { return ops::sum(ops::scale(x, s)); });
+  EXPECT_THROW(ops::scale(x, Tensor::zeros({2})), StgError);
+}
+
+TEST(AttentionOps, SoftmaxNormalizedAndStable) {
+  Tensor x = Tensor::from_vector({1.0f, 2.0f, 3.0f}, {3});
+  Tensor y = ops::softmax(x);
+  float total = 0;
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_GT(y.at(i), 0.0f);
+    total += y.at(i);
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-6f);
+  EXPECT_GT(y.at(2), y.at(1));
+  // Large logits must not overflow.
+  Tensor big = ops::softmax(Tensor::from_vector({1000.0f, 1001.0f}, {2}));
+  EXPECT_FALSE(std::isnan(big.at(0)));
+  EXPECT_NEAR(big.at(0) + big.at(1), 1.0f, 1e-6f);
+}
+
+TEST(AttentionOps, SoftmaxGrad) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({4}, rng, 1.0f, true);
+  Tensor w = Tensor::randn({4}, rng);  // weight the outputs
+  check_grad(x, [&] { return ops::sum(ops::mul(ops::softmax(x), w)); });
+}
+
+TEST(AttentionOps, ElementGradRoutesToOneEntry) {
+  Tensor x = Tensor::from_vector({1, 2, 3}, {3}, true);
+  ops::element(x, 1).backward();
+  EXPECT_EQ(x.grad().to_vector(), (std::vector<float>{0, 1, 0}));
+  EXPECT_THROW(ops::element(x, 3), StgError);
+}
+
+EdgeList ring(uint32_t n) {
+  EdgeList e;
+  for (uint32_t v = 0; v < n; ++v) e.emplace_back(v, (v + 1) % n);
+  return e;
+}
+
+TEST(A3Tgcn, UniformAttentionInitially) {
+  Rng rng(5);
+  nn::A3TGCN cell(3, 4, /*periods=*/4, rng);
+  Tensor att = cell.attention();
+  for (int64_t p = 0; p < 4; ++p) EXPECT_NEAR(att.at(p), 0.25f, 1e-6f);
+}
+
+TEST(A3Tgcn, StateWindowShiftsNewestFirst) {
+  Rng rng(7);
+  const uint32_t n = 6;
+  nn::A3TGCN cell(2, 3, /*periods=*/2, rng);
+  StaticTemporalGraph graph(n, ring(n), 3);
+  core::TemporalExecutor exec(graph);
+  NoGradGuard ng;
+  Tensor state = cell.initial_state(n);
+  exec.begin_forward_step(0);
+  Tensor x = Tensor::randn({n, 2}, rng);
+  auto [out1, s1] = cell.forward(exec, x, state);
+  // After one step: newest block non-zero, old block = previous newest (0).
+  Tensor newest = ops::slice_cols(s1, 0, 3);
+  Tensor oldest = ops::slice_cols(s1, 3, 6);
+  bool newest_nonzero = false;
+  for (int64_t i = 0; i < newest.numel(); ++i)
+    newest_nonzero = newest_nonzero || newest.at(i) != 0.0f;
+  EXPECT_TRUE(newest_nonzero);
+  for (int64_t i = 0; i < oldest.numel(); ++i) EXPECT_EQ(oldest.at(i), 0.0f);
+
+  exec.begin_forward_step(1);
+  auto [out2, s2] = cell.forward(exec, x, s1);
+  // The old block of s2 equals the newest block of s1.
+  Tensor old2 = ops::slice_cols(s2, 3, 6);
+  EXPECT_EQ(old2.to_vector(), newest.to_vector());
+}
+
+TEST(A3Tgcn, AttentionScoresReceiveGradients) {
+  Rng rng(9);
+  const uint32_t n = 8;
+  nn::A3TGCNRegressor model(3, 4, /*periods=*/3, rng);
+  StaticTemporalGraph graph(n, ring(n), 4);
+  core::TemporalExecutor exec(graph);
+  Tensor state = model.initial_state(n);
+  Tensor loss;
+  for (uint32_t t = 0; t < 3; ++t) {
+    exec.begin_forward_step(t);
+    Tensor x = Tensor::randn({n, 3}, rng);
+    auto [y, next] = model.step(exec, x, state, nullptr);
+    state = next;
+    Tensor l = ops::mean(ops::mul(y, y));
+    loss = loss.defined() ? ops::add(loss, l) : l;
+  }
+  loss.backward();
+  exec.verify_drained();
+  bool found_att = false;
+  for (const auto& p : model.parameters()) {
+    if (p.name.find("att_score") != std::string::npos) {
+      found_att = true;
+      ASSERT_TRUE(p.tensor.grad().defined());
+      float norm = 0;
+      for (int64_t i = 0; i < p.tensor.grad().numel(); ++i)
+        norm += std::abs(p.tensor.grad().at(i));
+      EXPECT_GT(norm, 0.0f);
+    }
+  }
+  EXPECT_TRUE(found_att);
+}
+
+TEST(A3Tgcn, TrainsOnStaticTemporalData) {
+  datasets::StaticLoadOptions o;
+  o.num_timestamps = 18;
+  o.feature_size = 4;
+  auto ds = datasets::load_chickenpox(o);
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+  Rng rng(11);
+  nn::A3TGCNRegressor model(o.feature_size, 8, /*periods=*/3, rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.sequence_length = 6;
+  cfg.task = core::Task::kNodeRegression;
+  core::STGraphTrainer trainer(graph, model, ds.signal, cfg);
+  auto stats = trainer.train();
+  EXPECT_LT(stats.back().loss, stats.front().loss);
+}
+
+TEST(A3Tgcn, SinglePeriodDegeneratesToTgcnShape) {
+  Rng rng(13);
+  nn::A3TGCN cell(3, 4, /*periods=*/1, rng);
+  EXPECT_EQ(cell.initial_state(5).shape(), (Shape{5, 4}));
+  EXPECT_NEAR(cell.attention().at(0), 1.0f, 1e-6f);
+  EXPECT_THROW(nn::A3TGCN(3, 4, 0, rng), StgError);
+}
+
+}  // namespace
+}  // namespace stgraph

@@ -1,0 +1,182 @@
+// Dedicated tests for the PyG-T baseline module: COO construction,
+// per-edge GCN normalization, gradient correctness of the edge-parallel
+// primitives, and the memory attribution of message tensors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "baseline/coo_graph.hpp"
+#include "baseline/edge_ops.hpp"
+#include "baseline/pyg_layers.hpp"
+#include "runtime/memory_tracker.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+using namespace baseline;
+
+TEST(CooGraph, ConstructionAndBytes) {
+  CooSnapshot g = make_coo(4, {{0, 1}, {1, 2}, {3, 0}});
+  EXPECT_EQ(g.num_nodes, 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.src.to_host(), (std::vector<uint32_t>{0, 1, 3}));
+  EXPECT_EQ(g.dst.to_host(), (std::vector<uint32_t>{1, 2, 0}));
+  EXPECT_EQ(g.device_bytes(), 2 * 3 * sizeof(uint32_t));
+  EXPECT_THROW(make_coo(2, {{0, 5}}), StgError);
+}
+
+TEST(PygtTemporalGraph, StaticSharesOneSnapshot) {
+  PygtTemporalGraph g(3, {{0, 1}, {1, 2}}, 10);
+  EXPECT_FALSE(g.is_dynamic());
+  EXPECT_EQ(&g.snapshot(0), &g.snapshot(9));
+  EXPECT_THROW(g.snapshot(10), StgError);
+}
+
+TEST(PygtTemporalGraph, DynamicMaterializesEverySnapshot) {
+  DtdgEvents ev;
+  ev.num_nodes = 3;
+  ev.base_edges = {{0, 1}};
+  ev.deltas.push_back({{{1, 2}}, {}});
+  ev.deltas.push_back({{{2, 0}}, {{0, 1}}});
+  PygtTemporalGraph g(ev);
+  EXPECT_TRUE(g.is_dynamic());
+  EXPECT_EQ(g.snapshot(0).num_edges(), 1u);
+  EXPECT_EQ(g.snapshot(1).num_edges(), 2u);
+  EXPECT_EQ(g.snapshot(2).num_edges(), 2u);
+}
+
+TEST(EdgeOps, GcnNormMatchesFormula) {
+  // 0→1, 2→1: din+1 = [1, 3, 1].
+  CooSnapshot g = make_coo(3, {{0, 1}, {2, 1}});
+  Tensor norm = gcn_norm(g);
+  const float want = 1.0f / std::sqrt(1.0f * 3.0f);
+  EXPECT_NEAR(norm.at(0), want, 1e-6f);
+  EXPECT_NEAR(norm.at(1), want, 1e-6f);
+  // Edge weights multiply in.
+  const float ew[2] = {2.0f, 0.5f};
+  Tensor weighted = gcn_norm(g, ew);
+  EXPECT_NEAR(weighted.at(0), 2.0f * want, 1e-6f);
+  EXPECT_NEAR(weighted.at(1), 0.5f * want, 1e-6f);
+}
+
+TEST(EdgeOps, GatherScatterRoundTripIsDegreeScaling) {
+  // scatter_add(gather(x)) multiplies each row by its (out→in) fan.
+  CooSnapshot g = make_coo(3, {{0, 1}, {0, 2}, {1, 2}});
+  Tensor x = Tensor::from_vector({1, 10, 100}, {3, 1});
+  NoGradGuard ng;
+  Tensor msg = gather_messages(x, g);
+  EXPECT_EQ(msg.to_vector(), (std::vector<float>{1, 1, 10}));
+  Tensor agg = scatter_add(msg, g);
+  EXPECT_EQ(agg.to_vector(), (std::vector<float>{0, 1, 11}));
+}
+
+TEST(EdgeOps, MessageTensorsChargedToEdgeMessageCategory) {
+  auto& mt = MemoryTracker::instance();
+  CooSnapshot g = make_coo(3, {{0, 1}, {1, 2}});
+  Tensor x = Tensor::ones({3, 4});
+  const std::size_t before = mt.current_bytes(MemCategory::kEdgeMessage);
+  NoGradGuard ng;
+  Tensor msg = gather_messages(x, g);
+  EXPECT_EQ(mt.current_bytes(MemCategory::kEdgeMessage),
+            before + 2 * 4 * sizeof(float));
+}
+
+TEST(EdgeOps, RetainedMessagesSurviveUntilBackward) {
+  // The baseline's defining memory behaviour: with autograd recording,
+  // scale_messages' node keeps the [E, F] tensor alive after the forward
+  // pass, and backward releases it.
+  auto& mt = MemoryTracker::instance();
+  CooSnapshot g = make_coo(3, {{0, 1}, {1, 2}});
+  Tensor x = Tensor::ones({3, 8}, /*requires_grad=*/true);
+  const std::size_t before = mt.current_bytes(MemCategory::kEdgeMessage);
+  Tensor out;
+  {
+    Tensor coef = gcn_norm(g);
+    Tensor msg = scale_messages(gather_messages(x, g), coef);
+    out = scatter_add(msg, g);
+    // `msg` handle goes out of scope here...
+  }
+  // ...but the gather output stays retained by scale_messages' node
+  // (torch.mul saved-tensor semantics). scatter_add's backward needs only
+  // indices, so the scaled copy is freed — exactly one [E, F] tensor per
+  // conv per timestep survives to backward.
+  EXPECT_EQ(mt.current_bytes(MemCategory::kEdgeMessage),
+            before + 2 * 8 * sizeof(float));
+  ops::sum(out).backward();
+  out = Tensor();  // drop the graph
+  EXPECT_EQ(mt.current_bytes(MemCategory::kEdgeMessage), before);
+}
+
+void check_grad(Tensor& x, const std::function<Tensor()>& fn) {
+  x.zero_grad();
+  fn().backward();
+  Tensor grad = x.grad();
+  ASSERT_TRUE(grad.defined());
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const float up = fn().item();
+    x.data()[i] = orig - eps;
+    const float down = fn().item();
+    x.data()[i] = orig;
+    const float fd = (up - down) / (2 * eps);
+    EXPECT_NEAR(grad.at(i), fd, 2e-2f * std::max(1.0f, std::abs(fd))) << i;
+  }
+}
+
+TEST(EdgeOps, GatherMessagesGradient) {
+  Rng rng(1);
+  CooSnapshot g = make_coo(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 0}});
+  Tensor x = Tensor::randn({4, 2}, rng, 1.0f, true);
+  Tensor w = Tensor::randn({5, 2}, rng);
+  check_grad(x, [&] { return ops::sum(ops::mul(gather_messages(x, g), w)); });
+}
+
+TEST(EdgeOps, FullConvPipelineGradient) {
+  Rng rng(2);
+  CooSnapshot g = make_coo(4, {{0, 1}, {1, 2}, {2, 3}, {3, 1}});
+  Tensor x = Tensor::randn({4, 2}, rng, 1.0f, true);
+  auto fn = [&] {
+    Tensor coef = gcn_norm(g);
+    Tensor msg = scale_messages(gather_messages(x, g), coef);
+    Tensor out = ops::add(scatter_add(msg, g), self_loop_contribution(x, g));
+    return ops::sum(ops::mul(out, out));
+  };
+  check_grad(x, fn);
+}
+
+TEST(PygLayers, ConvShapeChecksAndDeterminism) {
+  Rng ra(3), rb(3), rd(4);
+  PygGCNConv a(3, 5, ra), b(3, 5, rb);
+  CooSnapshot g = make_coo(6, {{0, 1}, {1, 2}, {4, 5}});
+  Tensor x = Tensor::randn({6, 3}, rd);
+  NoGradGuard ng;
+  Tensor ya = a.forward(g, x);
+  Tensor yb = b.forward(g, x);
+  EXPECT_EQ(ya.to_vector(), yb.to_vector());  // same seed → same layer
+  EXPECT_THROW(a.forward(g, Tensor::zeros({6, 4})), StgError);
+}
+
+TEST(PygLayers, TgcnStatePropagation) {
+  Rng rng(5);
+  PygTGCN cell(2, 3, rng);
+  CooSnapshot g = make_coo(4, {{0, 1}, {1, 2}, {2, 3}});
+  NoGradGuard ng;
+  Tensor x = Tensor::randn({4, 2}, rng);
+  Tensor h = cell.forward(g, x, Tensor());
+  EXPECT_EQ(h.shape(), (Shape{4, 3}));
+  Tensor h2 = cell.forward(g, x, h);
+  // The recurrence must actually depend on h.
+  bool differs = false;
+  for (int64_t i = 0; i < h.numel(); ++i)
+    differs = differs || h.at(i) != h2.at(i);
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace stgraph

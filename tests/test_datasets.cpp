@@ -1,0 +1,188 @@
+// Dataset generator tests: Table-II structural parameters, signal
+// learnability shape, link-sample validity, scaling behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+using namespace datasets;
+
+StaticLoadOptions small_static() {
+  StaticLoadOptions o;
+  o.scale = 1.0;
+  o.num_timestamps = 20;
+  o.feature_size = 4;
+  return o;
+}
+
+TEST(StaticDatasets, TableTwoShapes) {
+  const auto o = small_static();
+  auto wvm = load_wikimath(o);
+  EXPECT_EQ(wvm.num_nodes, 1068u);
+  EXPECT_NEAR(static_cast<double>(wvm.edges.size()), 27000.0, 27000.0 * 0.1);
+
+  auto wo = load_windmill(o);
+  EXPECT_EQ(wo.num_nodes, 319u);
+  EXPECT_EQ(wo.edges.size(), 319u * 319u);  // complete incl. self pairs
+
+  auto hc = load_chickenpox(o);
+  EXPECT_EQ(hc.num_nodes, 20u);
+  EXPECT_GE(hc.edges.size(), 40u);  // ring both directions at minimum
+
+  auto mb = load_montevideo_bus(o);
+  EXPECT_EQ(mb.num_nodes, 675u);
+  EXPECT_NEAR(static_cast<double>(mb.edges.size()), 690.0, 690.0 * 0.15);
+
+  auto pm = load_pedalme(o);
+  EXPECT_EQ(pm.num_nodes, 15u);
+  EXPECT_EQ(pm.edges.size(), 225u);  // 15²
+}
+
+TEST(StaticDatasets, EdgesAreValidAndUnique) {
+  for (const auto& ds : load_all_static(small_static())) {
+    std::set<std::pair<uint32_t, uint32_t>> seen;
+    for (const auto& [s, d] : ds.edges) {
+      EXPECT_LT(s, ds.num_nodes) << ds.name;
+      EXPECT_LT(d, ds.num_nodes) << ds.name;
+      EXPECT_TRUE(seen.insert({s, d}).second) << ds.name << " duplicate edge";
+    }
+  }
+}
+
+TEST(StaticDatasets, SignalShapesAndWeights) {
+  auto o = small_static();
+  auto hc = load_chickenpox(o);
+  const auto& sig = hc.signal;
+  ASSERT_EQ(sig.num_timestamps(), o.num_timestamps);
+  EXPECT_EQ(sig.feature_size(), o.feature_size);
+  ASSERT_TRUE(sig.has_node_targets());
+  for (uint32_t t = 0; t < sig.num_timestamps(); ++t) {
+    EXPECT_EQ(sig.features[t].shape(), (Shape{hc.num_nodes, o.feature_size}));
+    EXPECT_EQ(sig.targets[t].shape(), (Shape{hc.num_nodes, 1}));
+  }
+  EXPECT_EQ(sig.edge_weights.size(), hc.edges.size());
+  for (float w : sig.edge_weights) {
+    EXPECT_GE(w, 0.5f);
+    EXPECT_LT(w, 1.5f);
+  }
+}
+
+TEST(StaticDatasets, SignalIsAutoregressive) {
+  // The diffusion construction makes the target the next lag: the first
+  // F-1 feature columns at t+1 equal the last F-1 at t shifted, and the
+  // target at t equals feature column F-1 at t+1.
+  auto o = small_static();
+  auto pm = load_pedalme(o);
+  const auto& sig = pm.signal;
+  const int64_t F = o.feature_size;
+  for (uint32_t v = 0; v < pm.num_nodes; ++v) {
+    EXPECT_FLOAT_EQ(sig.features[1].at(v, F - 1), sig.targets[0].at(v, 0));
+    for (int64_t l = 0; l + 1 < F; ++l)
+      EXPECT_FLOAT_EQ(sig.features[1].at(v, l), sig.features[0].at(v, l + 1));
+  }
+}
+
+TEST(StaticDatasets, ScaleShrinksProportionally) {
+  StaticLoadOptions big = small_static();
+  StaticLoadOptions small = small_static();
+  small.scale = 0.25;
+  auto b = load_wikimath(big);
+  auto s = load_wikimath(small);
+  EXPECT_NEAR(static_cast<double>(s.num_nodes) / b.num_nodes, 0.25, 0.02);
+}
+
+TEST(StaticDatasets, ResignalAtDifferentFeatureSize) {
+  auto o = small_static();
+  auto hc = load_chickenpox(o);
+  TemporalSignal re = make_static_signal(hc, 16, 7);
+  EXPECT_EQ(re.feature_size(), 16);
+  EXPECT_EQ(re.num_timestamps(), hc.num_timestamps);
+}
+
+DynamicLoadOptions small_dynamic() {
+  DynamicLoadOptions o;
+  o.scale = 0.01;  // keep streams small for unit tests
+  o.link_samples_per_step = 16;
+  return o;
+}
+
+TEST(DynamicDatasets, TableTwoShapesScaled) {
+  const auto o = small_dynamic();
+  auto wiki = load_wiki_talk(o);
+  EXPECT_EQ(wiki.name, "wiki-talk-temporal");
+  EXPECT_EQ(wiki.num_nodes, 1200u);
+  EXPECT_EQ(wiki.stream.size(), 20000u);
+  auto math = load_sx_mathoverflow(o);
+  EXPECT_EQ(math.num_nodes, 240u);
+  EXPECT_EQ(math.stream.size(), 5060u);
+}
+
+TEST(DynamicDatasets, StreamEndpointsValid) {
+  for (const auto& ds : load_all_dynamic(small_dynamic())) {
+    for (const auto& [s, d] : ds.stream) {
+      EXPECT_LT(s, ds.num_nodes) << ds.name;
+      EXPECT_LT(d, ds.num_nodes) << ds.name;
+      EXPECT_NE(s, d) << ds.name;
+    }
+  }
+}
+
+TEST(DynamicDatasets, DtdgWindowingProducesUsableEvents) {
+  auto ds = load_sx_mathoverflow(small_dynamic());
+  DtdgEvents ev = make_dtdg(ds, 5.0);
+  EXPECT_EQ(ev.num_nodes, ds.num_nodes);
+  EXPECT_GE(ev.num_timestamps(), 3u);
+  EXPECT_NO_THROW(ev.snapshot_edges(ev.num_timestamps() - 1));
+}
+
+TEST(DynamicDatasets, DenserGraphHasHigherDensity) {
+  // sx-mathoverflow is the paper's "relatively denser" dynamic dataset.
+  auto o = small_dynamic();
+  auto math = load_sx_mathoverflow(o);
+  auto super_user = load_sx_superuser(o);
+  const double d_math =
+      static_cast<double>(math.stream.size()) / math.num_nodes;
+  const double d_super =
+      static_cast<double>(super_user.stream.size()) / super_user.num_nodes;
+  EXPECT_GT(d_math, d_super);
+}
+
+TEST(DynamicDatasets, LinkSignalValidSamples) {
+  auto o = small_dynamic();
+  auto ds = load_reddit_title(o);
+  DtdgEvents ev = make_dtdg(ds, 10.0);
+  TemporalSignal sig = make_dynamic_signal(ev, o);
+  ASSERT_TRUE(sig.has_link_samples());
+  ASSERT_EQ(sig.links.size(), ev.num_timestamps());
+  for (const auto& ls : sig.links) {
+    ASSERT_EQ(ls.src.size(), ls.dst.size());
+    ASSERT_EQ(static_cast<int64_t>(ls.src.size()), ls.labels.numel());
+    // First half positives, second half negatives.
+    const std::size_t half = ls.src.size() / 2;
+    for (std::size_t i = 0; i < ls.src.size(); ++i) {
+      EXPECT_LT(ls.src[i], ev.num_nodes);
+      EXPECT_LT(ls.dst[i], ev.num_nodes);
+      EXPECT_EQ(ls.labels.at(static_cast<int64_t>(i)), i < half ? 1.0f : 0.0f);
+    }
+  }
+  // Features are persistent (same handle reused across timestamps).
+  EXPECT_EQ(sig.features[0].impl().get(), sig.features[1].impl().get());
+}
+
+TEST(DynamicDatasets, DeterministicForFixedSeed) {
+  auto o = small_dynamic();
+  auto a = load_wiki_talk(o);
+  auto b = load_wiki_talk(o);
+  EXPECT_EQ(a.stream, b.stream);
+  o.seed = 123;
+  auto c = load_wiki_talk(o);
+  EXPECT_NE(a.stream, c.stream);
+}
+
+}  // namespace
+}  // namespace stgraph

@@ -1,0 +1,166 @@
+// Degenerate-input tests: empty graphs, single snapshots, single
+// vertices, zero-feature corners — the inputs that crash frameworks whose
+// tests only cover the happy path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.hpp"
+#include "datasets/synthetic.hpp"
+#include "gpma/gpma_graph.hpp"
+#include "graph/naive_graph.hpp"
+#include "graph/static_graph.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+TEST(EdgeCases, EdgelessGraphStillTrains) {
+  // MB-like sparsity taken to the limit: no edges at all. Aggregation
+  // reduces to the self term; training must stay finite.
+  const uint32_t n = 6;
+  StaticTemporalGraph graph(n, {}, 4);
+  Rng rng(1);
+  nn::TGCNRegressor model(2, 4, rng);
+
+  datasets::TemporalSignal signal;
+  for (uint32_t t = 0; t < 4; ++t) {
+    signal.features.push_back(Tensor::randn({n, 2}, rng));
+    signal.targets.push_back(Tensor::randn({n, 1}, rng, 0.3f));
+  }
+  core::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.task = core::Task::kNodeRegression;
+  core::STGraphTrainer trainer(graph, model, signal, cfg);
+  auto stats = trainer.train();
+  EXPECT_FALSE(std::isnan(stats.back().loss));
+}
+
+TEST(EdgeCases, SingleVertexGraph) {
+  StaticTemporalGraph graph(1, {}, 2);
+  core::TemporalExecutor exec(graph);
+  exec.begin_forward_step(0);
+  Rng rng(2);
+  nn::SeastarGCNConv conv(3, 3, rng);
+  NoGradGuard ng;
+  Tensor y = conv.forward(exec, Tensor::ones({1, 3}));
+  EXPECT_EQ(y.shape(), (Shape{1, 3}));
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FALSE(std::isnan(y.at(i)));
+}
+
+TEST(EdgeCases, SingleSnapshotDtdg) {
+  // A "dynamic" graph with no deltas degenerates to a static one.
+  DtdgEvents ev;
+  ev.num_nodes = 4;
+  ev.base_edges = {{0, 1}, {1, 2}};
+  EXPECT_EQ(ev.num_timestamps(), 1u);
+  NaiveGraph naive(ev);
+  GpmaGraph gpma(ev);
+  EXPECT_EQ(naive.num_timestamps(), 1u);
+  EXPECT_EQ(gpma.num_timestamps(), 1u);
+  SnapshotView v = gpma.get_graph(0);
+  EXPECT_EQ(v.num_edges, 2u);
+  // Backward view of the only snapshot works with nothing to roll back.
+  EXPECT_EQ(gpma.get_backward_graph(0).num_edges, 2u);
+}
+
+TEST(EdgeCases, SequenceLongerThanTimeline) {
+  datasets::StaticLoadOptions o;
+  o.num_timestamps = 3;
+  o.feature_size = 2;
+  auto ds = datasets::load_pedalme(o);
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+  Rng rng(3);
+  nn::TGCNRegressor model(2, 4, rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.sequence_length = 100;  // far beyond T=3
+  cfg.task = core::Task::kNodeRegression;
+  core::STGraphTrainer trainer(graph, model, ds.signal, cfg);
+  EXPECT_NO_THROW(trainer.train());
+}
+
+TEST(EdgeCases, SingleTimestampTraining) {
+  datasets::StaticLoadOptions o;
+  o.num_timestamps = 1;
+  o.feature_size = 2;
+  auto ds = datasets::load_pedalme(o);
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, 1);
+  Rng rng(4);
+  nn::TGCNRegressor model(2, 4, rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.task = core::Task::kNodeRegression;
+  core::STGraphTrainer trainer(graph, model, ds.signal, cfg);
+  EXPECT_NO_THROW(trainer.train());
+}
+
+TEST(EdgeCases, StarGraphDegreeExtremes) {
+  // One hub with in-degree n-1: the degree-sorted order must put the hub
+  // first in the forward order and the spokes first in the backward one.
+  const uint32_t n = 10;
+  EdgeList edges;
+  for (uint32_t v = 1; v < n; ++v) edges.emplace_back(v, 0);
+  StaticTemporalGraph graph(n, edges, 1);
+  SnapshotView view = graph.get_graph(0);
+  EXPECT_EQ(view.in_view.node_ids[0], 0u);     // hub has max in-degree
+  EXPECT_NE(view.out_view.node_ids[0], 0u);    // hub has out-degree 0
+  EXPECT_EQ(view.out_view.node_ids[n - 1], 0u);
+  EXPECT_EQ(view.in_degrees[0], n - 1);
+  EXPECT_EQ(view.out_degrees[0], 0u);
+}
+
+TEST(EdgeCases, WindowingTinyStream) {
+  // Single-edge stream: no room to slide, base snapshot only.
+  DtdgEvents one = window_edge_stream(3, {{0, 1}}, 10.0);
+  EXPECT_EQ(one.num_timestamps(), 1u);
+  EXPECT_EQ(one.base_edges.size(), 1u);
+  // Two-edge stream: exactly one slide fits.
+  DtdgEvents two = window_edge_stream(3, {{0, 1}, {1, 2}}, 10.0);
+  EXPECT_EQ(two.num_timestamps(), 2u);
+  EXPECT_EQ(two.snapshot_edges(1), (EdgeList{{1, 2}}));
+}
+
+TEST(EdgeCases, SelfLoopFreeGeneratorsEverywhere) {
+  datasets::DynamicLoadOptions o;
+  o.scale = 0.005;
+  for (const auto& ds : datasets::load_all_dynamic(o)) {
+    for (const auto& [s, d] : ds.stream) EXPECT_NE(s, d) << ds.name;
+  }
+}
+
+TEST(EdgeCases, ZeroEpochTrainReturnsEmptyStats) {
+  datasets::StaticLoadOptions o;
+  o.num_timestamps = 2;
+  o.feature_size = 2;
+  auto ds = datasets::load_pedalme(o);
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, 2);
+  Rng rng(5);
+  nn::TGCNRegressor model(2, 4, rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 0;
+  cfg.task = core::Task::kNodeRegression;
+  core::STGraphTrainer trainer(graph, model, ds.signal, cfg);
+  EXPECT_TRUE(trainer.train().empty());
+}
+
+TEST(EdgeCases, GpmaHandlesBurstDeltas) {
+  // One delta replaces nearly everything at once (percent change ~100).
+  DtdgEvents ev;
+  ev.num_nodes = 8;
+  ev.base_edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  EdgeDelta d;
+  d.deletions = ev.base_edges;
+  d.additions = {{4, 5}, {5, 6}, {6, 7}, {7, 0}};
+  ev.deltas.push_back(d);
+  GpmaGraph g(ev);
+  EXPECT_EQ(g.get_graph(1).num_edges, 4u);
+  EXPECT_EQ(g.get_graph(0).num_edges, 4u);
+  std::string why;
+  EXPECT_TRUE(g.pma().check_invariants(&why)) << why;
+}
+
+}  // namespace
+}  // namespace stgraph

@@ -1,0 +1,138 @@
+// Figure-2 walkthrough: the paper's diagram of forward and backward
+// propagation over a three-timestamp sequence, asserted as the exact
+// executor event trace — snapshots and states pushed in timestamp order
+// during the forward pass and popped in reverse during backpropagation.
+// Also covers the temporal_signal_split utility used by the examples.
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+#include "datasets/synthetic.hpp"
+#include "graph/naive_graph.hpp"
+#include "graph/static_graph.hpp"
+#include "nn/gcn.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+DtdgEvents three_step_dtdg() {
+  DtdgEvents ev;
+  ev.num_nodes = 5;
+  ev.base_edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  ev.deltas.push_back({{{4, 0}}, {{0, 1}}});
+  ev.deltas.push_back({{{1, 3}}, {{2, 3}}});
+  return ev;
+}
+
+TEST(Figure2, ForwardBackwardEventOrder) {
+  NaiveGraph graph(three_step_dtdg());
+  core::TemporalExecutor exec(graph);
+  std::vector<std::string> trace;
+  exec.set_trace(&trace);
+
+  Rng rng(1);
+  nn::SeastarGCNConv conv(2, 3, rng);
+  Tensor x = Tensor::randn({5, 2}, rng, 1.0f, /*requires_grad=*/true);
+
+  // Forward propagation over the sequence t = 0, 1, 2 (Figure 2, top).
+  Tensor loss;
+  for (uint32_t t = 0; t < 3; ++t) {
+    exec.begin_forward_step(t);
+    Tensor h = conv.forward(exec, x);
+    Tensor l = ops::mean(ops::mul(h, h));
+    loss = loss.defined() ? ops::add(loss, l) : l;
+  }
+  // Backward propagation in reverse (Figure 2, bottom).
+  loss.backward();
+  exec.verify_drained();
+
+  const std::vector<std::string> want{
+      // clang-format off
+      "fwd t=0", "push graph t=0", "push state #0",
+      "fwd t=1", "push graph t=1", "push state #1",
+      "fwd t=2", "push graph t=2", "push state #2",
+      "bwd t=2", "pop graph t=2", "pop state #2",
+      "bwd t=1", "pop graph t=1", "pop state #1",
+      "bwd t=0", "pop graph t=0", "pop state #0",
+      // clang-format on
+  };
+  EXPECT_EQ(trace, want);
+}
+
+TEST(Figure2, StaticGraphTraceHasNoGraphStackTraffic) {
+  datasets::StaticLoadOptions o;
+  o.num_timestamps = 3;
+  o.feature_size = 2;
+  auto ds = datasets::load_pedalme(o);
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+  core::TemporalExecutor exec(graph);
+  std::vector<std::string> trace;
+  exec.set_trace(&trace);
+
+  Rng rng(2);
+  nn::SeastarGCNConv conv(2, 2, rng);
+  Tensor x = Tensor::randn({ds.num_nodes, 2}, rng, 1.0f, true);
+  Tensor loss;
+  for (uint32_t t = 0; t < 3; ++t) {
+    exec.begin_forward_step(t);
+    Tensor h = conv.forward(exec, x);
+    Tensor l = ops::mean(ops::mul(h, h));
+    loss = loss.defined() ? ops::add(loss, l) : l;
+  }
+  loss.backward();
+  exec.verify_drained();
+  for (const std::string& e : trace) {
+    EXPECT_EQ(e.find("graph"), std::string::npos)
+        << "static graphs must not touch the Graph Stack: " << e;
+  }
+}
+
+TEST(SignalSplit, PartitionsTimestampsAndSharesTensors) {
+  datasets::StaticLoadOptions o;
+  o.num_timestamps = 10;
+  o.feature_size = 2;
+  auto ds = datasets::load_chickenpox(o);
+  auto [train, test] = datasets::temporal_signal_split(ds.signal, 0.7);
+  EXPECT_EQ(train.num_timestamps(), 7u);
+  EXPECT_EQ(test.num_timestamps(), 3u);
+  // Shared handles, no copies.
+  EXPECT_EQ(train.features[0].impl().get(), ds.signal.features[0].impl().get());
+  EXPECT_EQ(test.features[0].impl().get(), ds.signal.features[7].impl().get());
+  EXPECT_EQ(train.edge_weights, ds.signal.edge_weights);
+  EXPECT_TRUE(train.has_node_targets());
+}
+
+TEST(SignalSplit, ExtremeRatiosClampToNonEmptyHalves) {
+  datasets::StaticLoadOptions o;
+  o.num_timestamps = 4;
+  o.feature_size = 2;
+  auto ds = datasets::load_pedalme(o);
+  auto [tr1, te1] = datasets::temporal_signal_split(ds.signal, 0.01);
+  EXPECT_GE(tr1.num_timestamps(), 1u);
+  auto [tr2, te2] = datasets::temporal_signal_split(ds.signal, 0.99);
+  EXPECT_GE(te2.num_timestamps(), 1u);
+  EXPECT_THROW(datasets::temporal_signal_split(ds.signal, 0.0), StgError);
+  EXPECT_THROW(datasets::temporal_signal_split(ds.signal, 1.0), StgError);
+}
+
+TEST(SignalSplit, LinkSignalSplitsToo) {
+  Rng rng(3);
+  EdgeList stream;
+  for (int i = 0; i < 400; ++i) {
+    uint32_t s = static_cast<uint32_t>(rng.next_below(15));
+    uint32_t d = static_cast<uint32_t>(rng.next_below(15));
+    if (s == d) d = (d + 1) % 15;
+    stream.emplace_back(s, d);
+  }
+  DtdgEvents ev = window_edge_stream(15, stream, 10.0);
+  datasets::DynamicLoadOptions o;
+  o.link_samples_per_step = 8;
+  auto signal = datasets::make_dynamic_signal(ev, o);
+  auto [train, test] = datasets::temporal_signal_split(signal, 0.5);
+  EXPECT_EQ(train.links.size() + test.links.size(), signal.links.size());
+  EXPECT_TRUE(train.has_link_samples());
+}
+
+}  // namespace
+}  // namespace stgraph

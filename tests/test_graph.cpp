@@ -1,0 +1,227 @@
+// Tests for the graph substrate: CSR construction, reverse CSR, shared
+// edge labels, degree-sorted node_ids, the STGraphBase abstraction,
+// DTDG windowing, and NaiveGraph materialization.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/csr.hpp"
+#include "graph/dtdg.hpp"
+#include "graph/naive_graph.hpp"
+#include "graph/static_graph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+std::vector<CooEdge> label(const EdgeList& edges) {
+  std::vector<CooEdge> coo;
+  uint32_t eid = 0;
+  for (const auto& [s, d] : edges) coo.push_back({s, d, eid++});
+  return coo;
+}
+
+// Decode a (possibly gapped) CSR into a set of (row, col, eid) triples.
+std::set<std::tuple<uint32_t, uint32_t, uint32_t>> decode(const Csr& csr) {
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> out;
+  for (uint32_t r = 0; r < csr.num_nodes; ++r) {
+    for (uint32_t j = csr.row_offset[r]; j < csr.row_offset[r + 1]; ++j) {
+      if (csr.col_indices[j] == kSpace) continue;
+      out.insert({r, csr.col_indices[j], csr.eids[j]});
+    }
+  }
+  return out;
+}
+
+TEST(Csr, BuildMatchesEdgeList) {
+  const EdgeList edges{{0, 1}, {0, 2}, {1, 2}, {2, 0}, {2, 1}, {2, 3}};
+  Csr csr = build_csr(4, label(edges));
+  EXPECT_EQ(csr.num_edges, 6u);
+  EXPECT_EQ(csr.row_offset[0], 0u);
+  EXPECT_EQ(csr.row_offset[4], 6u);
+  auto triples = decode(csr);
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    EXPECT_TRUE(triples.count({edges[e].first, edges[e].second, e}));
+  }
+}
+
+TEST(Csr, ReverseSharesEdgeLabels) {
+  Rng rng(31);
+  EdgeList edges;
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (int i = 0; i < 200; ++i) {
+    uint32_t s = rng.next_below(40), d = rng.next_below(40);
+    if (s == d || !seen.insert({s, d}).second) continue;
+    edges.emplace_back(s, d);
+  }
+  auto coo = label(edges);
+  Csr fwd = build_csr(40, coo);
+  Csr rev = build_reverse_csr(40, coo);
+  // Every (s, d, eid) in the forward CSR appears as (d, s, eid) reversed.
+  auto ft = decode(fwd);
+  auto rt = decode(rev);
+  EXPECT_EQ(ft.size(), rt.size());
+  for (const auto& [s, d, e] : ft) EXPECT_TRUE(rt.count({d, s, e}));
+}
+
+TEST(Csr, DegreesFromRowOffsets) {
+  const EdgeList edges{{0, 1}, {0, 2}, {0, 3}, {2, 3}};
+  Csr csr = build_csr(4, label(edges));
+  const auto deg = csr_degrees(csr);
+  EXPECT_EQ(deg, (std::vector<uint32_t>{3, 0, 1, 0}));
+}
+
+TEST(Csr, DegreeSortDescendingStable) {
+  // Figure 3's example: V2 has out-degree 3, V0 and V1 have 2, V3 has 0.
+  const EdgeList edges{{0, 1}, {0, 2}, {1, 0}, {1, 3},
+                       {2, 0}, {2, 1}, {2, 3}};
+  Csr csr = build_csr(4, label(edges));
+  degree_sort(csr);
+  const std::vector<uint32_t> want{2, 0, 1, 3};
+  EXPECT_EQ(csr.node_ids.to_host(), want);
+}
+
+TEST(Csr, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(build_csr(2, label({{0, 5}})), StgError);
+  EXPECT_THROW(build_reverse_csr(2, label({{5, 0}})), StgError);
+}
+
+TEST(Snapshot, BothDirectionsConsistent) {
+  Rng rng(37);
+  EdgeList edges;
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (int i = 0; i < 300; ++i) {
+    uint32_t s = rng.next_below(50), d = rng.next_below(50);
+    if (s == d || !seen.insert({s, d}).second) continue;
+    edges.emplace_back(s, d);
+  }
+  GraphSnapshot snap = build_snapshot(50, label(edges));
+  EXPECT_EQ(snap.num_edges, edges.size());
+  // in/out degree arrays match CSR row widths.
+  for (uint32_t v = 0; v < 50; ++v) {
+    EXPECT_EQ(snap.out_degrees[v],
+              snap.out_csr.row_offset[v + 1] - snap.out_csr.row_offset[v]);
+    EXPECT_EQ(snap.in_degrees[v],
+              snap.in_csr.row_offset[v + 1] - snap.in_csr.row_offset[v]);
+  }
+  // Degree sums agree.
+  uint64_t din = 0, dout = 0;
+  for (uint32_t v = 0; v < 50; ++v) {
+    din += snap.in_degrees[v];
+    dout += snap.out_degrees[v];
+  }
+  EXPECT_EQ(din, edges.size());
+  EXPECT_EQ(dout, edges.size());
+}
+
+TEST(StaticTemporalGraph, SameViewEveryTimestamp) {
+  StaticTemporalGraph g(4, {{0, 1}, {1, 2}, {2, 3}}, 10);
+  EXPECT_FALSE(g.is_dynamic());
+  EXPECT_EQ(g.num_timestamps(), 10u);
+  SnapshotView v0 = g.get_graph(0);
+  SnapshotView v9 = g.get_graph(9);
+  EXPECT_EQ(v0.in_view.row_offset, v9.in_view.row_offset);
+  EXPECT_EQ(v0.num_edges, 3u);
+  EXPECT_THROW(g.get_graph(10), StgError);
+}
+
+TEST(Dtdg, SnapshotEdgesReplayDeltas) {
+  DtdgEvents ev;
+  ev.num_nodes = 4;
+  ev.base_edges = {{0, 1}, {1, 2}};
+  ev.deltas.push_back({{{2, 3}}, {{0, 1}}});   // t=1: +one, -one
+  ev.deltas.push_back({{{0, 1}, {3, 0}}, {}}); // t=2: +two
+  EXPECT_EQ(ev.num_timestamps(), 3u);
+  EXPECT_EQ(ev.snapshot_edges(0), (EdgeList{{0, 1}, {1, 2}}));
+  EXPECT_EQ(ev.snapshot_edges(1), (EdgeList{{1, 2}, {2, 3}}));
+  EXPECT_EQ(ev.snapshot_edges(2), (EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 0}}));
+}
+
+TEST(Dtdg, DeletingAbsentEdgeThrows) {
+  DtdgEvents ev;
+  ev.num_nodes = 3;
+  ev.base_edges = {{0, 1}};
+  ev.deltas.push_back({{}, {{1, 2}}});
+  EXPECT_THROW(ev.snapshot_edges(1), StgError);
+}
+
+class WindowingProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(WindowingProperty, PercentChangeIsRespected) {
+  const double pct = GetParam();
+  Rng rng(53);
+  EdgeList stream;
+  for (int i = 0; i < 4000; ++i) {
+    stream.emplace_back(static_cast<uint32_t>(rng.next_below(200)),
+                        static_cast<uint32_t>(rng.next_below(200)));
+  }
+  DtdgEvents ev = window_edge_stream(200, stream, pct);
+  ASSERT_GE(ev.deltas.size(), 1u);
+  // Mean % change tracks the knob within the granularity of one slide.
+  const double measured = ev.mean_percent_change();
+  EXPECT_GT(measured, 0.0);
+  EXPECT_LT(std::abs(measured - pct) / pct, 0.5) << "measured " << measured;
+  // Window size stays constant: additions == deletions per delta.
+  for (const EdgeDelta& d : ev.deltas)
+    EXPECT_EQ(d.additions.size(), d.deletions.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Percentages, WindowingProperty,
+                         ::testing::Values(1.0, 2.5, 5.0, 7.5, 10.0));
+
+TEST(Windowing, DeltasApplyCleanlyInOrder) {
+  Rng rng(59);
+  EdgeList stream;
+  for (int i = 0; i < 2000; ++i)
+    stream.emplace_back(static_cast<uint32_t>(rng.next_below(100)),
+                        static_cast<uint32_t>(rng.next_below(100)));
+  DtdgEvents ev = window_edge_stream(100, stream, 5.0);
+  // Every snapshot materializes without multiplicity errors.
+  for (uint32_t t = 0; t < ev.num_timestamps(); ++t)
+    EXPECT_NO_THROW(ev.snapshot_edges(t));
+}
+
+TEST(NaiveGraph, MatchesGroundTruthSnapshots) {
+  Rng rng(61);
+  EdgeList stream;
+  for (int i = 0; i < 1500; ++i)
+    stream.emplace_back(static_cast<uint32_t>(rng.next_below(60)),
+                        static_cast<uint32_t>(rng.next_below(60)));
+  DtdgEvents ev = window_edge_stream(60, stream, 8.0);
+  NaiveGraph g(ev);
+  EXPECT_TRUE(g.is_dynamic());
+  EXPECT_EQ(g.num_timestamps(), ev.num_timestamps());
+  for (uint32_t t = 0; t < g.num_timestamps(); ++t) {
+    const EdgeList want = ev.snapshot_edges(t);
+    EXPECT_EQ(g.num_edges_at(t), want.size());
+    SnapshotView view = g.get_graph(t);
+    // Decode the out view and compare edge sets.
+    std::set<std::pair<uint32_t, uint32_t>> got;
+    for (uint32_t r = 0; r < view.num_nodes; ++r)
+      for (uint32_t j = view.out_view.row_offset[r];
+           j < view.out_view.row_offset[r + 1]; ++j)
+        got.insert({r, view.out_view.col_indices[j]});
+    std::set<std::pair<uint32_t, uint32_t>> expect(want.begin(), want.end());
+    EXPECT_EQ(got, expect) << "t=" << t;
+  }
+}
+
+TEST(NaiveGraph, DeviceBytesGrowWithTimestamps) {
+  Rng rng(67);
+  EdgeList stream;
+  for (int i = 0; i < 2000; ++i)
+    stream.emplace_back(static_cast<uint32_t>(rng.next_below(80)),
+                        static_cast<uint32_t>(rng.next_below(80)));
+  DtdgEvents ev_fine = window_edge_stream(80, stream, 2.0);
+  DtdgEvents ev_coarse = window_edge_stream(80, stream, 10.0);
+  NaiveGraph fine(ev_fine), coarse(ev_coarse);
+  EXPECT_GT(fine.num_timestamps(), coarse.num_timestamps());
+  // Smaller %-change → more snapshots → more resident bytes (Figure 8's
+  // NaiveGraph blow-up).
+  EXPECT_GT(fine.device_bytes(), coarse.device_bytes());
+}
+
+}  // namespace
+}  // namespace stgraph

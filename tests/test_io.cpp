@@ -1,0 +1,183 @@
+// I/O round-trip and validation tests: binary dataset/DTDG/checkpoint
+// formats and the SNAP-style text edge-list reader.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "datasets/synthetic.hpp"
+#include "io/serialize.hpp"
+#include "nn/tgcn.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+// Unique temp path per test, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_("/tmp/stgraph_io_test_" + tag + "_" +
+              std::to_string(::getpid())) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(IoStaticDataset, RoundTripPreservesEverything) {
+  datasets::StaticLoadOptions o;
+  o.num_timestamps = 6;
+  o.feature_size = 3;
+  auto ds = datasets::load_chickenpox(o);
+  TempFile f("static");
+  io::save_static_dataset(ds, f.path());
+  auto back = io::load_static_dataset(f.path());
+  EXPECT_EQ(back.name, ds.name);
+  EXPECT_EQ(back.num_nodes, ds.num_nodes);
+  EXPECT_EQ(back.num_timestamps, ds.num_timestamps);
+  EXPECT_EQ(back.edges, ds.edges);
+  ASSERT_EQ(back.signal.num_timestamps(), ds.signal.num_timestamps());
+  for (uint32_t t = 0; t < ds.signal.num_timestamps(); ++t) {
+    EXPECT_EQ(back.signal.features[t].to_vector(),
+              ds.signal.features[t].to_vector());
+    EXPECT_EQ(back.signal.targets[t].to_vector(),
+              ds.signal.targets[t].to_vector());
+  }
+  EXPECT_EQ(back.signal.edge_weights, ds.signal.edge_weights);
+}
+
+TEST(IoDtdg, RoundTripAndValidation) {
+  Rng rng(5);
+  EdgeList stream;
+  for (int i = 0; i < 600; ++i)
+    stream.emplace_back(static_cast<uint32_t>(rng.next_below(30)),
+                        static_cast<uint32_t>(rng.next_below(30)));
+  DtdgEvents ev = window_edge_stream(30, stream, 10.0);
+  TempFile f("dtdg");
+  io::save_dtdg(ev, f.path());
+  DtdgEvents back = io::load_dtdg(f.path());
+  EXPECT_EQ(back.num_nodes, ev.num_nodes);
+  EXPECT_EQ(back.base_edges, ev.base_edges);
+  ASSERT_EQ(back.deltas.size(), ev.deltas.size());
+  for (size_t i = 0; i < ev.deltas.size(); ++i) {
+    EXPECT_EQ(back.deltas[i].additions, ev.deltas[i].additions);
+    EXPECT_EQ(back.deltas[i].deletions, ev.deltas[i].deletions);
+  }
+}
+
+TEST(IoCheckpoint, RoundTripRestoresParameters) {
+  Rng rng_a(1), rng_b(2);  // different seeds → different weights
+  nn::TGCN original(3, 4, rng_a);
+  nn::TGCN restored(3, 4, rng_b);
+  TempFile f("ckpt");
+  io::save_checkpoint(original, f.path());
+  io::load_checkpoint(restored, f.path());
+  auto pa = original.parameters();
+  auto pb = restored.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].name, pb[i].name);
+    EXPECT_EQ(pa[i].tensor.to_vector(), pb[i].tensor.to_vector()) << pa[i].name;
+  }
+}
+
+TEST(IoCheckpoint, ShapeMismatchRejected) {
+  Rng rng(1);
+  nn::TGCN small(3, 4, rng);
+  nn::TGCN big(3, 8, rng);
+  TempFile f("ckpt_mismatch");
+  io::save_checkpoint(small, f.path());
+  EXPECT_THROW(io::load_checkpoint(big, f.path()), StgError);
+}
+
+TEST(IoCheckpoint, WrongMagicRejected) {
+  TempFile f("bad_magic");
+  {
+    std::ofstream out(f.path(), std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  Rng rng(1);
+  nn::TGCN model(3, 4, rng);
+  EXPECT_THROW(io::load_checkpoint(model, f.path()), StgError);
+}
+
+TEST(IoCheckpoint, TruncatedFileRejected) {
+  Rng rng(1);
+  nn::TGCN model(3, 4, rng);
+  TempFile f("trunc");
+  io::save_checkpoint(model, f.path());
+  // Truncate the file to half its size.
+  std::ifstream in(f.path(), std::ios::binary | std::ios::ate);
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::string content(static_cast<size_t>(size) / 2, '\0');
+  in.read(content.data(), static_cast<std::streamsize>(content.size()));
+  in.close();
+  std::ofstream(f.path(), std::ios::binary) << content;
+  EXPECT_THROW(io::load_checkpoint(model, f.path()), StgError);
+}
+
+TEST(IoEdgeList, ParsesCommentsAndCompactsIds) {
+  TempFile f("edges");
+  {
+    std::ofstream out(f.path());
+    out << "# comment line\n"
+        << "% another comment\n"
+        << "100 200\n"
+        << "200 300\n"
+        << "100 300\n";
+  }
+  uint32_t n = 0;
+  EdgeList edges = io::read_edge_list(f.path(), &n);
+  EXPECT_EQ(n, 3u);
+  // First-appearance compaction: 100→0, 200→1, 300→2.
+  EXPECT_EQ(edges, (EdgeList{{0, 1}, {1, 2}, {0, 2}}));
+}
+
+TEST(IoEdgeList, TimestampColumnOrdersRows) {
+  TempFile f("edges_ts");
+  {
+    std::ofstream out(f.path());
+    out << "1 2 300\n"
+        << "3 4 100\n"
+        << "5 6 200\n";
+  }
+  uint32_t n = 0;
+  EdgeList edges = io::read_edge_list(f.path(), &n);
+  ASSERT_EQ(edges.size(), 3u);
+  // Sorted by timestamp: (3,4), (5,6), (1,2) — then id-compacted in that
+  // order: 3→0, 4→1, 5→2, 6→3, 1→4, 2→5.
+  EXPECT_EQ(edges, (EdgeList{{0, 1}, {2, 3}, {4, 5}}));
+  EXPECT_EQ(n, 6u);
+}
+
+TEST(IoEdgeList, MalformedLineRejected) {
+  TempFile f("edges_bad");
+  {
+    std::ofstream out(f.path());
+    out << "1 2\n"
+        << "garbage\n";
+  }
+  EXPECT_THROW(io::read_edge_list(f.path(), nullptr), StgError);
+}
+
+TEST(IoEdgeList, WriteReadRoundTrip) {
+  const EdgeList edges{{0, 1}, {1, 2}, {2, 0}};
+  TempFile f("edges_rt");
+  io::write_edge_list(edges, f.path());
+  uint32_t n = 0;
+  EXPECT_EQ(io::read_edge_list(f.path(), &n), edges);
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(IoEdgeList, MissingFileRejected) {
+  EXPECT_THROW(io::read_edge_list("/nonexistent/stgraph/file", nullptr),
+               StgError);
+}
+
+}  // namespace
+}  // namespace stgraph

@@ -1,0 +1,138 @@
+// Metrics + GConvLSTM tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.hpp"
+#include "tensor/ops.hpp"
+#include "datasets/synthetic.hpp"
+#include "graph/static_graph.hpp"
+#include "nn/gconv_lstm.hpp"
+#include "nn/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+using namespace nn::metrics;
+
+TEST(Metrics, MaeRmseKnownValues) {
+  Tensor p = Tensor::from_vector({1, 2, 3, 4}, {4});
+  Tensor t = Tensor::from_vector({1, 4, 3, 0}, {4});
+  EXPECT_DOUBLE_EQ(mae(p, t), (0 + 2 + 0 + 4) / 4.0);
+  EXPECT_DOUBLE_EQ(rmse(p, t), std::sqrt((0 + 4 + 0 + 16) / 4.0));
+  EXPECT_THROW(mae(p, Tensor::zeros({3})), StgError);
+}
+
+TEST(Metrics, MapeSkipsNearZeroTargets) {
+  Tensor p = Tensor::from_vector({2, 5, 10}, {3});
+  Tensor t = Tensor::from_vector({4, 0, 10}, {3});
+  // Only entries 0 and 2 counted: |2-4|/4 = 0.5, |10-10|/10 = 0.
+  EXPECT_DOUBLE_EQ(mape(p, t), 0.25);
+  Tensor all_zero = Tensor::zeros({3});
+  EXPECT_THROW(mape(p, all_zero), StgError);
+}
+
+TEST(Metrics, AucPerfectAndWorst) {
+  Tensor labels = Tensor::from_vector({1, 1, 0, 0}, {4});
+  EXPECT_DOUBLE_EQ(roc_auc(Tensor::from_vector({4, 3, 2, 1}, {4}), labels), 1.0);
+  EXPECT_DOUBLE_EQ(roc_auc(Tensor::from_vector({1, 2, 3, 4}, {4}), labels), 0.0);
+}
+
+TEST(Metrics, AucRandomIsHalf) {
+  Rng rng(5);
+  const int64_t n = 4000;
+  std::vector<float> scores(n), labels(n);
+  for (int64_t i = 0; i < n; ++i) {
+    scores[i] = rng.normal();
+    labels[i] = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  const double auc = roc_auc(Tensor::from_vector(scores, {n}),
+                             Tensor::from_vector(labels, {n}));
+  EXPECT_NEAR(auc, 0.5, 0.03);
+}
+
+TEST(Metrics, AucHandlesTiesAsHalf) {
+  // All scores equal → AUC must be exactly 0.5 via midranks.
+  Tensor scores = Tensor::from_vector({1, 1, 1, 1}, {4});
+  Tensor labels = Tensor::from_vector({1, 0, 1, 0}, {4});
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.5);
+}
+
+TEST(Metrics, AucRequiresBothClasses) {
+  Tensor scores = Tensor::from_vector({1, 2}, {2});
+  EXPECT_THROW(roc_auc(scores, Tensor::ones({2})), StgError);
+}
+
+TEST(Metrics, BinaryAccuracyAndPrecisionAtK) {
+  Tensor logits = Tensor::from_vector({2.0f, -1.0f, 0.5f, -0.2f}, {4});
+  Tensor labels = Tensor::from_vector({1, 0, 0, 1}, {4});
+  EXPECT_DOUBLE_EQ(binary_accuracy(logits, labels), 0.5);
+  // Top-2 scores: logits 2.0 (label 1) and 0.5 (label 0).
+  EXPECT_DOUBLE_EQ(precision_at_k(logits, labels, 2), 0.5);
+  EXPECT_THROW(precision_at_k(logits, labels, 5), StgError);
+}
+
+TEST(GConvLstm, StepShapesAndStatePacking) {
+  Rng rng(7);
+  const uint32_t n = 10;
+  StaticTemporalGraph graph(n, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 2);
+  core::TemporalExecutor exec(graph);
+  nn::GConvLSTMRegressor model(3, 6, /*k=*/2, rng);
+
+  Tensor state = model.initial_state(n);
+  EXPECT_EQ(state.shape(), (Shape{n, 12}));  // H ‖ C
+  exec.begin_forward_step(0);
+  Tensor x = Tensor::randn({n, 3}, rng);
+  auto [y, next_state] = model.step(exec, x, state, nullptr);
+  EXPECT_EQ(y.shape(), (Shape{n, 1}));
+  EXPECT_EQ(next_state.shape(), (Shape{n, 12}));
+  ops::sum(y).backward();
+  exec.verify_drained();
+}
+
+TEST(GConvLstm, TrainsOnStaticTemporalData) {
+  datasets::StaticLoadOptions o;
+  o.num_timestamps = 18;
+  o.feature_size = 4;
+  auto ds = datasets::load_pedalme(o);
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+  Rng rng(11);
+  nn::GConvLSTMRegressor model(o.feature_size, 8, /*k=*/1, rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.sequence_length = 6;
+  cfg.task = core::Task::kNodeRegression;
+  core::STGraphTrainer trainer(graph, model, ds.signal, cfg);
+  auto stats = trainer.train();
+  EXPECT_LT(stats.back().loss, stats.front().loss);
+}
+
+TEST(GConvLstm, CellStateEvolvesIndependentlyOfHidden) {
+  Rng rng(13);
+  const uint32_t n = 6;
+  StaticTemporalGraph graph(n, {{0, 1}, {1, 2}}, 4);
+  core::TemporalExecutor exec(graph);
+  nn::GConvLSTM lstm(2, 3, /*k=*/1, rng);
+  NoGradGuard ng;
+  Tensor h, c;
+  Tensor prev_c;
+  for (uint32_t t = 0; t < 3; ++t) {
+    exec.begin_forward_step(t);
+    Tensor x = Tensor::randn({n, 2}, rng);
+    auto [h2, c2] = lstm.forward(exec, x, h, c);
+    // Cell state is not squashed by the output gate: h != tanh-free c.
+    if (prev_c.defined()) {
+      bool differs = false;
+      for (int64_t i = 0; i < c2.numel(); ++i)
+        differs = differs || c2.at(i) != prev_c.at(i);
+      EXPECT_TRUE(differs);
+    }
+    prev_c = c2;
+    h = h2;
+    c = c2;
+  }
+}
+
+}  // namespace
+}  // namespace stgraph

@@ -1,0 +1,80 @@
+// Remaining small-surface tests: logging levels, CSV save failure paths,
+// cross-format magic rejection in the I/O module.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "datasets/synthetic.hpp"
+#include "io/serialize.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+
+namespace stgraph {
+namespace {
+
+TEST(Logging, LevelGateControlsEmission) {
+  const log::Level prev = log::level();
+  log::set_level(log::Level::kError);
+  // Below-threshold loggers must not touch the stream; this is observable
+  // only through the enabled flag, so exercise both paths for coverage.
+  STG_LOG_DEBUG << "suppressed";
+  STG_LOG_ERROR << "emitted to stderr";
+  log::set_level(log::Level::kOff);
+  STG_LOG_ERROR << "also suppressed";
+  log::set_level(prev);
+  SUCCEED();
+}
+
+TEST(Csv, SaveToInvalidPathReturnsFalse) {
+  CsvWriter w({"a"});
+  w.add_row({"1"});
+  EXPECT_FALSE(w.save("/nonexistent_dir_xyz/file.csv"));
+}
+
+TEST(Csv, SaveRoundTrip) {
+  CsvWriter w({"x", "y"});
+  w.add_row({"1", "2"});
+  const std::string path =
+      "/tmp/stgraph_csv_test_" + std::to_string(::getpid());
+  ASSERT_TRUE(w.save(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(IoCrossFormat, StaticLoaderRejectsDtdgFile) {
+  // Save a DTDG, then try to read it as a static dataset: the magic check
+  // must reject it with a clear error instead of misparsing.
+  DtdgEvents ev;
+  ev.num_nodes = 3;
+  ev.base_edges = {{0, 1}};
+  const std::string path =
+      "/tmp/stgraph_cross_test_" + std::to_string(::getpid());
+  io::save_dtdg(ev, path);
+  EXPECT_THROW(io::load_static_dataset(path), StgError);
+  // And the right loader still works.
+  EXPECT_NO_THROW(io::load_dtdg(path));
+  std::remove(path.c_str());
+}
+
+TEST(IoCrossFormat, DtdgLoaderRejectsStaticFile) {
+  datasets::StaticLoadOptions o;
+  o.num_timestamps = 2;
+  o.feature_size = 2;
+  auto ds = datasets::load_pedalme(o);
+  const std::string path =
+      "/tmp/stgraph_cross_test2_" + std::to_string(::getpid());
+  io::save_static_dataset(ds, path);
+  EXPECT_THROW(io::load_dtdg(path), StgError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stgraph

@@ -1,0 +1,221 @@
+// Unit + property tests for the device runtime: thread pool, grid
+// launches, scans, sorts, memory tracking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "runtime/device_buffer.hpp"
+#include "runtime/memory_tracker.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/scan.hpp"
+#include "runtime/sort.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+TEST(ThreadPool, RunsEveryLaneExactlyOnce) {
+  auto& pool = ThreadPool::instance();
+  std::vector<std::atomic<int>> hits(pool.lanes());
+  pool.run_on_lanes([&](unsigned lane) { hits[lane].fetch_add(1); });
+  for (unsigned l = 0; l < pool.lanes(); ++l) EXPECT_EQ(hits[l].load(), 1);
+}
+
+TEST(ThreadPool, ReentrantLaunchDoesNotDeadlock) {
+  auto& pool = ThreadPool::instance();
+  std::atomic<int> count{0};
+  pool.run_on_lanes([&](unsigned) {
+    pool.run_on_lanes([&](unsigned) { count.fetch_add(1); });
+  });
+  EXPECT_GE(count.load(), static_cast<int>(pool.lanes()));
+}
+
+TEST(Parallel, ForCoversAllIndices) {
+  const std::size_t n = 10001;
+  std::vector<std::atomic<int>> hits(n);
+  device::parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, 1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, StridedCoversAllIndices) {
+  const std::size_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  device::parallel_for_strided(n, [&](std::size_t i) { hits[i].fetch_add(1); }, 1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, RangesPartitionWithoutOverlap) {
+  const std::size_t n = 77777;
+  std::vector<uint8_t> hit(n, 0);
+  device::parallel_for_ranges(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hit[i]++;
+  }, 1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hit[i], 1) << i;
+}
+
+TEST(Parallel, ReduceSumMatchesSerial) {
+  const std::size_t n = 123457;
+  const double got =
+      device::parallel_reduce_sum(n, [](std::size_t i) { return double(i); }, 1);
+  const double want = double(n - 1) * double(n) / 2.0;
+  EXPECT_DOUBLE_EQ(got, want);
+}
+
+TEST(Parallel, KernelStatsCountLaunches) {
+  auto& stats = device::KernelStats::instance();
+  stats.reset();
+  device::parallel_for(10, [](std::size_t) {}, 1);
+  device::parallel_for_strided(10, [](std::size_t) {}, 1);
+  EXPECT_EQ(stats.launches.load(), 2u);
+  EXPECT_EQ(stats.total_threads.load(), 20u);
+}
+
+class ScanProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanProperty, InclusiveMatchesSerialReference) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31 + 1);
+  std::vector<uint64_t> in(n);
+  for (auto& v : in) v = rng.next_below(1000);
+  std::vector<uint64_t> want(n);
+  std::partial_sum(in.begin(), in.end(), want.begin());
+  std::vector<uint64_t> got(n);
+  device::inclusive_scan(in.data(), got.data(), n);
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(ScanProperty, ExclusiveMatchesSerialReferenceAndAliases) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 37 + 5);
+  std::vector<uint64_t> in(n);
+  for (auto& v : in) v = rng.next_below(1000);
+  uint64_t total_want = 0;
+  std::vector<uint64_t> want(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    want[i] = total_want;
+    total_want += in[i];
+  }
+  // Aliased in-place form.
+  std::vector<uint64_t> buf = in;
+  const uint64_t total = device::exclusive_scan(buf.data(), buf.data(), n);
+  EXPECT_EQ(buf, want);
+  EXPECT_EQ(total, total_want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanProperty,
+                         ::testing::Values(0, 1, 2, 100, 16384, 16385, 100000));
+
+class RadixSortProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RadixSortProperty, MatchesStdSort) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 41 + 3);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next_u64() >> (n % 3 == 0 ? 32 : 0);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  device::radix_sort(keys);
+  EXPECT_EQ(keys, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RadixSortProperty,
+                         ::testing::Values(0, 1, 2, 3, 100, 4096, 65537));
+
+TEST(RadixSortPairs, PayloadFollowsKeysStably) {
+  Rng rng(99);
+  const std::size_t n = 5000;
+  std::vector<uint64_t> keys(n), payload(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.next_below(100);  // many duplicates -> stability matters
+    payload[i] = i;
+  }
+  auto keys_copy = keys;
+  device::radix_sort_pairs(keys, payload);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_LE(keys[i], keys[i + 1]);
+    if (keys[i] == keys[i + 1]) EXPECT_LT(payload[i], payload[i + 1]);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(keys[i], keys_copy[payload[i]]);
+}
+
+TEST(SortIndices, DescendingDegreeOrderStable) {
+  std::vector<uint32_t> deg{3, 1, 4, 1, 5, 9, 2, 6};
+  auto idx = device::sort_indices(
+      deg.size(), [&](uint32_t a, uint32_t b) { return deg[a] > deg[b]; });
+  for (std::size_t i = 0; i + 1 < idx.size(); ++i) {
+    EXPECT_GE(deg[idx[i]], deg[idx[i + 1]]);
+    if (deg[idx[i]] == deg[idx[i + 1]]) EXPECT_LT(idx[i], idx[i + 1]);
+  }
+}
+
+TEST(SortIndices, LargeInputSorted) {
+  Rng rng(7);
+  std::vector<uint32_t> deg(50000);
+  for (auto& d : deg) d = static_cast<uint32_t>(rng.next_below(1000));
+  auto idx = device::sort_indices(
+      deg.size(), [&](uint32_t a, uint32_t b) { return deg[a] > deg[b]; });
+  EXPECT_EQ(idx.size(), deg.size());
+  for (std::size_t i = 0; i + 1 < idx.size(); ++i)
+    EXPECT_GE(deg[idx[i]], deg[idx[i + 1]]);
+}
+
+TEST(MemoryTracker, ChargesAndReleases) {
+  auto& mt = MemoryTracker::instance();
+  const std::size_t before = mt.current_bytes();
+  {
+    DeviceBuffer<float> buf(1000, MemCategory::kScratch);
+    EXPECT_EQ(mt.current_bytes(), before + 4000);
+    EXPECT_GE(mt.peak_bytes(), before + 4000);
+  }
+  EXPECT_EQ(mt.current_bytes(), before);
+}
+
+TEST(MemoryTracker, PeakRegionTracksHighWater) {
+  PeakMemoryRegion region;
+  const std::size_t base = region.peak();
+  {
+    DeviceBuffer<uint64_t> a(512, MemCategory::kPma);
+    DeviceBuffer<uint64_t> b(512, MemCategory::kPma);
+    (void)a;
+    (void)b;
+  }
+  EXPECT_GE(region.peak(), base + 2 * 512 * sizeof(uint64_t));
+}
+
+TEST(MemoryTracker, PerCategoryAccounting) {
+  auto& mt = MemoryTracker::instance();
+  const std::size_t before = mt.current_bytes(MemCategory::kEdgeMessage);
+  DeviceBuffer<float> buf(10, MemCategory::kEdgeMessage);
+  EXPECT_EQ(mt.current_bytes(MemCategory::kEdgeMessage), before + 40);
+}
+
+TEST(DeviceBuffer, MoveTransfersCharge) {
+  auto& mt = MemoryTracker::instance();
+  const std::size_t before = mt.current_bytes();
+  DeviceBuffer<int> a(100, MemCategory::kGraph);
+  DeviceBuffer<int> b = std::move(a);
+  EXPECT_EQ(mt.current_bytes(), before + 400);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT: post-move inspection is the test
+}
+
+TEST(DeviceBuffer, CloneCopiesContent) {
+  DeviceBuffer<int> a(5, MemCategory::kGraph);
+  for (int i = 0; i < 5; ++i) a[i] = i * i;
+  DeviceBuffer<int> b = a.clone();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(b[i], i * i);
+  b[0] = 99;
+  EXPECT_EQ(a[0], 0);
+}
+
+TEST(DeviceBuffer, HostRoundTrip) {
+  std::vector<float> host{1.f, 2.f, 3.f};
+  DeviceBuffer<float> buf(host, MemCategory::kTensor);
+  EXPECT_EQ(buf.to_host(), host);
+}
+
+}  // namespace
+}  // namespace stgraph

@@ -1,0 +1,196 @@
+// Stress / fuzz tests: the executor's stack discipline and the
+// cross-format training equivalence must survive arbitrary sequence
+// lengths, timestamp counts, snapshot-change rates and model mixes —
+// these parameterized sweeps are the repository's failure-injection net.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/trainer.hpp"
+#include "core/trainer.hpp"
+#include "datasets/synthetic.hpp"
+#include "gpma/gpma_graph.hpp"
+#include "graph/naive_graph.hpp"
+#include "graph/static_graph.hpp"
+#include "nn/gconv_gru.hpp"
+#include "nn/gconv_lstm.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+using namespace datasets;
+
+struct StressParams {
+  uint64_t seed;
+  uint32_t nodes;
+  uint32_t timestamps;
+  uint32_t seq_len;
+  double percent_change;
+};
+
+EdgeList stream_for(const StressParams& p) {
+  Rng rng(p.seed);
+  EdgeList stream;
+  const std::size_t events = p.nodes * 40;
+  for (std::size_t i = 0; i < events; ++i) {
+    uint32_t s = static_cast<uint32_t>(rng.next_below(p.nodes));
+    uint32_t d = static_cast<uint32_t>(rng.next_below(p.nodes));
+    if (s == d) d = (d + 1) % p.nodes;
+    stream.emplace_back(s, d);
+  }
+  return stream;
+}
+
+class DtdgStress : public ::testing::TestWithParam<StressParams> {};
+
+TEST_P(DtdgStress, NaiveAndGpmaStayInLockstep) {
+  const StressParams p = GetParam();
+  DtdgEvents ev = window_edge_stream(p.nodes, stream_for(p), p.percent_change);
+  DynamicLoadOptions o;
+  o.feature_size = 3;
+  o.link_samples_per_step = 16;
+  o.seed = p.seed;
+  TemporalSignal signal = make_dynamic_signal(ev, o);
+
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.sequence_length = p.seq_len;
+  cfg.lr = 5e-3f;
+  cfg.task = core::Task::kLinkPrediction;
+
+  NaiveGraph naive(ev);
+  GpmaGraph gpma(ev);
+  Rng ra(p.seed ^ 0xAA), rb(p.seed ^ 0xAA);
+  nn::TGCNEncoder ma(3, 4, ra), mb(3, 4, rb);
+  core::STGraphTrainer ta(naive, ma, signal, cfg);
+  core::STGraphTrainer tb(gpma, mb, signal, cfg);
+
+  for (uint32_t e = 0; e < cfg.epochs; ++e) {
+    const double la = ta.train_epoch().loss;
+    const double lb = tb.train_epoch().loss;
+    ASSERT_FALSE(std::isnan(la));
+    ASSERT_NEAR(la, lb, std::abs(la) * 1e-3 + 1e-5)
+        << "seed " << p.seed << " epoch " << e;
+  }
+  // Stacks drained; GPMA back in a consistent position.
+  ta.executor().verify_drained();
+  tb.executor().verify_drained();
+  std::string why;
+  EXPECT_TRUE(gpma.pma().check_invariants(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DtdgStress,
+    ::testing::Values(
+        StressParams{101, 25, 0, 1, 3.0},   // seq_len 1: backward every step
+        StressParams{102, 30, 0, 3, 5.0},
+        StressParams{103, 40, 0, 7, 2.0},   // seq doesn't divide T
+        StressParams{104, 20, 0, 100, 8.0}, // one sequence spans everything
+        StressParams{105, 35, 0, 4, 10.0}));
+
+struct ModelMixParams {
+  uint64_t seed;
+  int which;  // 0 = TGCN, 1 = GConvGRU, 2 = GConvLSTM
+  uint32_t seq_len;
+};
+
+class ModelMixStress : public ::testing::TestWithParam<ModelMixParams> {};
+
+TEST_P(ModelMixStress, EveryModelDrainsAndLearns) {
+  const ModelMixParams p = GetParam();
+  StaticLoadOptions o;
+  o.num_timestamps = 15;
+  o.feature_size = 3;
+  o.seed = p.seed;
+  auto ds = load_chickenpox(o);
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+  Rng rng(p.seed);
+  std::unique_ptr<nn::TemporalModel> model;
+  switch (p.which) {
+    case 0: model = std::make_unique<nn::TGCNRegressor>(3, 6, rng); break;
+    case 1:
+      model = std::make_unique<nn::GConvGRURegressor>(3, 6, 2, rng);
+      break;
+    default:
+      model = std::make_unique<nn::GConvLSTMRegressor>(3, 6, 2, rng);
+      break;
+  }
+  core::TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.sequence_length = p.seq_len;
+  cfg.task = core::Task::kNodeRegression;
+  core::STGraphTrainer trainer(graph, *model, ds.signal, cfg);
+  auto stats = trainer.train();
+  EXPECT_FALSE(std::isnan(stats.back().loss));
+  EXPECT_LT(stats.back().loss, stats.front().loss * 1.05);
+  trainer.executor().verify_drained();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, ModelMixStress,
+    ::testing::Values(ModelMixParams{1, 0, 4}, ModelMixParams{2, 0, 1},
+                      ModelMixParams{3, 1, 4}, ModelMixParams{4, 1, 15},
+                      ModelMixParams{5, 2, 4}, ModelMixParams{6, 2, 5}));
+
+TEST(GpmaLongRun, ManyEpochsKeepInvariantsAndPosition) {
+  // Long alternating fwd/bwd traffic with caching: the PMA must stay
+  // structurally valid and end exactly where training leaves it.
+  Rng rng(777);
+  EdgeList stream;
+  for (int i = 0; i < 3000; ++i) {
+    uint32_t s = static_cast<uint32_t>(rng.next_below(50));
+    uint32_t d = static_cast<uint32_t>(rng.next_below(50));
+    if (s == d) d = (d + 1) % 50;
+    stream.emplace_back(s, d);
+  }
+  DtdgEvents ev = window_edge_stream(50, stream, 2.0);
+  GpmaGraph g(ev);
+  const uint32_t T = g.num_timestamps();
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (uint32_t s = 0; s < T; s += 6) {
+      const uint32_t e = std::min(T, s + 6);
+      for (uint32_t t = s; t < e; ++t) g.get_graph(t);
+      for (uint32_t t = e; t-- > s;) g.get_backward_graph(t);
+    }
+    std::string why;
+    ASSERT_TRUE(g.pma().check_invariants(&why)) << "epoch " << epoch << ": "
+                                                << why;
+  }
+  // After the last backward the PMA sits at the last sequence's start.
+  EXPECT_LT(g.current_timestamp(), T);
+  // A final sweep must still produce the right edge counts.
+  for (uint32_t t = 0; t < T; t += 7)
+    EXPECT_EQ(g.get_graph(t).num_edges, ev.snapshot_edges(t).size());
+}
+
+TEST(BaselineStress, OddSequenceLengthsMatchStgraphLoss) {
+  StaticLoadOptions o;
+  o.num_timestamps = 13;
+  o.feature_size = 3;
+  auto ds = load_pedalme(o);
+  TemporalSignal unweighted = ds.signal;
+  unweighted.edge_weights.clear();
+
+  for (uint32_t seq : {1u, 5u, 13u}) {
+    core::TrainConfig cfg;
+    cfg.epochs = 1;
+    cfg.sequence_length = seq;
+    cfg.task = core::Task::kNodeRegression;
+
+    StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+    Rng ra(9), rb(9);
+    nn::TGCNRegressor sm(3, 4, ra);
+    baseline::PygTemporalModel bm(3, 4, rb, true);
+    core::STGraphTrainer st(graph, sm, unweighted, cfg);
+    baseline::PygtTemporalGraph bgraph(ds.num_nodes, ds.edges,
+                                       ds.num_timestamps);
+    baseline::PygtTrainer bt(bgraph, bm, unweighted, cfg);
+    const double ls = st.train_epoch().loss;
+    const double lb = bt.train_epoch().loss;
+    EXPECT_NEAR(ls, lb, std::abs(lb) * 0.02 + 1e-4) << "seq " << seq;
+  }
+}
+
+}  // namespace
+}  // namespace stgraph

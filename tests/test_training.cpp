@@ -1,0 +1,205 @@
+// End-to-end integration tests: Algorithm-1 training on every graph
+// format, loss parity between STGraph variants and the PyG-T baseline,
+// memory behaviour of the State-Stack pruning, and the figure-level
+// qualitative claims at miniature scale.
+#include <gtest/gtest.h>
+
+#include "baseline/trainer.hpp"
+#include "core/trainer.hpp"
+#include "datasets/synthetic.hpp"
+#include "gpma/gpma_graph.hpp"
+#include "graph/naive_graph.hpp"
+#include "graph/static_graph.hpp"
+#include "runtime/memory_tracker.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+using namespace datasets;
+
+StaticTemporalDataset tiny_static() {
+  StaticLoadOptions o;
+  o.scale = 1.0;
+  o.num_timestamps = 24;
+  o.feature_size = 4;
+  return load_chickenpox(o);
+}
+
+core::TrainConfig regression_config() {
+  core::TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.sequence_length = 6;
+  cfg.lr = 1e-2f;
+  cfg.task = core::Task::kNodeRegression;
+  return cfg;
+}
+
+TEST(Training, StaticTemporalLossDecreases) {
+  auto ds = tiny_static();
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+  Rng rng(77);
+  nn::TGCNRegressor model(ds.signal.feature_size(), 8, rng);
+  core::STGraphTrainer trainer(graph, model, ds.signal, regression_config());
+  auto stats = trainer.train();
+  ASSERT_EQ(stats.size(), 8u);
+  EXPECT_LT(stats.back().loss, stats.front().loss * 0.8)
+      << "first " << stats.front().loss << " last " << stats.back().loss;
+}
+
+TEST(Training, BaselineLossMatchesStgraphPerEpoch) {
+  // Same init, same data, same update rule → the two systems compute the
+  // same model and must produce near-identical loss trajectories (the
+  // paper: "The loss for models compiled with PyG-T and STGraph are
+  // similar over all tests").
+  auto ds = tiny_static();
+  auto cfg = regression_config();
+  cfg.epochs = 3;
+
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+  Rng rng_a(5);
+  nn::TGCNRegressor st_model(ds.signal.feature_size(), 8, rng_a);
+  core::STGraphTrainer st_trainer(graph, st_model, ds.signal, cfg);
+
+  baseline::PygtTemporalGraph bgraph(ds.num_nodes, ds.edges,
+                                     ds.num_timestamps);
+  Rng rng_b(5);
+  baseline::PygTemporalModel bl_model(ds.signal.feature_size(), 8, rng_b,
+                                      /*head=*/true);
+  // The baseline ignores edge weights in this comparison; give STGraph the
+  // same unweighted view by clearing them.
+  TemporalSignal unweighted = ds.signal;
+  unweighted.edge_weights.clear();
+  core::STGraphTrainer st_unweighted(graph, st_model, unweighted, cfg);
+  baseline::PygtTrainer bl_trainer(bgraph, bl_model, unweighted, cfg);
+
+  for (int e = 0; e < 3; ++e) {
+    const double ls = st_unweighted.train_epoch().loss;
+    const double lb = bl_trainer.train_epoch().loss;
+    EXPECT_NEAR(ls, lb, std::abs(lb) * 0.02 + 1e-4) << "epoch " << e;
+  }
+}
+
+EdgeList tiny_stream(uint32_t nodes, std::size_t events, uint64_t seed) {
+  Rng rng(seed);
+  EdgeList stream;
+  for (std::size_t i = 0; i < events; ++i) {
+    uint32_t s = static_cast<uint32_t>(rng.next_below(nodes));
+    uint32_t d = static_cast<uint32_t>(rng.next_below(nodes));
+    if (s == d) d = (d + 1) % nodes;
+    stream.emplace_back(s, d);
+  }
+  return stream;
+}
+
+struct DtdgFixture {
+  DtdgEvents events;
+  TemporalSignal signal;
+  core::TrainConfig cfg;
+};
+
+DtdgFixture make_dtdg_fixture(uint64_t seed) {
+  DtdgFixture f;
+  f.events = window_edge_stream(40, tiny_stream(40, 1200, seed), 8.0);
+  DynamicLoadOptions o;
+  o.feature_size = 4;
+  o.link_samples_per_step = 32;
+  f.signal = make_dynamic_signal(f.events, o);
+  f.cfg.epochs = 4;
+  f.cfg.sequence_length = 4;
+  f.cfg.lr = 5e-3f;
+  f.cfg.task = core::Task::kLinkPrediction;
+  return f;
+}
+
+TEST(Training, DtdgNaiveLossDecreases) {
+  auto f = make_dtdg_fixture(91);
+  NaiveGraph graph(f.events);
+  Rng rng(7);
+  nn::TGCNEncoder model(4, 8, rng);
+  core::STGraphTrainer trainer(graph, model, f.signal, f.cfg);
+  auto stats = trainer.train();
+  EXPECT_LT(stats.back().loss, stats.front().loss);
+}
+
+TEST(Training, NaiveAndGpmaComputeIdenticalLosses) {
+  // The two DTDG formats are different storage layouts of the same graph;
+  // with identical initialization they must train identically.
+  auto f = make_dtdg_fixture(93);
+  NaiveGraph naive(f.events);
+  GpmaGraph gpma(f.events);
+  Rng rng_a(21), rng_b(21);
+  nn::TGCNEncoder model_a(4, 8, rng_a), model_b(4, 8, rng_b);
+  core::STGraphTrainer trainer_a(naive, model_a, f.signal, f.cfg);
+  core::STGraphTrainer trainer_b(gpma, model_b, f.signal, f.cfg);
+  for (uint32_t e = 0; e < f.cfg.epochs; ++e) {
+    const double la = trainer_a.train_epoch().loss;
+    const double lb = trainer_b.train_epoch().loss;
+    EXPECT_NEAR(la, lb, std::abs(la) * 1e-3 + 1e-5) << "epoch " << e;
+  }
+}
+
+TEST(Training, GpmaReportsGraphUpdateTime) {
+  auto f = make_dtdg_fixture(95);
+  GpmaGraph gpma(f.events);
+  Rng rng(23);
+  nn::TGCNEncoder model(4, 8, rng);
+  core::STGraphTrainer trainer(gpma, model, f.signal, f.cfg);
+  auto stats = trainer.train_epoch();
+  // On-demand snapshot construction must show up in the phase split.
+  EXPECT_GT(stats.graph_update_seconds, 0.0);
+  EXPECT_GT(stats.gnn_seconds, 0.0);
+  EXPECT_LE(stats.graph_update_seconds, stats.seconds);
+}
+
+TEST(Training, StateStackPruningReducesPeakStackBytes) {
+  auto ds = tiny_static();
+  auto cfg = regression_config();
+  cfg.epochs = 1;
+
+  auto run = [&](bool pruning) {
+    StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+    Rng rng(3);
+    nn::TGCNRegressor model(ds.signal.feature_size(), 8, rng);
+    cfg.state_pruning = pruning;
+    core::STGraphTrainer trainer(graph, model, ds.signal, cfg);
+    trainer.train_epoch();
+    return trainer.executor().state_stack().peak_device_bytes();
+  };
+  const std::size_t pruned = run(true);
+  const std::size_t unpruned = run(false);
+  EXPECT_LT(pruned, unpruned);
+}
+
+TEST(Training, EvaluateDoesNotTrain) {
+  auto ds = tiny_static();
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+  Rng rng(9);
+  nn::TGCNRegressor model(ds.signal.feature_size(), 8, rng);
+  core::STGraphTrainer trainer(graph, model, ds.signal, regression_config());
+  const double e1 = trainer.evaluate();
+  const double e2 = trainer.evaluate();
+  EXPECT_DOUBLE_EQ(e1, e2);  // no parameter drift from evaluation
+}
+
+TEST(Training, GpmaUsesLessGraphMemoryThanNaive) {
+  // Figure 8's core claim at miniature scale: at small %-change the
+  // on-demand format holds far fewer resident graph bytes.
+  DtdgEvents ev = window_edge_stream(60, tiny_stream(60, 4000, 97), 2.0);
+  NaiveGraph naive(ev);
+  GpmaGraph gpma(ev);
+  EXPECT_LT(gpma.device_bytes() * 2, naive.device_bytes());
+}
+
+TEST(Training, MismatchedTaskConfigThrows) {
+  auto ds = tiny_static();
+  StaticTemporalGraph graph(ds.num_nodes, ds.edges, ds.num_timestamps);
+  Rng rng(11);
+  nn::TGCNRegressor model(ds.signal.feature_size(), 8, rng);
+  core::TrainConfig cfg = regression_config();
+  cfg.task = core::Task::kLinkPrediction;  // signal has no link samples
+  EXPECT_THROW(core::STGraphTrainer(graph, model, ds.signal, cfg), StgError);
+}
+
+}  // namespace
+}  // namespace stgraph
