@@ -1,6 +1,26 @@
 #!/bin/sh
 # Final validation sweep: full test suite + every bench binary.
+#
+#   ./run_all.sh            default sweep (tests + benches)
+#   ./run_all.sh sanitize   tier-1 suite under ASan/UBSan with the
+#                           failpoint machinery compiled in and active
+#                           (fault-injection tests arm their own
+#                           failpoints; this shakes out UB on the
+#                           error/rollback paths)
 cd /root/repo
+
+if [ "$1" = "sanitize" ]; then
+  cmake -B build-asan -S . \
+    -DSTGRAPH_SANITIZE=address,undefined \
+    -DSTGRAPH_BUILD_BENCH=OFF \
+    -DSTGRAPH_BUILD_EXAMPLES=OFF || exit 1
+  cmake --build build-asan -j "$(nproc)" || exit 1
+  UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure 2>&1 \
+    | tee /root/repo/test_output_asan.txt
+  exit $?
+fi
+
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt > /dev/null
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then

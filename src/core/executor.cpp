@@ -1,12 +1,16 @@
 #include "core/executor.hpp"
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace stgraph::core {
 
 TemporalExecutor::TemporalExecutor(STGraphBase& graph) : graph_(graph) {}
 
 void TemporalExecutor::begin_forward_step(uint32_t t) {
+  STG_FAILPOINT("executor.forward.throw",
+                throw StgError("failpoint executor.forward.throw fired at t=" +
+                               std::to_string(t)));
   {
     PhaseScope scope(positioning_timer_);
     current_view_ = graph_.get_graph(t);
@@ -63,6 +67,15 @@ const SnapshotView& TemporalExecutor::backward_view(uint32_t t) {
 std::vector<Tensor> TemporalExecutor::retrieve_saved(StateStack::Ticket ticket) {
   record("pop state #" + std::to_string(ticket));
   return state_stack_.pop(ticket);
+}
+
+void TemporalExecutor::abort_sequence() {
+  record("abort seq (state depth " + std::to_string(state_stack_.depth()) +
+         ", graph depth " + std::to_string(graph_stack_.depth()) + ")");
+  state_stack_.clear();
+  graph_stack_.clear();
+  fwd_timestamp_.reset();
+  bwd_timestamp_.reset();
 }
 
 void TemporalExecutor::verify_drained() const {

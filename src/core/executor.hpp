@@ -71,6 +71,12 @@ class TemporalExecutor {
   /// Sanity check between sequences: both stacks must have drained.
   void verify_drained() const;
 
+  /// Exception-safe unwind: drain both stacks and forget the in-progress
+  /// step so a throw mid-sequence (a layer error, an injected fault)
+  /// leaves the executor reusable instead of poisoned. The trainer calls
+  /// this from its catch path; verify_drained() passes afterwards.
+  void abort_sequence();
+
   /// Optional event trace: when set, the executor appends one line per
   /// protocol event ("fwd t=2", "push state #5", "pop graph t=2", ...).
   /// Used by the Figure-2 walkthrough test and for debugging training

@@ -17,6 +17,9 @@ class GraphStack {
   bool empty() const { return stack_.empty(); }
   std::size_t depth() const { return stack_.size(); }
 
+  /// Drop every recorded snapshot (executor abort path).
+  void clear() { stack_.clear(); }
+
  private:
   std::vector<uint32_t> stack_;
 };

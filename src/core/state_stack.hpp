@@ -36,6 +36,11 @@ class StateStack {
   bool empty() const { return entries_.empty(); }
   std::size_t depth() const { return entries_.size(); }
 
+  /// Drop every held entry (executor abort path): releases the saved
+  /// tensors of a sequence whose backward pass will never run. Ticket
+  /// numbering continues — outstanding tickets become permanently invalid.
+  void clear() { entries_.clear(); }
+
   /// Bytes of tensor storage currently held alive by the stack.
   std::size_t device_bytes() const;
 

@@ -1,11 +1,38 @@
 #include "core/trainer.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "gpma/gpma_graph.hpp"
+#include "io/train_state.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 #include "util/timer.hpp"
 
 namespace stgraph::core {
+namespace {
+
+/// FNV-1a over the raw bytes of a trivially-copyable value.
+template <typename T>
+uint64_t fnv1a(uint64_t h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool all_finite(const float* p, int64_t n) {
+  for (int64_t i = 0; i < n; ++i)
+    if (!std::isfinite(p[i])) return false;
+  return true;
+}
+
+}  // namespace
 
 STGraphTrainer::STGraphTrainer(STGraphBase& graph, nn::TemporalModel& model,
                                const datasets::TemporalSignal& signal,
@@ -15,19 +42,116 @@ STGraphTrainer::STGraphTrainer(STGraphBase& graph, nn::TemporalModel& model,
       signal_(signal),
       config_(config),
       executor_(graph),
-      optimizer_(model.parameters(), config.lr) {
+      optimizer_(model.parameters(), config.lr),
+      rng_(config.seed) {
   STG_CHECK(signal_.num_timestamps() >= 1, "signal has no timestamps");
   STG_CHECK(config_.sequence_length >= 1, "sequence length must be positive");
   STG_CHECK(config_.task != Task::kNodeRegression || signal_.has_node_targets(),
             "node regression requires node targets in the signal");
   STG_CHECK(config_.task != Task::kLinkPrediction || signal_.has_link_samples(),
             "link prediction requires link samples in the signal");
+  STG_CHECK(config_.checkpoint_every_n_sequences == 0 ||
+                !config_.checkpoint_path.empty(),
+            "checkpoint_every_n_sequences is set but checkpoint_path is "
+            "empty");
+  STG_CHECK(config_.lr_halve_after_failures >= 1,
+            "lr_halve_after_failures must be positive");
   executor_.set_state_pruning(config_.state_pruning);
+}
+
+uint64_t STGraphTrainer::config_hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, config_.epochs);
+  h = fnv1a(h, config_.sequence_length);
+  h = fnv1a(h, config_.lr);
+  h = fnv1a(h, config_.task);
+  h = fnv1a(h, config_.state_pruning);
+  h = fnv1a(h, config_.checkpoint_every_n_sequences);
+  h = fnv1a(h, config_.numerical_guards);
+  h = fnv1a(h, config_.lr_halve_after_failures);
+  h = fnv1a(h, config_.max_grad_norm);
+  h = fnv1a(h, config_.seed);
+  // Pin the run shape too: a different model or dataset must not be
+  // resumable even if the config matches.
+  h = fnv1a(h, model_.parameter_count());
+  h = fnv1a(h, signal_.num_timestamps());
+  return h;
+}
+
+void STGraphTrainer::write_train_state(const std::string& path,
+                                       uint32_t next_sequence,
+                                       double epoch_loss_total,
+                                       uint64_t epoch_steps) const {
+  io::TrainState st;
+  st.config_hash = config_hash();
+  st.epoch = epoch_cursor_;
+  st.next_sequence = next_sequence;
+  st.lr = optimizer_.learning_rate();
+  st.optimizer_step_count = optimizer_.step_count();
+  st.params = model_.parameters();
+  st.moment1 = optimizer_.moment1();
+  st.moment2 = optimizer_.moment2();
+  st.hidden = h_;
+  st.rng = rng_.state();
+  st.consecutive_failures = consecutive_failures_;
+  st.non_finite_losses = failures_.non_finite_losses;
+  st.non_finite_grads = failures_.non_finite_grads;
+  st.skipped_steps = failures_.skipped_steps;
+  st.lr_halvings = failures_.lr_halvings;
+  st.epoch_loss_total = epoch_loss_total;
+  st.epoch_steps = epoch_steps;
+  io::save_train_state(st, path);
+}
+
+void STGraphTrainer::save_checkpoint(const std::string& path) const {
+  write_train_state(path, sequence_cursor_, pending_loss_total_,
+                    pending_steps_);
+}
+
+void STGraphTrainer::resume(const std::string& path) {
+  io::TrainState st = io::load_train_state(path);
+  STG_CHECK(st.config_hash == config_hash(), "train state '", path,
+            "' was produced under a different TrainConfig, model, or "
+            "dataset — refusing to resume");
+
+  // Both parameter lists derive from model.parameters() traversal order,
+  // so a strict positional match (name + shape) is the right check.
+  auto params = model_.parameters();
+  STG_CHECK(params.size() == st.params.size(), "train state '", path,
+            "' has ", st.params.size(), " parameters, model has ",
+            params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    STG_CHECK(params[i].name == st.params[i].name, "train state '", path,
+              "' parameter ", i, " is '", st.params[i].name,
+              "', model has '", params[i].name, "'");
+    STG_CHECK(params[i].tensor.shape() == st.params[i].tensor.shape(),
+              "parameter '", params[i].name, "' shape mismatch in '", path,
+              "'");
+    const Tensor& src = st.params[i].tensor;
+    std::copy(src.data(), src.data() + src.numel(), params[i].tensor.data());
+  }
+  optimizer_.restore_moments(st.moment1, st.moment2);
+  optimizer_.set_step_count(st.optimizer_step_count);
+  optimizer_.set_learning_rate(st.lr);
+  rng_.set_state(st.rng);
+  // The hidden state resumes detached, exactly as it was at the boundary.
+  h_ = st.hidden;
+  epoch_cursor_ = st.epoch;
+  sequence_cursor_ = st.next_sequence;
+  pending_loss_total_ = st.epoch_loss_total;
+  pending_steps_ = st.epoch_steps;
+  consecutive_failures_ = st.consecutive_failures;
+  failures_.non_finite_losses = st.non_finite_losses;
+  failures_.non_finite_grads = st.non_finite_grads;
+  failures_.skipped_steps = st.skipped_steps;
+  failures_.lr_halvings = st.lr_halvings;
 }
 
 EpochStats STGraphTrainer::run_epoch(bool training) {
   const uint32_t T =
       std::min<uint32_t>(signal_.num_timestamps(), graph_.num_timestamps());
+  const uint32_t L = config_.sequence_length;
+  const uint32_t num_sequences = (T + L - 1) / L;
   const float* edge_weights =
       signal_.edge_weights.empty() ? nullptr : signal_.edge_weights.data();
 
@@ -41,58 +165,165 @@ EpochStats STGraphTrainer::run_epoch(bool training) {
   }
 
   double loss_total = 0.0;
-  uint32_t steps = 0;
-  Tensor h;  // carried across sequences, detached (truncated BPTT)
+  uint64_t steps = 0;
+  uint32_t first_seq = 0;
+  // Evaluation carries its own hidden state so an interleaved evaluate()
+  // never disturbs a resumed training position.
+  Tensor eval_h;
+  Tensor& h = training ? h_ : eval_h;
+  if (training && sequence_cursor_ > 0) {
+    // Resumed mid-epoch: pick up the cursor and accumulators; h_ was
+    // restored by resume().
+    first_seq = sequence_cursor_;
+    loss_total = pending_loss_total_;
+    steps = pending_steps_;
+    sequence_cursor_ = 0;
+    pending_loss_total_ = 0.0;
+    pending_steps_ = 0;
+  } else if (training) {
+    h_ = Tensor();  // fresh epoch: hidden state restarts
+  }
 
-  for (uint32_t seq_start = 0; seq_start < T;
-       seq_start += config_.sequence_length) {
-    const uint32_t seq_end =
-        std::min(T, seq_start + config_.sequence_length);
+  for (uint32_t seq = first_seq; seq < num_sequences; ++seq) {
+    const uint32_t seq_start = seq * L;
+    const uint32_t seq_end = std::min(T, seq_start + L);
+
+    // Rollback anchors: the (detached) hidden state at sequence entry and
+    // a shadow copy of every parameter.
+    const Tensor h_entry = h;
+    std::vector<Tensor> shadow;
+    if (training && config_.numerical_guards) {
+      shadow.reserve(optimizer_.params().size());
+      for (const nn::Parameter& p : optimizer_.params())
+        shadow.push_back(p.tensor.clone());
+    }
 
     Tensor loss_acc;
-    for (uint32_t t = seq_start; t < seq_end; ++t) {
-      executor_.begin_forward_step(t);
-      const Tensor& x = signal_.features[t];
-      if (!h.defined()) h = model_.initial_state(x.rows());
-      auto [out, h_next] = model_.step(executor_, x, h, edge_weights);
-      h = h_next;
+    try {
+      for (uint32_t t = seq_start; t < seq_end; ++t) {
+        executor_.begin_forward_step(t);
+        const Tensor& x = signal_.features[t];
+        if (!h.defined()) h = model_.initial_state(x.rows());
+        auto [out, h_next] = model_.step(executor_, x, h, edge_weights);
+        h = h_next;
 
-      Tensor loss_t;
-      if (config_.task == Task::kNodeRegression) {
-        loss_t = ops::mse_loss(out, signal_.targets[t]);
-      } else {
-        const datasets::LinkSamples& ls = signal_.links[t];
-        Tensor logits = nn::link_logits(out, ls.src, ls.dst);
-        loss_t = ops::bce_with_logits_loss(logits, ls.labels);
+        Tensor loss_t;
+        if (config_.task == Task::kNodeRegression) {
+          loss_t = ops::mse_loss(out, signal_.targets[t]);
+        } else {
+          const datasets::LinkSamples& ls = signal_.links[t];
+          Tensor logits = nn::link_logits(out, ls.src, ls.dst);
+          loss_t = ops::bce_with_logits_loss(logits, ls.labels);
+        }
+        loss_acc = loss_acc.defined() ? ops::add(loss_acc, loss_t) : loss_t;
       }
-      loss_acc = loss_acc.defined() ? ops::add(loss_acc, loss_t) : loss_t;
-      ++steps;
+      if (training) {
+        optimizer_.zero_grad();
+        loss_acc.backward();
+      }
+    } catch (...) {
+      // Unwind to a consistent empty-stack state so the executor (and the
+      // trainer) stay reusable after a mid-sequence throw.
+      executor_.abort_sequence();
+      h = h_entry;
+      throw;
     }
 
-    loss_total += loss_acc.item();
+    const double seq_loss = loss_acc.item();
+    bool skipped = false;
     if (training) {
-      optimizer_.zero_grad();
-      loss_acc.backward();
-      optimizer_.step();
+      STG_FAILPOINT("trainer.grad.nan", {
+        // Poison one gradient value to exercise the guard path.
+        for (const nn::Parameter& p : optimizer_.params()) {
+          Tensor g = p.tensor.grad();
+          if (g.defined() && g.numel() > 0) {
+            g.data()[0] = std::numeric_limits<float>::quiet_NaN();
+            break;
+          }
+        }
+      });
+      if (config_.numerical_guards) {
+        const bool bad_loss = !std::isfinite(seq_loss);
+        bool bad_grad = false;
+        for (const nn::Parameter& p : optimizer_.params()) {
+          const Tensor g = p.tensor.grad();
+          if (g.defined() && !all_finite(g.data(), g.numel())) {
+            bad_grad = true;
+            break;
+          }
+        }
+        if (bad_loss) ++failures_.non_finite_losses;
+        if (bad_grad) ++failures_.non_finite_grads;
+        if (bad_loss || bad_grad) {
+          skipped = true;
+          ++failures_.skipped_steps;
+          // The step never runs, but restore from the shadow anyway: the
+          // rollback contract is "parameters exactly as at sequence
+          // entry" regardless of what a backward pass may have touched.
+          {
+            NoGradGuard ng;
+            const auto& params = optimizer_.params();
+            for (std::size_t i = 0; i < params.size(); ++i) {
+              const Tensor& s = shadow[i];
+              Tensor dst = params[i].tensor;  // shared handle, same storage
+              std::copy(s.data(), s.data() + s.numel(), dst.data());
+            }
+          }
+          h = h_entry;
+          if (++consecutive_failures_ >= config_.lr_halve_after_failures) {
+            optimizer_.set_learning_rate(optimizer_.learning_rate() * 0.5f);
+            ++failures_.lr_halvings;
+            consecutive_failures_ = 0;
+          }
+        }
+      }
+      if (!skipped) {
+        consecutive_failures_ = 0;
+        if (config_.max_grad_norm > 0.0f)
+          nn::clip_grad_norm(optimizer_.params(), config_.max_grad_norm);
+        optimizer_.step();
+      }
       executor_.verify_drained();
     }
-    h = h.detach();  // truncate BPTT at the sequence boundary
+
+    if (!skipped) {
+      loss_total += seq_loss;
+      steps += seq_end - seq_start;
+      h = h.detach();  // truncate BPTT at the sequence boundary
+    }
+
+    if (training && config_.checkpoint_every_n_sequences > 0 &&
+        (seq + 1) % config_.checkpoint_every_n_sequences == 0) {
+      write_train_state(config_.checkpoint_path, seq + 1, loss_total, steps);
+    }
+    // Crash injection at the exact sequence boundary — after any
+    // checkpoint, mirroring a kill between sequences.
+    STG_FAILPOINT("trainer.sequence.end",
+                  throw StgError("failpoint trainer.sequence.end fired after "
+                                 "sequence " +
+                                 std::to_string(seq)));
   }
 
   EpochStats stats;
-  stats.loss = steps ? loss_total / steps : 0.0;
+  stats.loss = steps ? loss_total / static_cast<double>(steps) : 0.0;
   stats.seconds = epoch_timer.seconds();
   stats.graph_update_seconds = executor_.positioning_timer().total_seconds();
   stats.gnn_seconds = stats.seconds - stats.graph_update_seconds;
+  stats.failures = failures_;
   return stats;
 }
 
-EpochStats STGraphTrainer::train_epoch() { return run_epoch(/*training=*/true); }
+EpochStats STGraphTrainer::train_epoch() {
+  EpochStats stats = run_epoch(/*training=*/true);
+  ++epoch_cursor_;
+  return stats;
+}
 
 std::vector<EpochStats> STGraphTrainer::train() {
   std::vector<EpochStats> stats;
-  stats.reserve(config_.epochs);
-  for (uint32_t e = 0; e < config_.epochs; ++e) stats.push_back(train_epoch());
+  if (config_.epochs > epoch_cursor_)
+    stats.reserve(config_.epochs - epoch_cursor_);
+  while (epoch_cursor_ < config_.epochs) stats.push_back(train_epoch());
   return stats;
 }
 

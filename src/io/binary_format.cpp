@@ -1,0 +1,161 @@
+#include "io/binary_format.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
+
+namespace stgraph::io {
+
+struct Writer::OutFile {
+  std::ofstream stream;
+};
+
+void Writer::OutFileDeleter::operator()(OutFile* f) const { delete f; }
+
+Writer::Writer(const std::string& path, bool crc_footer)
+    : path_(path),
+      tmp_path_(path + ".tmp." + std::to_string(::getpid())),
+      crc_footer_(crc_footer),
+      out_(new OutFile) {
+  out_->stream.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  STG_CHECK(out_->stream.good(), "cannot open '", tmp_path_,
+            "' for writing");
+}
+
+Writer::~Writer() {
+  if (!finished_) {
+    // Abandoned write (exception unwinding): the destination is untouched;
+    // drop the temp file.
+    out_->stream.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void Writer::bytes(const void* data, std::size_t n) {
+  if (crc_footer_) crc_ = crc32(data, n, crc_);
+  out_->stream.write(static_cast<const char*>(data),
+                     static_cast<std::streamsize>(n));
+}
+
+void Writer::finish() {
+  STG_CHECK(!finished_, "Writer::finish() called twice for '", path_, "'");
+  if (crc_footer_) {
+    // The footer itself is excluded from the CRC.
+    const uint32_t crc = crc_;
+    out_->stream.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  }
+  out_->stream.flush();
+  STG_CHECK(out_->stream.good(), "write to '", tmp_path_, "' failed");
+  out_->stream.close();
+
+  // Torn-write injection: shorten the already-closed temp file so the
+  // rename publishes a truncated payload.
+  STG_FAILPOINT("io.write.short", {
+    struct ::stat st{};
+    STG_CHECK(::stat(tmp_path_.c_str(), &st) == 0, "stat('", tmp_path_,
+              "') failed");
+    STG_CHECK(::truncate(tmp_path_.c_str(), st.st_size / 2) == 0,
+              "truncate('", tmp_path_, "') failed");
+  });
+
+  const int fd = ::open(tmp_path_.c_str(), O_WRONLY);
+  STG_CHECK(fd >= 0, "cannot reopen '", tmp_path_, "' for fsync");
+  const int sync_rc = ::fsync(fd);
+  ::close(fd);
+  STG_CHECK(sync_rc == 0, "fsync('", tmp_path_, "') failed");
+  STG_CHECK(::rename(tmp_path_.c_str(), path_.c_str()) == 0, "rename('",
+            tmp_path_, "' -> '", path_, "') failed");
+  finished_ = true;
+}
+
+Reader::Reader(const std::string& path, bool crc_footer) : path_(path) {
+  std::ifstream in(path, std::ios::binary);
+  STG_CHECK(in.good(), "cannot open '", path, "' for reading");
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  STG_CHECK(!in.bad(), "read from '", path, "' failed");
+  buf_ = std::move(slurp).str();
+  if (crc_footer) {
+    STG_CHECK(buf_.size() >= sizeof(uint32_t), "'", path,
+              "' is too short to hold a CRC footer — truncated file");
+    uint32_t stored = 0;
+    std::memcpy(&stored, buf_.data() + buf_.size() - sizeof(uint32_t),
+                sizeof(uint32_t));
+    buf_.resize(buf_.size() - sizeof(uint32_t));
+    const uint32_t computed = crc32(buf_.data(), buf_.size());
+    STG_CHECK(stored == computed, "'", path, "' failed its CRC check (stored 0x",
+              std::hex, stored, ", computed 0x", computed,
+              ") — torn or corrupted write");
+  }
+}
+
+void Reader::bytes(void* data, std::size_t n) {
+  STG_CHECK(n <= remaining(), "unexpected end of file in '", path_,
+            "' (want ", n, " bytes, have ", remaining(), ")");
+  std::memcpy(data, buf_.data() + pos_, n);
+  pos_ += n;
+}
+
+std::string Reader::str(uint32_t max_len) {
+  const uint32_t n = scalar<uint32_t>();
+  STG_CHECK(n <= max_len, "string length ", n, " too large in '", path_, "'");
+  STG_CHECK(n <= remaining(), "unexpected end of file in '", path_,
+            "' reading a string of ", n, " bytes");
+  std::string s = buf_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+void Reader::expect_magic(uint32_t magic, uint32_t version) {
+  const uint32_t got = scalar<uint32_t>();
+  STG_CHECK(got == magic, "'", path_, "' has wrong magic (got 0x", std::hex,
+            got, ", want 0x", magic, ")");
+  const uint32_t got_version = scalar<uint32_t>();
+  STG_CHECK(got_version == version, "'", path_, "' has unsupported version ",
+            got_version);
+}
+
+void Reader::expect_payload(uint64_t count, std::size_t elem_size,
+                            const char* what) {
+  STG_CHECK(count <= remaining() / elem_size, "claimed ", what, " count ",
+            count, " exceeds the remaining ", remaining(), " bytes of '",
+            path_, "' — truncated or corrupt file");
+}
+
+void write_tensor(Writer& w, const Tensor& t) {
+  w.scalar<uint32_t>(static_cast<uint32_t>(t.dim()));
+  for (int64_t d = 0; d < t.dim(); ++d) w.scalar<int64_t>(t.size(d));
+  w.bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+}
+
+Tensor read_tensor(Reader& r) {
+  const uint32_t rank = r.scalar<uint32_t>();
+  STG_CHECK(rank <= 2, "tensor rank ", rank, " unsupported in '", r.path(),
+            "'");
+  Shape shape;
+  int64_t numel = 1;
+  for (uint32_t d = 0; d < rank; ++d) {
+    const int64_t dim = r.scalar<int64_t>();
+    STG_CHECK(dim >= 0 && dim <= (1 << 30), "tensor dim ", dim,
+              " implausible in '", r.path(), "'");
+    shape.push_back(dim);
+    numel *= dim;
+  }
+  r.expect_payload(static_cast<uint64_t>(numel), sizeof(float),
+                   "tensor element");
+  Tensor t = Tensor::empty(shape);
+  if (t.numel())
+    r.bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+  return t;
+}
+
+}  // namespace stgraph::io

@@ -1,0 +1,110 @@
+// Shared machinery for STGraph's little-endian binary containers: an
+// atomic file writer and a bounds-checked reader, used by every on-disk
+// format (datasets, DTDG events, model checkpoints, train states).
+//
+// Durability contract (Writer): bytes go to `<path>.tmp.<pid>`; finish()
+// flushes, fsyncs, and rename(2)s the temp file over `path`, so a crash at
+// any point leaves either the old file or the new one — never a torn mix.
+// An unfinished Writer removes its temp file on destruction. With
+// `crc_footer` every payload byte feeds a CRC-32 that finish() appends as
+// a 4-byte footer.
+//
+// Corruption contract (Reader): the whole file is slurped up front, every
+// read is bounds-checked against the remaining bytes, and element counts
+// are validated against the remaining payload before any allocation — a
+// file truncated at ANY byte boundary throws StgError, never UB or OOM.
+// With `crc_footer` the footer is verified before the first field is
+// parsed, so torn writes (e.g. a short write that survived a rename) are
+// detected up front.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+
+#include "tensor/tensor.hpp"
+
+namespace stgraph::io {
+
+// The formats are defined as little-endian; on a big-endian host these
+// would need byte swaps, which we guard against rather than silently
+// corrupting.
+static_assert(std::endian::native == std::endian::little,
+              "serializers assume a little-endian host");
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path, bool crc_footer = false);
+  ~Writer();
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  template <typename T>
+  void scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(T));
+  }
+  void bytes(const void* data, std::size_t n);
+  void str(const std::string& s) {
+    scalar<uint32_t>(static_cast<uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+  /// Flush + fsync the temp file, then rename it into place. Failpoint
+  /// "io.write.short" truncates the temp file first, simulating a torn
+  /// write that made it through the rename (tests CRC/truncation
+  /// detection on the read side).
+  void finish();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  uint32_t crc_ = 0;
+  bool crc_footer_ = false;
+  bool finished_ = false;
+  struct OutFile;  // hides <fstream> from the header
+  struct OutFileDeleter {
+    void operator()(OutFile* f) const;
+  };
+  std::unique_ptr<OutFile, OutFileDeleter> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path, bool crc_footer = false);
+
+  template <typename T>
+  T scalar() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    bytes(&v, sizeof(T));
+    return v;
+  }
+  void bytes(void* data, std::size_t n);
+  std::string str(uint32_t max_len = 1u << 20);
+  /// Read and validate the (magic, version) header every container opens
+  /// with.
+  void expect_magic(uint32_t magic, uint32_t version);
+
+  /// Payload bytes not yet consumed (excludes a verified CRC footer).
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  /// Validate a claimed element count against the remaining payload:
+  /// `count * elem_size` bytes must still be available. Makes reserve()
+  /// after the check safe on corrupt files.
+  void expect_payload(uint64_t count, std::size_t elem_size,
+                      const char* what);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+// ---- shared field helpers -----------------------------------------------
+/// Tensor wire format: u32 rank, i64 dims, raw float32 payload.
+void write_tensor(Writer& w, const Tensor& t);
+Tensor read_tensor(Reader& r);
+
+}  // namespace stgraph::io

@@ -1,12 +1,12 @@
 #include "io/serialize.hpp"
 
 #include <algorithm>
-#include <cstring>
+#include <cstdio>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <unordered_map>
 
+#include "io/binary_format.hpp"
 #include "util/check.hpp"
 
 namespace stgraph::io {
@@ -16,80 +16,6 @@ constexpr uint32_t kMagicStatic = 0x53544753;  // "STGS"
 constexpr uint32_t kMagicDtdg = 0x53544744;    // "STGD"
 constexpr uint32_t kMagicCkpt = 0x53544743;    // "STGC"
 constexpr uint32_t kVersion = 1;
-
-// Little-endian scalar writers/readers. The formats are defined as
-// little-endian; on a big-endian host these would need byte swaps, which
-// we guard against rather than silently corrupting.
-static_assert(std::endian::native == std::endian::little,
-              "serializers assume a little-endian host");
-
-class Writer {
- public:
-  explicit Writer(const std::string& path) : out_(path, std::ios::binary) {
-    STG_CHECK(out_.good(), "cannot open '", path, "' for writing");
-    path_ = path;
-  }
-  template <typename T>
-  void scalar(T v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
-  }
-  void bytes(const void* data, std::size_t n) {
-    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
-  }
-  void str(const std::string& s) {
-    scalar<uint32_t>(static_cast<uint32_t>(s.size()));
-    bytes(s.data(), s.size());
-  }
-  void finish() {
-    out_.flush();
-    STG_CHECK(out_.good(), "write to '", path_, "' failed");
-  }
-
- private:
-  std::ofstream out_;
-  std::string path_;
-};
-
-class Reader {
- public:
-  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {
-    STG_CHECK(in_.good(), "cannot open '", path, "' for reading");
-    path_ = path;
-  }
-  template <typename T>
-  T scalar() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    T v{};
-    in_.read(reinterpret_cast<char*>(&v), sizeof(T));
-    STG_CHECK(in_.good(), "unexpected end of file in '", path_, "'");
-    return v;
-  }
-  void bytes(void* data, std::size_t n) {
-    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-    STG_CHECK(in_.good(), "unexpected end of file in '", path_, "'");
-  }
-  std::string str(uint32_t max_len = 1u << 20) {
-    const uint32_t n = scalar<uint32_t>();
-    STG_CHECK(n <= max_len, "string length ", n, " too large in '", path_, "'");
-    std::string s(n, '\0');
-    if (n) bytes(s.data(), n);
-    return s;
-  }
-  void expect_magic(uint32_t magic) {
-    const uint32_t got = scalar<uint32_t>();
-    STG_CHECK(got == magic, "'", path_, "' has wrong magic (got 0x", std::hex,
-              got, ", want 0x", magic, ")");
-    const uint32_t version = scalar<uint32_t>();
-    STG_CHECK(version == kVersion, "'", path_, "' has unsupported version ",
-              version);
-  }
-  const std::string& path() const { return path_; }
-
- private:
-  std::ifstream in_;
-  std::string path_;
-};
 
 void write_edges(Writer& w, const EdgeList& edges) {
   w.scalar<uint64_t>(edges.size());
@@ -101,8 +27,7 @@ void write_edges(Writer& w, const EdgeList& edges) {
 
 EdgeList read_edges(Reader& r, uint32_t num_nodes) {
   const uint64_t m = r.scalar<uint64_t>();
-  STG_CHECK(m <= (1ull << 32), "edge count ", m, " implausible in '",
-            r.path(), "'");
+  r.expect_payload(m, 2 * sizeof(uint32_t), "edge");
   EdgeList edges;
   edges.reserve(m);
   for (uint64_t e = 0; e < m; ++e) {
@@ -113,28 +38,6 @@ EdgeList read_edges(Reader& r, uint32_t num_nodes) {
     edges.emplace_back(s, d);
   }
   return edges;
-}
-
-void write_tensor(Writer& w, const Tensor& t) {
-  w.scalar<uint32_t>(static_cast<uint32_t>(t.dim()));
-  for (int64_t d = 0; d < t.dim(); ++d) w.scalar<int64_t>(t.size(d));
-  w.bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
-}
-
-Tensor read_tensor(Reader& r) {
-  const uint32_t rank = r.scalar<uint32_t>();
-  STG_CHECK(rank <= 2, "tensor rank ", rank, " unsupported in '", r.path(), "'");
-  Shape shape;
-  for (uint32_t d = 0; d < rank; ++d) {
-    const int64_t dim = r.scalar<int64_t>();
-    STG_CHECK(dim >= 0 && dim <= (1 << 30), "tensor dim ", dim,
-              " implausible in '", r.path(), "'");
-    shape.push_back(dim);
-  }
-  Tensor t = Tensor::empty(shape);
-  if (t.numel())
-    r.bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
-  return t;
 }
 
 }  // namespace
@@ -162,7 +65,7 @@ void save_static_dataset(const datasets::StaticTemporalDataset& ds,
 
 datasets::StaticTemporalDataset load_static_dataset(const std::string& path) {
   Reader r(path);
-  r.expect_magic(kMagicStatic);
+  r.expect_magic(kMagicStatic, kVersion);
   datasets::StaticTemporalDataset ds;
   ds.name = r.str(4096);
   ds.num_nodes = r.scalar<uint32_t>();
@@ -181,6 +84,7 @@ datasets::StaticTemporalDataset load_static_dataset(const std::string& path) {
   STG_CHECK(wn == 0 || wn == ds.edges.size(),
             "edge-weight count ", wn, " != edge count ", ds.edges.size(),
             " in '", path, "'");
+  r.expect_payload(wn, sizeof(float), "edge-weight");
   ds.signal.edge_weights.resize(wn);
   if (wn) r.bytes(ds.signal.edge_weights.data(), wn * sizeof(float));
   return ds;
@@ -202,7 +106,7 @@ void save_dtdg(const DtdgEvents& events, const std::string& path) {
 
 DtdgEvents load_dtdg(const std::string& path) {
   Reader r(path);
-  r.expect_magic(kMagicDtdg);
+  r.expect_magic(kMagicDtdg, kVersion);
   DtdgEvents events;
   events.num_nodes = r.scalar<uint32_t>();
   events.base_edges = read_edges(r, events.num_nodes);
@@ -234,7 +138,7 @@ void save_checkpoint(const nn::Module& module, const std::string& path) {
 
 void load_checkpoint(nn::Module& module, const std::string& path) {
   Reader r(path);
-  r.expect_magic(kMagicCkpt);
+  r.expect_magic(kMagicCkpt, kVersion);
   std::unordered_map<std::string, Tensor> loaded;
   const uint32_t count = r.scalar<uint32_t>();
   for (uint32_t i = 0; i < count; ++i) {
@@ -304,11 +208,18 @@ EdgeList read_edge_list(const std::string& path, uint32_t* num_nodes_out) {
 }
 
 void write_edge_list(const EdgeList& edges, const std::string& path) {
-  std::ofstream out(path);
-  STG_CHECK(out.good(), "cannot open '", path, "' for writing");
-  out << "# src dst\n";
-  for (const auto& [s, d] : edges) out << s << " " << d << "\n";
-  STG_CHECK(out.good(), "write to '", path, "' failed");
+  // Text format, but the same atomicity contract as the binary writers:
+  // render everything, then publish through the temp+rename path.
+  std::string text = "# src dst\n";
+  for (const auto& [s, d] : edges) {
+    text += std::to_string(s);
+    text += ' ';
+    text += std::to_string(d);
+    text += '\n';
+  }
+  Writer w(path);
+  w.bytes(text.data(), text.size());
+  w.finish();
 }
 
 }  // namespace stgraph::io

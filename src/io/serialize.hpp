@@ -11,8 +11,12 @@
 // datasets are distributed in.
 //
 // All readers validate magic, version and structural invariants and throw
-// StgError with a precise message on malformed input — loaders are a
-// user-facing surface and garbage files must not fault.
+// StgError with a precise message on malformed input — including files
+// truncated at any byte boundary — loaders are a user-facing surface and
+// garbage files must not fault. All writers publish atomically through
+// io::Writer's temp + fsync + rename path (see io/binary_format.hpp), so
+// no on-disk format can ever be observed half-written. Full training-run
+// state (optimizer, RNG, cursor) lives in io/train_state.hpp.
 #pragma once
 
 #include <string>

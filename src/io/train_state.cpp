@@ -1,0 +1,90 @@
+#include "io/train_state.hpp"
+
+#include "io/binary_format.hpp"
+#include "util/check.hpp"
+
+namespace stgraph::io {
+namespace {
+
+constexpr uint32_t kMagicTrainState = 0x53544754;  // "STGT"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+void save_train_state(const TrainState& state, const std::string& path) {
+  STG_CHECK(state.moment1.size() == state.params.size() &&
+                state.moment2.size() == state.params.size(),
+            "train state has ", state.params.size(), " parameters but ",
+            state.moment1.size(), "/", state.moment2.size(),
+            " Adam moment tensors");
+  Writer w(path, /*crc_footer=*/true);
+  w.scalar(kMagicTrainState);
+  w.scalar(kVersion);
+  w.scalar<uint64_t>(state.config_hash);
+  w.scalar<uint32_t>(state.epoch);
+  w.scalar<uint32_t>(state.next_sequence);
+  w.scalar<float>(state.lr);
+  w.scalar<int64_t>(state.optimizer_step_count);
+  w.scalar<uint32_t>(state.consecutive_failures);
+  w.scalar<uint64_t>(state.non_finite_losses);
+  w.scalar<uint64_t>(state.non_finite_grads);
+  w.scalar<uint64_t>(state.skipped_steps);
+  w.scalar<uint64_t>(state.lr_halvings);
+  w.scalar<double>(state.epoch_loss_total);
+  w.scalar<uint64_t>(state.epoch_steps);
+  for (uint64_t word : state.rng.s) w.scalar<uint64_t>(word);
+  w.scalar<uint8_t>(state.rng.has_cached_normal ? 1 : 0);
+  w.scalar<float>(state.rng.cached_normal);
+  w.scalar<uint32_t>(static_cast<uint32_t>(state.params.size()));
+  for (std::size_t i = 0; i < state.params.size(); ++i) {
+    w.str(state.params[i].name);
+    write_tensor(w, state.params[i].tensor);
+    write_tensor(w, state.moment1[i]);
+    write_tensor(w, state.moment2[i]);
+  }
+  w.scalar<uint8_t>(state.hidden.defined() ? 1 : 0);
+  if (state.hidden.defined()) write_tensor(w, state.hidden);
+  w.finish();
+}
+
+TrainState load_train_state(const std::string& path) {
+  Reader r(path, /*crc_footer=*/true);
+  r.expect_magic(kMagicTrainState, kVersion);
+  TrainState state;
+  state.config_hash = r.scalar<uint64_t>();
+  state.epoch = r.scalar<uint32_t>();
+  state.next_sequence = r.scalar<uint32_t>();
+  state.lr = r.scalar<float>();
+  state.optimizer_step_count = r.scalar<int64_t>();
+  state.consecutive_failures = r.scalar<uint32_t>();
+  state.non_finite_losses = r.scalar<uint64_t>();
+  state.non_finite_grads = r.scalar<uint64_t>();
+  state.skipped_steps = r.scalar<uint64_t>();
+  state.lr_halvings = r.scalar<uint64_t>();
+  state.epoch_loss_total = r.scalar<double>();
+  state.epoch_steps = r.scalar<uint64_t>();
+  for (uint64_t& word : state.rng.s) word = r.scalar<uint64_t>();
+  state.rng.has_cached_normal = r.scalar<uint8_t>() != 0;
+  state.rng.cached_normal = r.scalar<float>();
+  const uint32_t count = r.scalar<uint32_t>();
+  state.params.reserve(count);
+  state.moment1.reserve(count);
+  state.moment2.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    nn::Parameter p;
+    p.name = r.str(4096);
+    p.tensor = read_tensor(r);
+    Tensor m = read_tensor(r);
+    Tensor v = read_tensor(r);
+    STG_CHECK(m.shape() == p.tensor.shape() && v.shape() == p.tensor.shape(),
+              "Adam moment shape mismatch for '", p.name, "' in '", path,
+              "'");
+    state.params.push_back(std::move(p));
+    state.moment1.push_back(std::move(m));
+    state.moment2.push_back(std::move(v));
+  }
+  if (r.scalar<uint8_t>() != 0) state.hidden = read_tensor(r);
+  return state;
+}
+
+}  // namespace stgraph::io

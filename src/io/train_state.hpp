@@ -1,0 +1,59 @@
+// Full-state training checkpoints ("STGT" container): everything the
+// fault-tolerant trainer needs to restart a multi-epoch DTDG run at an
+// exact sequence boundary and reproduce the uninterrupted run bit for bit
+// — model parameters, Adam moments and step count, the current (possibly
+// guard-halved) learning rate, the trainer's RNG stream, the carried
+// hidden state, the epoch/sequence cursor, and the epoch's running loss
+// accumulators.
+//
+// The container is written atomically (temp + fsync + rename) and closes
+// with a CRC-32 footer, so a torn write is detected by load_train_state
+// before a single field is trusted. `config_hash` pins the TrainConfig
+// that produced the state; the trainer refuses to resume under a
+// different configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph::io {
+
+struct TrainState {
+  // ---- identity ----------------------------------------------------------
+  /// FNV-1a hash of the producing TrainConfig (see STGraphTrainer).
+  uint64_t config_hash = 0;
+
+  // ---- position ---------------------------------------------------------
+  uint32_t epoch = 0;          ///< epoch the run is inside
+  uint32_t next_sequence = 0;  ///< first sequence index NOT yet trained
+
+  // ---- optimization state ----------------------------------------------
+  float lr = 0.0f;  ///< current learning rate (after any guard halvings)
+  int64_t optimizer_step_count = 0;           ///< Adam t_
+  std::vector<nn::Parameter> params;          ///< model tensors, dotted names
+  std::vector<Tensor> moment1;                ///< Adam m_, aligned with params
+  std::vector<Tensor> moment2;                ///< Adam v_, aligned with params
+  Tensor hidden;  ///< carried hidden state at the cursor (may be undefined)
+
+  // ---- rng / guards / epoch accumulators --------------------------------
+  RngState rng;
+  uint32_t consecutive_failures = 0;
+  uint64_t non_finite_losses = 0;
+  uint64_t non_finite_grads = 0;
+  uint64_t skipped_steps = 0;
+  uint64_t lr_halvings = 0;
+  double epoch_loss_total = 0.0;
+  uint64_t epoch_steps = 0;
+};
+
+/// Serialize `state` to `path` atomically with a CRC-32 footer.
+void save_train_state(const TrainState& state, const std::string& path);
+
+/// Load and validate a train state; throws StgError on any torn,
+/// truncated, or corrupted file.
+TrainState load_train_state(const std::string& path);
+
+}  // namespace stgraph::io

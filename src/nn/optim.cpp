@@ -1,13 +1,43 @@
 #include "nn/optim.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "runtime/parallel.hpp"
+#include "util/check.hpp"
 
 namespace stgraph::nn {
 
 void Optimizer::zero_grad() {
   for (Parameter& p : params_) p.tensor.zero_grad();
+}
+
+float clip_grad_norm(const std::vector<Parameter>& params, float max_norm) {
+  STG_CHECK(max_norm > 0.0f, "clip_grad_norm requires max_norm > 0, got ",
+            max_norm);
+  double sq_sum = 0.0;
+  for (const Parameter& p : params) {
+    const Tensor g = p.tensor.grad();
+    if (!g.defined()) continue;
+    const float* pg = g.data();
+    const std::size_t n = static_cast<std::size_t>(g.numel());
+    for (std::size_t i = 0; i < n; ++i)
+      sq_sum += static_cast<double>(pg[i]) * static_cast<double>(pg[i]);
+  }
+  const float norm = static_cast<float>(std::sqrt(sq_sum));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-6f);
+    for (const Parameter& p : params) {
+      Tensor g = p.tensor.grad();
+      if (!g.defined()) continue;
+      float* pg = g.data();
+      const std::size_t n = static_cast<std::size_t>(g.numel());
+      device::parallel_for_ranges(n, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) pg[i] *= scale;
+      });
+    }
+  }
+  return norm;
 }
 
 Sgd::Sgd(std::vector<Parameter> params, float lr, float momentum)
@@ -53,6 +83,20 @@ Adam::Adam(std::vector<Parameter> params, float lr, float beta1, float beta2,
   for (const Parameter& p : params_) {
     m_.push_back(Tensor::zeros(p.tensor.shape()));
     v_.push_back(Tensor::zeros(p.tensor.shape()));
+  }
+}
+
+void Adam::restore_moments(const std::vector<Tensor>& m,
+                           const std::vector<Tensor>& v) {
+  STG_CHECK(m.size() == m_.size() && v.size() == v_.size(),
+            "Adam moment count mismatch: restoring ", m.size(), "/", v.size(),
+            " into ", m_.size(), " parameters");
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    STG_CHECK(m[i].shape() == m_[i].shape() && v[i].shape() == v_[i].shape(),
+              "Adam moment shape mismatch for parameter '", params_[i].name,
+              "'");
+    std::copy(m[i].data(), m[i].data() + m[i].numel(), m_[i].data());
+    std::copy(v[i].data(), v[i].data() + v[i].numel(), v_[i].data());
   }
 }
 

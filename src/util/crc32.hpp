@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum in
+// the binary-container footers that lets loaders distinguish a torn write
+// from a valid file. Incremental: feed chunks through successive calls by
+// passing the previous return value as `seed`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stgraph {
+
+/// CRC of `n` bytes at `data`, continuing from `seed` (0 for a fresh CRC).
+uint32_t crc32(const void* data, std::size_t n, uint32_t seed = 0);
+
+}  // namespace stgraph

@@ -1,0 +1,159 @@
+#include "util/failpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace stgraph::failpoint {
+namespace {
+
+struct Point {
+  Spec spec{};
+  bool enabled = false;
+  uint64_t hits_since_enable = 0;  // reset by enable()
+  uint64_t total_hits = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+Spec parse_spec(const std::string& text) {
+  if (text.empty() || text == "always") return Spec::always();
+  if (text == "once") return Spec::once();
+  const auto colon = text.find(':');
+  if (colon != std::string::npos) {
+    const std::string kind = text.substr(0, colon);
+    const std::string arg = text.substr(colon + 1);
+    char* end = nullptr;
+    const uint64_t n = std::strtoull(arg.c_str(), &end, 10);
+    STG_CHECK(end && *end == '\0' && n >= 1, "failpoint spec '", text,
+              "' has a malformed count");
+    if (kind == "on") return Spec::on_nth(n);
+    if (kind == "every") return Spec::every_nth(n);
+  }
+  throw StgError("unknown failpoint trigger '" + text +
+                 "' (want always|once|on:N|every:N)");
+}
+
+void activate_from_spec_locked(Registry& r, const std::string& spec_list) {
+  std::size_t pos = 0;
+  while (pos < spec_list.size()) {
+    std::size_t end = spec_list.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec_list.size();
+    std::string entry = spec_list.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding whitespace.
+    const auto b = entry.find_first_not_of(" \t");
+    const auto e = entry.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    entry = entry.substr(b, e - b + 1);
+    const auto eq = entry.find('=');
+    const std::string name = entry.substr(0, eq);
+    const std::string spec =
+        eq == std::string::npos ? std::string() : entry.substr(eq + 1);
+    STG_CHECK(!name.empty(), "empty failpoint name in spec list '", spec_list,
+              "'");
+    Point& p = r.points[name];
+    p.spec = parse_spec(spec);
+    p.enabled = true;
+    p.hits_since_enable = 0;
+  }
+}
+
+void load_env_locked(Registry& r) {
+  r.env_loaded = true;
+  const char* env = std::getenv("STGRAPH_FAILPOINTS");
+  if (env && *env) activate_from_spec_locked(r, env);
+}
+
+}  // namespace
+
+void enable(const std::string& name, Spec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Point& p = r.points[name];
+  p.spec = spec;
+  p.enabled = true;
+  p.hits_since_enable = 0;
+}
+
+void disable(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it != r.points.end()) it->second.enabled = false;
+}
+
+void disable_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, p] : r.points) p.enabled = false;
+}
+
+void activate_from_spec(const std::string& spec_list) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  activate_from_spec_locked(r, spec_list);
+}
+
+bool should_fire(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (!r.env_loaded) load_env_locked(r);
+  Point& p = r.points[name];
+  ++p.total_hits;
+  if (!p.enabled) return false;
+  ++p.hits_since_enable;
+  bool fire = false;
+  switch (p.spec.mode) {
+    case Spec::Mode::kAlways:
+      fire = true;
+      break;
+    case Spec::Mode::kOnNth:
+      fire = p.hits_since_enable == p.spec.n;
+      break;
+    case Spec::Mode::kEveryNth:
+      fire = p.hits_since_enable % p.spec.n == 0;
+      break;
+  }
+  if (fire) ++p.fires;
+  return fire;
+}
+
+uint64_t hit_count(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.total_hits;
+}
+
+uint64_t fire_count(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> registered() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.points.size());
+  for (const auto& [name, p] : r.points) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace stgraph::failpoint

@@ -1,0 +1,81 @@
+// Deterministic fault injection (the failpoint pattern from FreeBSD /
+// TiKV): named points in the code where tests — or an operator via the
+// STGRAPH_FAILPOINTS environment variable — can force a failure action to
+// run (throw mid-sequence, shorten a write, poison a gradient, ...).
+//
+// A failpoint is declared inline at the fault site:
+//
+//   STG_FAILPOINT("io.write.short", truncate_temp_file());
+//
+// and is inert (one mutex-guarded map lookup on a cold path) until a test
+// enables it:
+//
+//   failpoint::enable("io.write.short", failpoint::Spec::always());
+//   failpoint::enable("trainer.sequence.end", failpoint::Spec::on_nth(3));
+//
+// or the environment does:
+//
+//   STGRAPH_FAILPOINTS="io.write.short=always;trainer.sequence.end=on:3"
+//
+// Triggers are counted per enable() so tests are deterministic: `on:N`
+// fires exactly on the Nth hit after enabling, `every:N` on every Nth.
+// Naming convention: dotted lowercase `<subsystem>.<site>.<effect>`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stgraph::failpoint {
+
+/// Trigger specification: when, in terms of hit indices counted from the
+/// moment of enable(), the failpoint fires.
+struct Spec {
+  enum class Mode {
+    kAlways,    // every hit
+    kOnNth,     // exactly the Nth hit (1-based), once
+    kEveryNth,  // hits N, 2N, 3N, ...
+  };
+  Mode mode = Mode::kAlways;
+  uint64_t n = 1;
+
+  static Spec always() { return {Mode::kAlways, 1}; }
+  static Spec once() { return {Mode::kOnNth, 1}; }
+  static Spec on_nth(uint64_t n) { return {Mode::kOnNth, n}; }
+  static Spec every_nth(uint64_t n) { return {Mode::kEveryNth, n}; }
+};
+
+/// Arm `name` with `spec`; resets the point's per-enable hit counter.
+void enable(const std::string& name, Spec spec);
+/// Disarm `name` (hit counting continues; the point never fires).
+void disable(const std::string& name);
+/// Disarm everything — call from test teardown.
+void disable_all();
+
+/// Parse a spec list of the form "name[=always|once|on:N|every:N]"
+/// separated by ';' or ',' and enable each entry. Throws StgError on a
+/// malformed spec. Called automatically for $STGRAPH_FAILPOINTS on the
+/// first should_fire(); exposed for tests.
+void activate_from_spec(const std::string& spec_list);
+
+/// Core query: registers `name` on first call, counts the hit, and
+/// returns whether the armed trigger (if any) fires. Thread-safe.
+bool should_fire(const char* name);
+
+/// Total hits of `name` since process start (0 if never hit).
+uint64_t hit_count(const std::string& name);
+/// Total fires of `name` since process start.
+uint64_t fire_count(const std::string& name);
+/// Names of every failpoint hit or enabled so far (sorted).
+std::vector<std::string> registered();
+
+}  // namespace stgraph::failpoint
+
+/// Evaluate `action` when the named failpoint fires. The action may throw,
+/// mutate state, or return from the enclosing function.
+#define STG_FAILPOINT(name, action)                \
+  do {                                             \
+    if (::stgraph::failpoint::should_fire(name)) { \
+      action;                                      \
+    }                                              \
+  } while (0)

@@ -28,10 +28,23 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+/// Complete serializable snapshot of an Rng: the Xoshiro words plus the
+/// Box–Muller carry. Restoring it resumes the stream bit-for-bit, which
+/// the trainer's checkpoint/resume equivalence guarantee depends on.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  float cached_normal = 0.0f;
+};
+
 /// Xoshiro256** PRNG with convenience samplers.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5742474f4c454cULL);
+
+  /// Snapshot / restore the full generator state (checkpointing).
+  RngState state() const;
+  void set_state(const RngState& state);
 
   uint64_t next_u64();
   /// Uniform in [0, bound).

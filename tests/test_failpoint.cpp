@@ -1,0 +1,105 @@
+// Deterministic fault-injection facility: trigger arithmetic (always /
+// once / on:N / every:N), spec-string parsing, and registry bookkeeping.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/failpoint.hpp"
+
+namespace stgraph {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::disable_all(); }
+};
+
+TEST_F(FailpointTest, UnarmedPointNeverFiresButCountsHits) {
+  const uint64_t before = failpoint::hit_count("test.unarmed");
+  for (int i = 0; i < 5; ++i)
+    EXPECT_FALSE(failpoint::should_fire("test.unarmed"));
+  EXPECT_EQ(failpoint::hit_count("test.unarmed"), before + 5);
+  EXPECT_EQ(failpoint::fire_count("test.unarmed"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryHit) {
+  failpoint::enable("test.always", failpoint::Spec::always());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(failpoint::should_fire("test.always"));
+  EXPECT_EQ(failpoint::fire_count("test.always"), 3u);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  failpoint::enable("test.once", failpoint::Spec::once());
+  EXPECT_TRUE(failpoint::should_fire("test.once"));
+  EXPECT_FALSE(failpoint::should_fire("test.once"));
+  EXPECT_FALSE(failpoint::should_fire("test.once"));
+}
+
+TEST_F(FailpointTest, OnNthFiresOnlyOnTheNthHitAfterEnable) {
+  failpoint::enable("test.on3", failpoint::Spec::on_nth(3));
+  EXPECT_FALSE(failpoint::should_fire("test.on3"));
+  EXPECT_FALSE(failpoint::should_fire("test.on3"));
+  EXPECT_TRUE(failpoint::should_fire("test.on3"));
+  EXPECT_FALSE(failpoint::should_fire("test.on3"));
+  // Re-enabling resets the per-enable hit counter.
+  failpoint::enable("test.on3", failpoint::Spec::on_nth(2));
+  EXPECT_FALSE(failpoint::should_fire("test.on3"));
+  EXPECT_TRUE(failpoint::should_fire("test.on3"));
+}
+
+TEST_F(FailpointTest, EveryNthFiresPeriodically) {
+  failpoint::enable("test.every2", failpoint::Spec::every_nth(2));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i)
+    fired.push_back(failpoint::should_fire("test.every2"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST_F(FailpointTest, DisableStopsFiring) {
+  failpoint::enable("test.disable", failpoint::Spec::always());
+  EXPECT_TRUE(failpoint::should_fire("test.disable"));
+  failpoint::disable("test.disable");
+  EXPECT_FALSE(failpoint::should_fire("test.disable"));
+}
+
+TEST_F(FailpointTest, SpecStringActivatesMultiplePoints) {
+  failpoint::activate_from_spec(
+      "test.spec.a; test.spec.b=on:2, test.spec.c=every:3");
+  EXPECT_TRUE(failpoint::should_fire("test.spec.a"));  // bare name = always
+  EXPECT_FALSE(failpoint::should_fire("test.spec.b"));
+  EXPECT_TRUE(failpoint::should_fire("test.spec.b"));
+  EXPECT_FALSE(failpoint::should_fire("test.spec.c"));
+  EXPECT_FALSE(failpoint::should_fire("test.spec.c"));
+  EXPECT_TRUE(failpoint::should_fire("test.spec.c"));
+}
+
+TEST_F(FailpointTest, MalformedSpecRejected) {
+  EXPECT_THROW(failpoint::activate_from_spec("test.bad=sometimes"), StgError);
+  EXPECT_THROW(failpoint::activate_from_spec("test.bad=on:zero"), StgError);
+  EXPECT_THROW(failpoint::activate_from_spec("test.bad=every:0"), StgError);
+  EXPECT_THROW(failpoint::activate_from_spec("=always"), StgError);
+}
+
+TEST_F(FailpointTest, RegisteredListsKnownPoints) {
+  failpoint::should_fire("test.registered.hit");
+  failpoint::enable("test.registered.armed", failpoint::Spec::always());
+  const auto names = failpoint::registered();
+  auto has = [&](const std::string& n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("test.registered.hit"));
+  EXPECT_TRUE(has("test.registered.armed"));
+}
+
+TEST_F(FailpointTest, MacroRunsActionOnlyWhenFired) {
+  failpoint::enable("test.macro", failpoint::Spec::on_nth(2));
+  int runs = 0;
+  STG_FAILPOINT("test.macro", ++runs);
+  EXPECT_EQ(runs, 0);
+  STG_FAILPOINT("test.macro", ++runs);
+  EXPECT_EQ(runs, 1);
+  STG_FAILPOINT("test.macro", ++runs);
+  EXPECT_EQ(runs, 1);
+}
+
+}  // namespace
+}  // namespace stgraph

@@ -10,6 +10,7 @@
 #include "datasets/synthetic.hpp"
 #include "io/serialize.hpp"
 #include "nn/tgcn.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace stgraph {
@@ -119,6 +120,107 @@ TEST(IoCheckpoint, TruncatedFileRejected) {
   in.close();
   std::ofstream(f.path(), std::ios::binary) << content;
   EXPECT_THROW(io::load_checkpoint(model, f.path()), StgError);
+}
+
+// ---- corruption robustness ----------------------------------------------
+// Every binary container must throw StgError — never crash, OOM, or
+// silently truncate — when the file is cut at ANY byte boundary.
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+template <typename LoadFn>
+void truncation_sweep(const std::string& tag, const std::string& valid_path,
+                      LoadFn load) {
+  const std::string bytes = file_bytes(valid_path);
+  ASSERT_GT(bytes.size(), 0u) << tag;
+  TempFile cut_file(tag + "_cut");
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::ofstream(cut_file.path(), std::ios::binary | std::ios::trunc)
+        << bytes.substr(0, cut);
+    EXPECT_THROW(load(cut_file.path()), StgError)
+        << tag << " cut at byte " << cut << " of " << bytes.size();
+  }
+}
+
+TEST(IoCorruption, StaticDatasetTruncationSweep) {
+  datasets::StaticLoadOptions o;
+  o.num_timestamps = 2;
+  o.feature_size = 2;
+  auto ds = datasets::load_chickenpox(o);
+  TempFile f("trunc_static");
+  io::save_static_dataset(ds, f.path());
+  truncation_sweep("static", f.path(),
+                   [](const std::string& p) { io::load_static_dataset(p); });
+}
+
+TEST(IoCorruption, DtdgTruncationSweep) {
+  Rng rng(9);
+  EdgeList stream;
+  for (int i = 0; i < 60; ++i)
+    stream.emplace_back(static_cast<uint32_t>(rng.next_below(12)),
+                        static_cast<uint32_t>(rng.next_below(12)));
+  DtdgEvents ev = window_edge_stream(12, stream, 20.0);
+  TempFile f("trunc_dtdg");
+  io::save_dtdg(ev, f.path());
+  truncation_sweep("dtdg", f.path(),
+                   [](const std::string& p) { io::load_dtdg(p); });
+}
+
+TEST(IoCorruption, CheckpointTruncationSweep) {
+  Rng rng(1);
+  nn::TGCN model(2, 3, rng);
+  TempFile f("trunc_ckpt");
+  io::save_checkpoint(model, f.path());
+  truncation_sweep("ckpt", f.path(), [&](const std::string& p) {
+    Rng rng2(2);
+    nn::TGCN target(2, 3, rng2);
+    io::load_checkpoint(target, p);
+  });
+}
+
+// ---- atomic publish ------------------------------------------------------
+
+TEST(IoAtomicity, ShortWriteFailpointYieldsDetectablyTornFile) {
+  Rng rng(1);
+  nn::TGCN model(3, 4, rng);
+  TempFile f("short_write");
+  failpoint::enable("io.write.short", failpoint::Spec::once());
+  io::save_checkpoint(model, f.path());
+  failpoint::disable_all();
+  EXPECT_THROW(io::load_checkpoint(model, f.path()), StgError)
+      << "a torn write must be rejected on load, never UB";
+  io::save_checkpoint(model, f.path());  // clean rewrite recovers
+  Rng rng2(2);
+  nn::TGCN restored(3, 4, rng2);
+  io::load_checkpoint(restored, f.path());
+}
+
+TEST(IoAtomicity, FailedSaveKeepsThePreviousFileIntact) {
+  // A save that dies before the rename must leave the previously
+  // published checkpoint untouched (crash-consistency of the temp+rename
+  // path). The writer throws on a non-creatable temp path; here we check
+  // the temp file of an interrupted save never shadows the destination.
+  Rng rng(1);
+  nn::TGCN model(3, 4, rng);
+  TempFile f("prev_intact");
+  io::save_checkpoint(model, f.path());
+  const std::string before = file_bytes(f.path());
+  EXPECT_THROW(io::save_checkpoint(model, "/nonexistent-dir/stgraph.ckpt"),
+               StgError);
+  EXPECT_EQ(file_bytes(f.path()), before);
+}
+
+TEST(IoAtomicity, NoTempFileLeftBehindAfterSave) {
+  Rng rng(1);
+  nn::TGCN model(3, 4, rng);
+  TempFile f("no_tmp");
+  io::save_checkpoint(model, f.path());
+  const std::string tmp = f.path() + ".tmp." + std::to_string(::getpid());
+  std::ifstream probe(tmp, std::ios::binary);
+  EXPECT_FALSE(probe.good()) << "temp file '" << tmp << "' left behind";
 }
 
 TEST(IoEdgeList, ParsesCommentsAndCompactsIds) {

@@ -1,0 +1,189 @@
+// Full-state checkpoint container ("STGT"): field-exact round trips, CRC
+// torn-write detection, truncation robustness at every byte boundary, and
+// the atomic publish contract of io::Writer.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/binary_format.hpp"
+#include "io/train_state.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace stgraph {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_("/tmp/stgraph_ts_test_" + tag + "_" +
+              std::to_string(::getpid())) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+io::TrainState sample_state() {
+  Rng rng(123);
+  io::TrainState st;
+  st.config_hash = 0xfeedfacecafef00dULL;
+  st.epoch = 3;
+  st.next_sequence = 7;
+  st.lr = 2.5e-3f;
+  st.optimizer_step_count = 41;
+  st.consecutive_failures = 2;
+  st.non_finite_losses = 1;
+  st.non_finite_grads = 4;
+  st.skipped_steps = 5;
+  st.lr_halvings = 1;
+  st.epoch_loss_total = 17.25;
+  st.epoch_steps = 96;
+  rng.normal();  // populate the Box–Muller carry
+  st.rng = rng.state();
+  st.params.push_back({"layer.weight", Tensor::randn({4, 3}, rng)});
+  st.params.push_back({"layer.bias", Tensor::randn({1, 3}, rng)});
+  for (const auto& p : st.params) {
+    st.moment1.push_back(Tensor::randn(p.tensor.shape(), rng));
+    st.moment2.push_back(Tensor::randn(p.tensor.shape(), rng));
+  }
+  st.hidden = Tensor::randn({6, 2}, rng);
+  return st;
+}
+
+class TrainStateTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::disable_all(); }
+};
+
+TEST_F(TrainStateTest, RoundTripRestoresEveryField) {
+  io::TrainState st = sample_state();
+  TempFile f("roundtrip");
+  io::save_train_state(st, f.path());
+  io::TrainState back = io::load_train_state(f.path());
+
+  EXPECT_EQ(back.config_hash, st.config_hash);
+  EXPECT_EQ(back.epoch, st.epoch);
+  EXPECT_EQ(back.next_sequence, st.next_sequence);
+  EXPECT_EQ(back.lr, st.lr);
+  EXPECT_EQ(back.optimizer_step_count, st.optimizer_step_count);
+  EXPECT_EQ(back.consecutive_failures, st.consecutive_failures);
+  EXPECT_EQ(back.non_finite_losses, st.non_finite_losses);
+  EXPECT_EQ(back.non_finite_grads, st.non_finite_grads);
+  EXPECT_EQ(back.skipped_steps, st.skipped_steps);
+  EXPECT_EQ(back.lr_halvings, st.lr_halvings);
+  EXPECT_EQ(back.epoch_loss_total, st.epoch_loss_total);
+  EXPECT_EQ(back.epoch_steps, st.epoch_steps);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(back.rng.s[i], st.rng.s[i]);
+  EXPECT_EQ(back.rng.has_cached_normal, st.rng.has_cached_normal);
+  EXPECT_EQ(back.rng.cached_normal, st.rng.cached_normal);
+  ASSERT_EQ(back.params.size(), st.params.size());
+  for (std::size_t i = 0; i < st.params.size(); ++i) {
+    EXPECT_EQ(back.params[i].name, st.params[i].name);
+    EXPECT_EQ(back.params[i].tensor.to_vector(),
+              st.params[i].tensor.to_vector());
+    EXPECT_EQ(back.moment1[i].to_vector(), st.moment1[i].to_vector());
+    EXPECT_EQ(back.moment2[i].to_vector(), st.moment2[i].to_vector());
+  }
+  ASSERT_TRUE(back.hidden.defined());
+  EXPECT_EQ(back.hidden.to_vector(), st.hidden.to_vector());
+}
+
+TEST_F(TrainStateTest, UndefinedHiddenStateRoundTrips) {
+  io::TrainState st = sample_state();
+  st.hidden = Tensor();
+  TempFile f("nohidden");
+  io::save_train_state(st, f.path());
+  EXPECT_FALSE(io::load_train_state(f.path()).hidden.defined());
+}
+
+TEST_F(TrainStateTest, RestoredRngContinuesTheStreamExactly) {
+  Rng original(777);
+  for (int i = 0; i < 13; ++i) original.normal();  // advance mid-stream
+  io::TrainState st = sample_state();
+  st.rng = original.state();
+  TempFile f("rngstream");
+  io::save_train_state(st, f.path());
+
+  Rng restored(1);  // wrong seed, fully overwritten by set_state
+  restored.set_state(io::load_train_state(f.path()).rng);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(restored.next_u64(), original.next_u64()) << "draw " << i;
+  }
+}
+
+TEST_F(TrainStateTest, FlippedByteFailsCrcCheck) {
+  io::TrainState st = sample_state();
+  TempFile f("crcflip");
+  io::save_train_state(st, f.path());
+  std::string bytes = slurp(f.path());
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x40;  // corrupt one payload byte
+  std::ofstream(f.path(), std::ios::binary) << bytes;
+  EXPECT_THROW(io::load_train_state(f.path()), StgError);
+}
+
+TEST_F(TrainStateTest, TruncationAtEveryByteBoundaryThrows) {
+  io::TrainState st = sample_state();
+  TempFile f("truncsweep");
+  io::save_train_state(st, f.path());
+  const std::string bytes = slurp(f.path());
+  ASSERT_GT(bytes.size(), 0u);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::ofstream(f.path(), std::ios::binary | std::ios::trunc)
+        << bytes.substr(0, cut);
+    EXPECT_THROW(io::load_train_state(f.path()), StgError)
+        << "cut at byte " << cut << " of " << bytes.size();
+  }
+}
+
+TEST_F(TrainStateTest, ValidCrcWithWrongMagicStillRejected) {
+  TempFile f("badmagic");
+  std::string payload = "XXXXYYYYnot a train state at all";
+  const uint32_t crc = crc32(payload.data(), payload.size());
+  payload.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  std::ofstream(f.path(), std::ios::binary) << payload;
+  EXPECT_THROW(io::load_train_state(f.path()), StgError);
+}
+
+TEST_F(TrainStateTest, ShortWriteFailpointIsDetectedOnLoad) {
+  io::TrainState st = sample_state();
+  TempFile f("shortwrite");
+  failpoint::enable("io.write.short", failpoint::Spec::once());
+  io::save_train_state(st, f.path());  // publishes a torn file
+  EXPECT_THROW(io::load_train_state(f.path()), StgError);
+  // A clean rewrite over the torn file recovers.
+  io::save_train_state(st, f.path());
+  EXPECT_EQ(io::load_train_state(f.path()).epoch, st.epoch);
+}
+
+TEST_F(TrainStateTest, AbandonedWriterLeavesDestinationUntouched) {
+  io::TrainState st = sample_state();
+  TempFile f("abandon");
+  io::save_train_state(st, f.path());
+  const std::string before = slurp(f.path());
+  {
+    io::Writer w(f.path());
+    const uint64_t junk = 0xdeadbeef;
+    w.scalar(junk);
+    // No finish(): simulates a crash mid-write. Destructor discards the
+    // temp file; the published file must be byte-identical.
+  }
+  EXPECT_EQ(slurp(f.path()), before);
+  EXPECT_THROW(io::Reader((f.path() + ".tmp." + std::to_string(::getpid())))
+                   .scalar<uint8_t>(),
+               StgError);  // temp file must be gone
+}
+
+}  // namespace
+}  // namespace stgraph
