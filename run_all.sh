@@ -7,7 +7,22 @@
 #                           (fault-injection tests arm their own
 #                           failpoints; this shakes out UB on the
 #                           error/rollback paths)
+#   ./run_all.sh serve-smoke
+#                           serving smoke test: checkpoint a tiny model,
+#                           serve it in-process (concurrent predict
+#                           clients + streaming delta ingestion), emit
+#                           BENCH_serve.json with p50/p99 latency and
+#                           ingest throughput
 cd /root/repo
+
+if [ "$1" = "serve-smoke" ]; then
+  cmake -B build -S . || exit 1
+  cmake --build build -j "$(nproc)" --target bench_serve || exit 1
+  ./build/bench/bench_serve --out=/root/repo/BENCH_serve.json \
+    --requests=1000 --deltas=50 --threads=4 || exit 1
+  cat /root/repo/BENCH_serve.json
+  exit 0
+fi
 
 if [ "$1" = "sanitize" ]; then
   cmake -B build-asan -S . \

@@ -18,12 +18,22 @@ void TemporalExecutor::begin_forward_step(uint32_t t) {
   fwd_timestamp_ = t;
   bwd_timestamp_.reset();
   record("fwd t=" + std::to_string(t));
-  // No backward pass will pop during evaluation, so record snapshots only
-  // when autograd is recording.
-  if (graph_.is_dynamic() && NoGradGuard::grad_enabled()) {
+  // No backward pass will pop during evaluation or serving, so record
+  // snapshots only when autograd is recording and the executor is not in
+  // forward-only inference mode.
+  if (graph_.is_dynamic() && !inference_mode_ && NoGradGuard::grad_enabled()) {
     graph_stack_.push(t);
     record("push graph t=" + std::to_string(t));
   }
+}
+
+void TemporalExecutor::set_inference_mode(bool on) {
+  STG_CHECK(state_stack_.empty() && graph_stack_.empty(),
+            "cannot toggle inference mode mid-sequence: State Stack depth ",
+            state_stack_.depth(), ", Graph Stack depth ",
+            graph_stack_.depth());
+  inference_mode_ = on;
+  record(on ? "inference on" : "inference off");
 }
 
 const SnapshotView& TemporalExecutor::forward_view() const {
@@ -39,6 +49,13 @@ uint32_t TemporalExecutor::current_forward_timestamp() const {
 
 StateStack::Ticket TemporalExecutor::save_for_backward(
     std::vector<Tensor> pruned, std::vector<Tensor> unpruned) {
+  if (inference_mode_) {
+    // Forward-only: the saved set is dropped on the floor (no backward
+    // pass will ever retrieve it), so serving retains no per-timestep
+    // state regardless of the caller's grad mode.
+    record("skip state (inference)");
+    return kInferenceTicket;
+  }
   const StateStack::Ticket ticket = state_stack_.push(
       state_pruning_ ? std::move(pruned) : std::move(unpruned));
   record("push state #" + std::to_string(ticket));
@@ -46,6 +63,8 @@ StateStack::Ticket TemporalExecutor::save_for_backward(
 }
 
 const SnapshotView& TemporalExecutor::backward_view(uint32_t t) {
+  STG_CHECK(!inference_mode_,
+            "backward_view(t=", t, ") called in inference mode");
   if (bwd_timestamp_ == t) return current_view_;  // sibling node, same step
   record("bwd t=" + std::to_string(t));
   if (graph_.is_dynamic()) {
@@ -65,6 +84,8 @@ const SnapshotView& TemporalExecutor::backward_view(uint32_t t) {
 }
 
 std::vector<Tensor> TemporalExecutor::retrieve_saved(StateStack::Ticket ticket) {
+  STG_CHECK(!inference_mode_ && ticket != kInferenceTicket,
+            "retrieve_saved() called for a forward-only (inference) pass");
   record("pop state #" + std::to_string(ticket));
   return state_stack_.pop(ticket);
 }

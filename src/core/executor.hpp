@@ -61,6 +61,20 @@ class TemporalExecutor {
   void set_state_pruning(bool enabled) { state_pruning_ = enabled; }
   bool state_pruning() const { return state_pruning_; }
 
+  /// Forward-only execution for serving (src/serve/): no Graph Stack
+  /// pushes, no State Stack retention (save_for_backward becomes a no-op
+  /// returning kInferenceTicket), and the backward protocol is rejected
+  /// outright. Layers already skip their saves under NoGradGuard; inference
+  /// mode makes forward-only execution a property of the executor itself,
+  /// so a serving path cannot accidentally retain backward state even if a
+  /// caller forgets the guard. Toggling requires drained stacks.
+  void set_inference_mode(bool on);
+  bool inference_mode() const { return inference_mode_; }
+  /// Ticket returned by save_for_backward in inference mode; never
+  /// retrievable.
+  static constexpr StateStack::Ticket kInferenceTicket =
+      ~StateStack::Ticket{0};
+
   StateStack& state_stack() { return state_stack_; }
   GraphStack& graph_stack() { return graph_stack_; }
 
@@ -95,6 +109,7 @@ class TemporalExecutor {
   std::optional<uint32_t> fwd_timestamp_;
   std::optional<uint32_t> bwd_timestamp_;
   bool state_pruning_ = true;
+  bool inference_mode_ = false;
   PhaseTimer positioning_timer_;
   std::vector<std::string>* trace_ = nullptr;
 };

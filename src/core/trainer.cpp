@@ -114,22 +114,8 @@ void STGraphTrainer::resume(const std::string& path) {
             "' was produced under a different TrainConfig, model, or "
             "dataset — refusing to resume");
 
-  // Both parameter lists derive from model.parameters() traversal order,
-  // so a strict positional match (name + shape) is the right check.
   auto params = model_.parameters();
-  STG_CHECK(params.size() == st.params.size(), "train state '", path,
-            "' has ", st.params.size(), " parameters, model has ",
-            params.size());
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    STG_CHECK(params[i].name == st.params[i].name, "train state '", path,
-              "' parameter ", i, " is '", st.params[i].name,
-              "', model has '", params[i].name, "'");
-    STG_CHECK(params[i].tensor.shape() == st.params[i].tensor.shape(),
-              "parameter '", params[i].name, "' shape mismatch in '", path,
-              "'");
-    const Tensor& src = st.params[i].tensor;
-    std::copy(src.data(), src.data() + src.numel(), params[i].tensor.data());
-  }
+  io::restore_parameters(params, st.params, "train state '" + path + "'");
   optimizer_.restore_moments(st.moment1, st.moment2);
   optimizer_.set_step_count(st.optimizer_step_count);
   optimizer_.set_learning_rate(st.lr);
@@ -330,6 +316,28 @@ std::vector<EpochStats> STGraphTrainer::train() {
 double STGraphTrainer::evaluate() {
   NoGradGuard ng;
   return run_epoch(/*training=*/false).loss;
+}
+
+std::vector<Tensor> STGraphTrainer::evaluate_outputs() {
+  NoGradGuard ng;
+  executor_.set_inference_mode(true);
+  const uint32_t T =
+      std::min<uint32_t>(signal_.num_timestamps(), graph_.num_timestamps());
+  const float* edge_weights =
+      signal_.edge_weights.empty() ? nullptr : signal_.edge_weights.data();
+  std::vector<Tensor> outputs;
+  outputs.reserve(T);
+  Tensor h;
+  for (uint32_t t = 0; t < T; ++t) {
+    executor_.begin_forward_step(t);
+    const Tensor& x = signal_.features[t];
+    if (!h.defined()) h = model_.initial_state(x.rows());
+    auto [out, h_next] = model_.step(executor_, x, h, edge_weights);
+    h = h_next;
+    outputs.push_back(out);
+  }
+  executor_.set_inference_mode(false);
+  return outputs;
 }
 
 }  // namespace stgraph::core

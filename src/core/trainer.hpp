@@ -94,6 +94,15 @@ class STGraphTrainer {
   /// Mean per-timestamp loss without training (evaluation pass).
   double evaluate();
 
+  /// Export-for-serving reference: a forward-only pass over every
+  /// timestamp with a fresh hidden state, returning the model output at
+  /// each t. This is exactly the computation serve::Server performs when
+  /// it replays the same snapshot sequence from a checkpoint of this
+  /// model, so the serving parity test compares against it bit for bit.
+  /// Runs with autograd disabled and the executor in inference mode; the
+  /// trainer's own hidden state and cursors are untouched.
+  std::vector<Tensor> evaluate_outputs();
+
   /// Restore full training state from a checkpoint written by this
   /// config (same TrainConfig/model/dataset — enforced via the state's
   /// config hash). Training continues at the exact sequence boundary the

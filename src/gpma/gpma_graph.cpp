@@ -97,6 +97,35 @@ GpmaGraph::GpmaGraph(const DtdgEvents& events) : num_nodes_(events.num_nodes) {
   rebuild_views();
 }
 
+void GpmaGraph::append_delta(const EdgeDelta& delta) {
+  // Validate everything before mutating: after the push_backs below the
+  // new timestamp is committed and the PMA will replay it on demand.
+  for (const auto& [s, d] : delta.additions)
+    STG_CHECK(s < num_nodes_ && d < num_nodes_, "appended delta adds edge (",
+              s, ",", d, ") outside the ", num_nodes_, "-node graph");
+  for (const auto& [s, d] : delta.deletions)
+    STG_CHECK(s < num_nodes_ && d < num_nodes_,
+              "appended delta deletes edge (", s, ",", d, ") outside the ",
+              num_nodes_, "-node graph");
+  const uint32_t prev_edges = edges_at_.back();
+  STG_CHECK(prev_edges + delta.additions.size() >= delta.deletions.size(),
+            "appended delta deletes more edges (", delta.deletions.size(),
+            ") than the snapshot holds (", prev_edges, " + ",
+            delta.additions.size(), " additions)");
+
+  DeviceDelta dd;
+  std::vector<uint64_t> add, del;
+  add.reserve(delta.additions.size());
+  del.reserve(delta.deletions.size());
+  for (const auto& [s, d] : delta.additions) add.push_back(make_edge_key(s, d));
+  for (const auto& [s, d] : delta.deletions) del.push_back(make_edge_key(s, d));
+  dd.additions = DeviceBuffer<uint64_t>(add, MemCategory::kGraph);
+  dd.deletions = DeviceBuffer<uint64_t>(del, MemCategory::kGraph);
+  edges_at_.push_back(prev_edges + static_cast<uint32_t>(add.size()) -
+                      static_cast<uint32_t>(del.size()));
+  deltas_.push_back(std::move(dd));
+}
+
 uint32_t GpmaGraph::num_edges_at(uint32_t t) const {
   STG_CHECK(t < edges_at_.size(), "timestamp ", t, " out of range ",
             edges_at_.size());

@@ -46,6 +46,14 @@ class GpmaGraph final : public STGraphBase {
 
   std::size_t device_bytes() const override;
 
+  /// Streaming ingestion: record one more per-timestamp delta at the head
+  /// of the timeline. O(|delta|) — the PMA itself is untouched until a
+  /// get_graph() positions past the new timestamp, which is exactly the
+  /// paper's lazy Algorithm-2 replay applied to serving. Strong exception
+  /// guarantee (bounds are validated before anything is stored).
+  bool supports_append() const override { return true; }
+  void append_delta(const EdgeDelta& delta) override;
+
   /// Time spent replaying deltas + rebuilding views (Figure 9's
   /// "graph update time").
   PhaseTimer& update_timer() { return update_timer_; }

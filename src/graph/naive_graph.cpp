@@ -1,5 +1,8 @@
 #include "graph/naive_graph.hpp"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "util/check.hpp"
 
 namespace stgraph {
@@ -17,6 +20,50 @@ NaiveGraph::NaiveGraph(const DtdgEvents& events)
     for (const auto& [s, d] : edges) coo.push_back({s, d, eid++});
     snapshots_.push_back(build_snapshot(num_nodes_, coo));
   }
+}
+
+void NaiveGraph::append_delta(const EdgeDelta& delta) {
+  STG_CHECK(!snapshots_.empty(), "cannot append to an empty NaiveGraph");
+  // Recover the head snapshot's edge set from its out-CSR (rows = src,
+  // cols ascending because the constructor sorts each snapshot's edges).
+  const GraphSnapshot& prev = snapshots_.back();
+  std::unordered_set<uint64_t> present;
+  present.reserve(prev.num_edges * 2);
+  {
+    const uint32_t* ro = prev.out_csr.row_offset.data();
+    const uint32_t* pc = prev.out_csr.col_indices.data();
+    for (uint32_t s = 0; s < num_nodes_; ++s)
+      for (uint32_t j = ro[s]; j < ro[s + 1]; ++j)
+        present.insert((static_cast<uint64_t>(s) << 32) | pc[j]);
+  }
+  for (const auto& [s, d] : delta.deletions) {
+    STG_CHECK(s < num_nodes_ && d < num_nodes_,
+              "appended delta deletes edge (", s, ",", d, ") outside the ",
+              num_nodes_, "-node graph");
+    STG_CHECK(present.erase((static_cast<uint64_t>(s) << 32) | d) == 1,
+              "appended delta deletes non-existent edge (", s, ",", d, ")");
+  }
+  for (const auto& [s, d] : delta.additions) {
+    STG_CHECK(s < num_nodes_ && d < num_nodes_, "appended delta adds edge (",
+              s, ",", d, ") outside the ", num_nodes_, "-node graph");
+    STG_CHECK(present.insert((static_cast<uint64_t>(s) << 32) | d).second,
+              "appended delta re-adds existing edge (", s, ",", d, ")");
+  }
+
+  // Same deterministic labelling as the constructor: edges sorted by
+  // (src, dst), eids 0..m-1 in that order.
+  EdgeList edges;
+  edges.reserve(present.size());
+  for (uint64_t key : present)
+    edges.emplace_back(static_cast<uint32_t>(key >> 32),
+                       static_cast<uint32_t>(key & 0xFFFFFFFFu));
+  std::sort(edges.begin(), edges.end());
+  std::vector<CooEdge> coo;
+  coo.reserve(edges.size());
+  uint32_t eid = 0;
+  for (const auto& [s, d] : edges) coo.push_back({s, d, eid++});
+  GraphSnapshot snap = build_snapshot(num_nodes_, coo);
+  snapshots_.push_back(std::move(snap));  // commit point
 }
 
 uint32_t NaiveGraph::num_edges_at(uint32_t t) const {

@@ -30,6 +30,14 @@ class NaiveGraph final : public STGraphBase {
 
   std::size_t device_bytes() const override;
 
+  /// Streaming ingestion: materialize snapshot T from snapshot T-1 plus
+  /// `delta` (the same relabel-and-rebuild preprocessing the constructor
+  /// runs, applied incrementally). The delta is fully validated against
+  /// the current edge set and the new snapshot is built before anything
+  /// is published — strong exception guarantee.
+  bool supports_append() const override { return true; }
+  void append_delta(const EdgeDelta& delta) override;
+
   const GraphSnapshot& snapshot(uint32_t t) const;
 
  private:

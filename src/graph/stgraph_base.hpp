@@ -17,6 +17,8 @@
 #include <string>
 
 #include "graph/csr.hpp"
+#include "graph/dtdg.hpp"
+#include "util/check.hpp"
 
 namespace stgraph {
 
@@ -59,6 +61,24 @@ class STGraphBase {
   /// Device bytes currently held by this graph object (for the memory
   /// experiments).
   virtual std::size_t device_bytes() const = 0;
+
+  // ---- streaming ingestion (serving) ------------------------------------
+  /// True when this graph object can extend its timeline in place with
+  /// append_delta() — the DTDG formats (NaiveGraph, GPMAGraph) can; a
+  /// static-temporal graph cannot change structure.
+  virtual bool supports_append() const { return false; }
+
+  /// Append the edge delta turning snapshot T-1 into a new snapshot T
+  /// (num_timestamps() grows by one). Implementations must give the strong
+  /// exception guarantee: on throw the graph is unchanged and still serves
+  /// every existing timestamp. Callers (serve::Server) are responsible for
+  /// semantic validation against the live edge set — a delta that deletes
+  /// a non-existent edge or re-adds a present one must be rejected before
+  /// it reaches the graph.
+  virtual void append_delta(const EdgeDelta& delta) {
+    (void)delta;
+    throw StgError(format_name() + " does not support streaming append");
+  }
 };
 
 }  // namespace stgraph

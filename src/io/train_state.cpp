@@ -1,5 +1,7 @@
 #include "io/train_state.hpp"
 
+#include <algorithm>
+
 #include "io/binary_format.hpp"
 #include "util/check.hpp"
 
@@ -10,6 +12,21 @@ constexpr uint32_t kMagicTrainState = 0x53544754;  // "STGT"
 constexpr uint32_t kVersion = 1;
 
 }  // namespace
+
+void restore_parameters(std::vector<nn::Parameter>& live,
+                        const std::vector<nn::Parameter>& saved,
+                        const std::string& context) {
+  STG_CHECK(live.size() == saved.size(), "", context, " has ", saved.size(),
+            " parameters, model has ", live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    STG_CHECK(live[i].name == saved[i].name, "", context, " parameter ", i,
+              " is '", saved[i].name, "', model has '", live[i].name, "'");
+    STG_CHECK(live[i].tensor.shape() == saved[i].tensor.shape(),
+              "parameter '", live[i].name, "' shape mismatch in ", context);
+    const Tensor& src = saved[i].tensor;
+    std::copy(src.data(), src.data() + src.numel(), live[i].tensor.data());
+  }
+}
 
 void save_train_state(const TrainState& state, const std::string& path) {
   STG_CHECK(state.moment1.size() == state.params.size() &&

@@ -49,6 +49,17 @@ struct TrainState {
   uint64_t epoch_steps = 0;
 };
 
+/// Strict positional restore of `saved` parameters into the `live`
+/// parameters of a model. Both lists derive from Module::parameters()
+/// traversal order, so a positional name + shape match is the right check;
+/// data is copied into the live tensors (shared storage — the model sees
+/// the new values). `context` prefixes error messages (typically the
+/// checkpoint path). Shared by STGraphTrainer::resume() and
+/// serve::ModelSnapshot::install().
+void restore_parameters(std::vector<nn::Parameter>& live,
+                        const std::vector<nn::Parameter>& saved,
+                        const std::string& context);
+
 /// Serialize `state` to `path` atomically with a CRC-32 footer.
 void save_train_state(const TrainState& state, const std::string& path);
 

@@ -29,6 +29,14 @@ class Module {
   void eval() { set_training(false); }
   bool is_training() const { return training_; }
 
+  /// Pre-order traversal of this module and every registered descendant,
+  /// with dotted paths ("" for this module itself, "tgcn.conv_z" for a
+  /// grandchild). Lets callers audit per-module state from the outside —
+  /// the eval()-propagation regression test walks this to assert a parent
+  /// eval() flipped every leaf, and serving uses it to verify a frozen
+  /// model really is out of training mode.
+  std::vector<std::pair<std::string, const Module*>> named_modules() const;
+
   void zero_grad();
   /// Total parameter count (for model summaries).
   int64_t parameter_count() const;
@@ -39,6 +47,9 @@ class Module {
   /// Register a child module for recursive parameter collection.
   void register_module(const std::string& name, Module* child);
 
+  /// Overriders must forward to Module::set_training — that call is what
+  /// recurses into registered children, and a parent's eval()/train() is
+  /// required to flip every descendant (dropout layers read the flag).
   virtual void set_training(bool training);
 
  private:

@@ -1,0 +1,54 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+namespace stgraph::serve {
+
+bool RequestQueue::push(PredictRequest&& req) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(req));
+    max_depth_ = std::max(max_depth_, queue_.size());
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<PredictRequest> RequestQueue::pop_batch(std::size_t max_batch) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return closed_ || !queue_.empty(); });
+  std::vector<PredictRequest> batch;
+  const std::size_t n = std::min(max_batch, queue_.size());
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;  // empty <=> closed and drained
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void RequestQueue::reopen() {
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_ = false;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+std::size_t RequestQueue::max_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return max_depth_;
+}
+
+}  // namespace stgraph::serve

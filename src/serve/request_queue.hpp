@@ -1,0 +1,67 @@
+// Bounded MPSC request queue for the serving runtime: many client threads
+// push predict requests, one execution thread pops them in micro-batches.
+// The bound turns overload into explicit load shedding (push() returns
+// false, the server reports the request as rejected) instead of unbounded
+// memory growth — the same back-pressure posture a network-facing replica
+// would need, kept in-process here.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace stgraph::serve {
+
+/// What a fulfilled predict request resolves to.
+struct PredictResult {
+  uint32_t timestamp = 0;   ///< graph time the forward pass ran at
+  uint64_t version = 0;     ///< server state version (bumps per ingest/swap)
+  Tensor outputs;           ///< one row per requested node (all nodes if
+                            ///< the request listed none)
+  double queue_micros = 0;  ///< time spent waiting for the batcher
+  double total_micros = 0;  ///< enqueue -> promise fulfilled
+};
+
+struct PredictRequest {
+  std::vector<uint32_t> nodes;  ///< empty = all nodes
+  std::promise<PredictResult> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns false (request untouched) when the queue is full or closed.
+  bool push(PredictRequest&& req);
+
+  /// Blocks until at least one request is available or the queue is closed,
+  /// then moves out up to `max_batch` requests. An empty result means
+  /// closed-and-drained: the exec loop should exit.
+  std::vector<PredictRequest> pop_batch(std::size_t max_batch);
+
+  /// Wakes the popper; subsequent pushes fail, already-queued requests
+  /// still drain (graceful shutdown).
+  void close();
+  /// Re-arm after close() so the server can be start()ed again.
+  void reopen();
+
+  std::size_t depth() const;
+  std::size_t max_depth() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PredictRequest> queue_;
+  std::size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace stgraph::serve

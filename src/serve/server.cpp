@@ -1,0 +1,272 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "tensor/ops.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace stgraph::serve {
+
+using clock = std::chrono::steady_clock;
+
+namespace {
+double micros_between(clock::time_point a, clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+}  // namespace
+
+Server::Server(STGraphBase& graph, nn::TemporalModel& model, ServeConfig cfg)
+    : graph_(graph),
+      model_(model),
+      cfg_(std::move(cfg)),
+      executor_(graph),
+      queue_(cfg_.queue_capacity) {
+  STG_CHECK(cfg_.max_batch > 0, "serve: max_batch must be positive");
+  STG_CHECK(cfg_.queue_capacity > 0, "serve: queue_capacity must be positive");
+}
+
+Server::~Server() { stop(); }
+
+void Server::load(const std::string& path) {
+  install(std::make_shared<const ModelSnapshot>(ModelSnapshot::load(path)));
+}
+
+void Server::install(std::shared_ptr<const ModelSnapshot> snap) {
+  STG_CHECK(snap != nullptr, "serve: cannot install a null snapshot");
+  std::lock_guard<std::mutex> lk(exec_mu_);
+  snap->install(model_);  // copies params into the live module + eval()
+  snapshot_ = std::move(snap);
+  stats_.record_swap();
+  if (version_ != 0) {
+    // Live swap: bump the version so the cached step (computed with the
+    // old weights) can never serve another batch.
+    ++version_;
+    publish_view_locked();
+  }
+}
+
+std::shared_ptr<const ModelSnapshot> Server::snapshot() const {
+  std::lock_guard<std::mutex> lk(exec_mu_);
+  return snapshot_;
+}
+
+void Server::start(Tensor features) {
+  STG_CHECK(!running(), "serve: server already running");
+  std::lock_guard<std::mutex> lk(exec_mu_);
+  STG_CHECK(features.defined() &&
+                features.rows() == static_cast<int64_t>(graph_.num_nodes()),
+            "serve: start features must have one row per node (",
+            graph_.num_nodes(), "), got ",
+            features.defined() ? features.rows() : 0);
+  time_ = cfg_.start_time;
+  STG_CHECK(time_ < graph_.num_timestamps(), "serve: start_time ", time_,
+            " outside the graph's ", graph_.num_timestamps(), " timestamps");
+  features_ = std::move(features);
+  hidden_ = (cfg_.resume_hidden && snapshot_ && snapshot_->hidden().defined())
+                ? snapshot_->hidden().clone()
+                : model_.initial_state(features_.rows());
+  model_.eval();
+  executor_.set_inference_mode(true);
+
+  // Build the live edge membership set from the snapshot we start at; it is
+  // the server's source of truth for delta validation from here on.
+  const SnapshotView view = graph_.get_graph(time_);
+  edges_.clear();
+  edges_.reserve(static_cast<std::size_t>(view.num_edges) * 2);
+  const CsrView& out = view.out_view;
+  for (uint32_t s = 0; s < out.num_nodes; ++s)
+    for (uint32_t j = out.row_offset[s]; j < out.row_offset[s + 1]; ++j)
+      if (out.col_indices[j] != kSpace)
+        edges_.insert(edge_key(s, out.col_indices[j]));
+  STG_CHECK(edges_.size() == view.num_edges,
+            "serve: edge membership scan found ", edges_.size(),
+            " edges but the snapshot reports ", view.num_edges);
+
+  version_ = 1;
+  step_version_ = 0;
+  publish_view_locked();
+  queue_.reopen();
+  running_.store(true, std::memory_order_release);
+  exec_thread_ = std::thread(&Server::exec_loop, this);
+  STG_LOG_INFO << "serve: started at t=" << time_ << " ("
+               << graph_.format_name() << ", " << view.num_edges
+               << " edges, max_batch=" << cfg_.max_batch << ")";
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  queue_.close();  // pushes fail; queued requests drain, then the loop exits
+  if (exec_thread_.joinable()) exec_thread_.join();
+  STG_LOG_INFO << "serve: stopped after "
+               << stats_.report(queue_.max_depth()).requests << " requests";
+}
+
+PredictResult Server::predict(std::vector<uint32_t> nodes) {
+  STG_CHECK(running(), "serve: predict() on a stopped server");
+  PredictRequest req;
+  req.nodes = std::move(nodes);
+  req.enqueued = clock::now();
+  std::future<PredictResult> fut = req.promise.get_future();
+  if (!queue_.push(std::move(req))) {
+    stats_.record_rejected();
+    throw StgError("serve: request queue full (capacity " +
+                   std::to_string(cfg_.queue_capacity) +
+                   ") — request rejected");
+  }
+  return fut.get();  // rethrows the batch's failure, if any
+}
+
+void Server::ingest(const EdgeDelta& delta, Tensor next_features) {
+  STG_CHECK(running(), "serve: ingest() on a stopped server");
+  Timer timer;
+  std::lock_guard<std::mutex> lk(exec_mu_);
+  const auto n = static_cast<uint32_t>(graph_.num_nodes());
+  STG_CHECK(next_features.defined() &&
+                next_features.rows() == static_cast<int64_t>(n) &&
+                next_features.cols() == features_.cols(),
+            "serve: ingest features must be [", n, ", ", features_.cols(),
+            "]");
+
+  // ---- validate the whole delta BEFORE touching anything ----------------
+  // A delta that fails any check (or the injected fault below) must leave
+  // the read view on the previous consistent snapshot.
+  std::unordered_set<uint64_t> batch_del;
+  batch_del.reserve(delta.deletions.size() * 2);
+  for (const auto& [s, d] : delta.deletions) {
+    STG_CHECK(s < n && d < n, "serve: delta deletes edge (", s, ",", d,
+              ") outside the ", n, "-node graph");
+    const uint64_t k = edge_key(s, d);
+    STG_CHECK(edges_.count(k) != 0, "serve: delta deletes non-existent edge (",
+              s, ",", d, ")");
+    STG_CHECK(batch_del.insert(k).second, "serve: delta deletes edge (", s,
+              ",", d, ") twice");
+  }
+  std::unordered_set<uint64_t> batch_add;
+  batch_add.reserve(delta.additions.size() * 2);
+  for (const auto& [s, d] : delta.additions) {
+    STG_CHECK(s < n && d < n, "serve: delta adds edge (", s, ",", d,
+              ") outside the ", n, "-node graph");
+    const uint64_t k = edge_key(s, d);
+    STG_CHECK(edges_.count(k) == 0, "serve: delta re-adds existing edge (", s,
+              ",", d, ")");
+    STG_CHECK(batch_del.count(k) == 0 && batch_add.insert(k).second,
+              "serve: delta lists edge (", s, ",", d, ") more than once");
+  }
+
+  STG_FAILPOINT("serve.delta.apply",
+                throw StgError("failpoint serve.delta.apply fired at t=" +
+                               std::to_string(time_)));
+
+  // h_{t+1} is a function of (x_t, h_t) on snapshot t — compute it before
+  // the graph moves. Reuses the cached step when a batch already ran here.
+  if (ensure_step_locked()) stats_.record_cache_hit();
+
+  const uint32_t next = time_ + 1;
+  const bool has_edges = !delta.additions.empty() || !delta.deletions.empty();
+  if (has_edges) {
+    STG_CHECK(graph_.supports_append(), "serve: ", graph_.format_name(),
+              " cannot ingest edge deltas");
+    STG_CHECK(next == graph_.num_timestamps(),
+              "serve: can only append at the head of the timeline (t=", next,
+              ", head=", graph_.num_timestamps(), ")");
+    graph_.append_delta(delta);
+  } else if (graph_.supports_append() && next == graph_.num_timestamps()) {
+    graph_.append_delta(delta);  // empty delta: structure carries over
+  } else {
+    STG_CHECK(next < graph_.num_timestamps(), "serve: no timestamp ", next,
+              " to advance to and ", graph_.format_name(),
+              " cannot append one");
+  }
+
+  // ---- commit point ------------------------------------------------------
+  hidden_ = step_h_next_;
+  features_ = std::move(next_features);
+  time_ = next;
+  ++version_;
+  step_version_ = 0;
+  for (uint64_t k : batch_del) edges_.erase(k);
+  for (uint64_t k : batch_add) edges_.insert(k);
+  publish_view_locked();
+  stats_.record_ingest(delta.additions.size() + delta.deletions.size(),
+                       timer.seconds());
+}
+
+ReadView Server::read_view() const {
+  std::lock_guard<std::mutex> lk(view_mu_);
+  return view_;
+}
+
+StatsReport Server::stats() const {
+  return stats_.report(queue_.max_depth());
+}
+
+void Server::publish_view_locked() {
+  std::lock_guard<std::mutex> lk(view_mu_);
+  view_ = {time_, version_, static_cast<uint32_t>(edges_.size())};
+}
+
+bool Server::ensure_step_locked() {
+  if (step_version_ == version_) return true;
+  NoGradGuard ng;  // covers whichever thread runs the step (thread-local)
+  Timer timer;
+  executor_.begin_forward_step(time_);
+  const float* weights =
+      cfg_.edge_weights.empty() ? nullptr : cfg_.edge_weights.data();
+  auto [out, h_next] = model_.step(executor_, features_, hidden_, weights);
+  step_out_ = out;
+  step_h_next_ = h_next;
+  step_version_ = version_;
+  stats_.record_forward(timer.seconds());
+  return false;
+}
+
+void Server::exec_loop() {
+  NoGradGuard ng;
+  while (true) {
+    std::vector<PredictRequest> batch = queue_.pop_batch(cfg_.max_batch);
+    if (batch.empty()) return;  // queue closed and drained
+    stats_.record_batch(batch.size());
+
+    std::lock_guard<std::mutex> lk(exec_mu_);
+    std::size_t done = 0;
+    try {
+      STG_FAILPOINT("serve.batch.dispatch",
+                    throw StgError("failpoint serve.batch.dispatch fired"));
+      if (ensure_step_locked()) stats_.record_cache_hit();
+      const auto fulfilled = clock::now();
+      for (; done < batch.size(); ++done) {
+        PredictRequest& req = batch[done];
+        PredictResult res;
+        res.timestamp = time_;
+        res.version = version_;
+        for (uint32_t node : req.nodes)
+          STG_CHECK(node < graph_.num_nodes(), "serve: predict node ", node,
+                    " outside the ", graph_.num_nodes(), "-node graph");
+        res.outputs = req.nodes.empty()
+                          ? step_out_
+                          : ops::gather_rows(step_out_, req.nodes);
+        res.queue_micros = micros_between(req.enqueued, fulfilled);
+        res.total_micros = micros_between(req.enqueued, clock::now());
+        stats_.record_request(res.total_micros,
+                              static_cast<uint64_t>(res.outputs.rows()));
+        req.promise.set_value(std::move(res));
+      }
+    } catch (...) {
+      // A failed dispatch fails this batch's outstanding requests but the
+      // server keeps serving; a throw mid-forward may have left the
+      // executor mid-step, so unwind it and drop the step cache.
+      executor_.abort_sequence();
+      step_version_ = 0;
+      stats_.record_failed(batch.size() - done);
+      const std::exception_ptr ep = std::current_exception();
+      for (; done < batch.size(); ++done)
+        batch[done].promise.set_exception(ep);
+    }
+  }
+}
+
+}  // namespace stgraph::serve

@@ -1,0 +1,141 @@
+// Streaming inference server (the serve subsystem's core): owns a
+// forward-only TemporalExecutor over a live graph object and a frozen
+// TemporalModel, and exposes two concurrent entry points —
+//
+//   predict(nodes)  — blocking micro-batched inference. Requests from any
+//                     number of client threads land in a bounded queue; a
+//                     dedicated execution thread pops them in batches of
+//                     up to ServeConfig::max_batch and serves an entire
+//                     batch from at most ONE forward pass (the step output
+//                     for the current server version is cached; per-request
+//                     node subsets are row gathers on it).
+//
+//   ingest(delta, x) — advance the timeline by one step: validate the edge
+//                      delta against the live edge set, compute h_{t+1}
+//                      from (x_t, h_t) on the OLD snapshot, append the
+//                      delta to the graph, commit the new (time, features,
+//                      hidden) and bump the version. Validation happens
+//                      before any mutation, so a rejected or fault-injected
+//                      delta leaves the published read view on the previous
+//                      consistent snapshot (tested via the
+//                      serve.delta.apply failpoint).
+//
+// Consistency model: exec_mu_ serializes all model/graph access (one model
+// instance, one executor — the paper's execution model is single-stream).
+// The published ReadView and the ModelSnapshot handle are the only state
+// clients observe without that lock; both swap atomically under it.
+// Failpoints: serve.checkpoint.load (in ModelSnapshot::load),
+// serve.delta.apply, serve.batch.dispatch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "graph/stgraph_base.hpp"
+#include "nn/models.hpp"
+#include "serve/model_snapshot.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/stats.hpp"
+
+namespace stgraph::serve {
+
+struct ServeConfig {
+  std::size_t max_batch = 16;       ///< micro-batch ceiling per dispatch
+  std::size_t queue_capacity = 1024;///< bound before load shedding kicks in
+  uint32_t start_time = 0;          ///< timestamp start() positions at
+  bool resume_hidden = false;       ///< seed h from the snapshot's carried
+                                    ///< hidden state instead of initial_state
+  std::vector<float> edge_weights;  ///< optional per-edge weights (by eid)
+};
+
+/// Snapshot-consistent summary of what the server is currently serving.
+/// version bumps on every committed ingest and every snapshot install;
+/// a PredictResult carries the version its outputs were computed at.
+struct ReadView {
+  uint32_t time = 0;
+  uint64_t version = 0;
+  uint32_t num_edges = 0;
+};
+
+class Server {
+ public:
+  /// The graph and model outlive the server; the server owns its own
+  /// executor (inference mode) so a trainer's executor is never shared.
+  Server(STGraphBase& graph, nn::TemporalModel& model, ServeConfig cfg = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Load an STGT checkpoint and install it (serve.checkpoint.load
+  /// failpoint fires inside). Callable before start() or live.
+  void load(const std::string& path);
+  /// Swap the active model snapshot: copies the frozen parameters into the
+  /// live module under the exec lock and bumps the version, so in-flight
+  /// batches finish on the old weights and the next batch runs on the new
+  /// ones — the atomic snapshot swap.
+  void install(std::shared_ptr<const ModelSnapshot> snap);
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+
+  /// Begin serving at cfg.start_time with the given node features
+  /// ([num_nodes, F]). Spawns the execution thread.
+  void start(Tensor features);
+  /// Graceful shutdown: stop accepting requests, drain the queue, join.
+  /// Idempotent; the destructor calls it.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Blocking predict. Empty `nodes` returns the full output matrix;
+  /// otherwise one row per listed node. Throws StgError when the queue is
+  /// full (load shed) or the batch failed (fault injection, bad node id).
+  PredictResult predict(std::vector<uint32_t> nodes = {});
+
+  /// Advance the served timeline by one timestep (synchronous, called from
+  /// any thread). For appendable graphs the delta extends the timeline; a
+  /// graph with precomputed snapshots (static-temporal) only accepts empty
+  /// deltas and steps within its existing history.
+  void ingest(const EdgeDelta& delta, Tensor next_features);
+
+  ReadView read_view() const;
+  StatsReport stats() const;
+
+ private:
+  void exec_loop();
+  /// Run (or reuse) the forward pass for the current version. Requires
+  /// exec_mu_. Returns true when the cached step was reused.
+  bool ensure_step_locked();
+  void publish_view_locked();
+  static uint64_t edge_key(uint32_t s, uint32_t d) {
+    return (static_cast<uint64_t>(s) << 32) | d;
+  }
+
+  STGraphBase& graph_;
+  nn::TemporalModel& model_;
+  ServeConfig cfg_;
+  core::TemporalExecutor executor_;
+  RequestQueue queue_;
+  ServerStats stats_;
+  std::thread exec_thread_;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex exec_mu_;  // guards everything below
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::unordered_set<uint64_t> edges_;  ///< live edge set (delta validation)
+  Tensor features_;  ///< x_t of the current timestep
+  Tensor hidden_;    ///< h_t entering the current timestep
+  uint32_t time_ = 0;
+  uint64_t version_ = 0;   ///< 0 = not started; bumped per ingest/install
+  Tensor step_out_;        ///< cached model output for step_version_
+  Tensor step_h_next_;     ///< cached next hidden for step_version_
+  uint64_t step_version_ = 0;  ///< 0 = cache invalid
+
+  mutable std::mutex view_mu_;
+  ReadView view_;
+};
+
+}  // namespace stgraph::serve

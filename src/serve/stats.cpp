@@ -1,0 +1,167 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace stgraph::serve {
+
+namespace {
+
+std::size_t bucket_for(double micros) {
+  if (micros < 1.0) return 0;
+  const auto us = static_cast<uint64_t>(micros);
+  std::size_t b = 0;
+  // floor(log2(us)): 64 - clz, minus one for the leading bit itself.
+  for (uint64_t v = us; v > 1; v >>= 1) ++b;
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+
+void atomic_max(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double micros) {
+  if (micros < 0.0 || !std::isfinite(micros)) micros = 0.0;
+  buckets_[bucket_for(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<uint64_t>(micros), std::memory_order_relaxed);
+  atomic_max(max_us_, static_cast<uint64_t>(micros));
+}
+
+double LatencyHistogram::mean_micros() const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+double LatencyHistogram::percentile(double p) const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the sample we want, 1-based; p=100 -> the last sample.
+  const auto rank = static_cast<uint64_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(n))));
+  uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Upper bound of bucket b: 2^(b+1) µs (bucket 0 is [0, 2) µs).
+      return static_cast<double>(uint64_t{1} << (b + 1));
+    }
+  }
+  return max_micros();
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  max_us_.store(0, std::memory_order_relaxed);
+}
+
+void ServerStats::record_request(double total_micros, uint64_t output_rows) {
+  latency_.record(total_micros);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  rows_.fetch_add(output_rows, std::memory_order_relaxed);
+}
+
+void ServerStats::record_batch(std::size_t occupancy) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_requests_.fetch_add(occupancy, std::memory_order_relaxed);
+}
+
+void ServerStats::record_forward(double seconds) {
+  forward_passes_.fetch_add(1, std::memory_order_relaxed);
+  forward_ns_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                        std::memory_order_relaxed);
+}
+
+void ServerStats::record_cache_hit() {
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerStats::record_failed(uint64_t n) {
+  failed_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ServerStats::record_rejected() {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerStats::record_ingest(uint64_t edges, double seconds) {
+  deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+  delta_edges_.fetch_add(edges, std::memory_order_relaxed);
+  ingest_ns_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+}
+
+void ServerStats::record_swap() {
+  snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+StatsReport ServerStats::report(std::size_t max_queue_depth) const {
+  StatsReport r;
+  r.requests = requests_.load(std::memory_order_relaxed);
+  r.rows = rows_.load(std::memory_order_relaxed);
+  r.failed = failed_.load(std::memory_order_relaxed);
+  r.rejected = rejected_.load(std::memory_order_relaxed);
+  r.p50_us = latency_.percentile(50.0);
+  r.p95_us = latency_.percentile(95.0);
+  r.p99_us = latency_.percentile(99.0);
+  r.mean_us = latency_.mean_micros();
+  r.max_us = latency_.max_micros();
+  r.batches = batches_.load(std::memory_order_relaxed);
+  const uint64_t br = batch_requests_.load(std::memory_order_relaxed);
+  r.batch_occupancy =
+      r.batches ? static_cast<double>(br) / static_cast<double>(r.batches)
+                : 0.0;
+  r.max_queue_depth = max_queue_depth;
+  r.forward_passes = forward_passes_.load(std::memory_order_relaxed);
+  r.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  r.forward_seconds =
+      static_cast<double>(forward_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  r.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  r.delta_edges = delta_edges_.load(std::memory_order_relaxed);
+  r.ingest_seconds =
+      static_cast<double>(ingest_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  r.delta_edges_per_sec =
+      r.ingest_seconds > 0.0
+          ? static_cast<double>(r.delta_edges) / r.ingest_seconds
+          : 0.0;
+  r.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
+  return r;
+}
+
+std::string StatsReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"requests\": " << requests << ",\n";
+  os << "  \"rows\": " << rows << ",\n";
+  os << "  \"failed\": " << failed << ",\n";
+  os << "  \"rejected\": " << rejected << ",\n";
+  os << "  \"latency_us\": {\"p50\": " << p50_us << ", \"p95\": " << p95_us
+     << ", \"p99\": " << p99_us << ", \"mean\": " << mean_us
+     << ", \"max\": " << max_us << "},\n";
+  os << "  \"batches\": " << batches << ",\n";
+  os << "  \"batch_occupancy\": " << batch_occupancy << ",\n";
+  os << "  \"max_queue_depth\": " << max_queue_depth << ",\n";
+  os << "  \"forward_passes\": " << forward_passes << ",\n";
+  os << "  \"cache_hits\": " << cache_hits << ",\n";
+  os << "  \"forward_seconds\": " << forward_seconds << ",\n";
+  os << "  \"deltas_applied\": " << deltas_applied << ",\n";
+  os << "  \"delta_edges\": " << delta_edges << ",\n";
+  os << "  \"ingest_seconds\": " << ingest_seconds << ",\n";
+  os << "  \"delta_edges_per_sec\": " << delta_edges_per_sec << ",\n";
+  os << "  \"snapshot_swaps\": " << snapshot_swaps << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace stgraph::serve

@@ -1,0 +1,106 @@
+// Serving observability (the serve subsystem's stats surface): per-request
+// latency percentiles from a fixed-bucket histogram, micro-batch
+// occupancy, queue pressure, and delta-ingestion throughput. Everything is
+// lock-free (atomic counters and buckets) so the hot predict path never
+// takes a lock to record a sample, and report() can be called from any
+// thread while the server runs. The JSON form of a report is what
+// `run_all.sh serve-smoke` writes to BENCH_serve.json.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace stgraph::serve {
+
+/// Fixed-bucket log-2 latency histogram: bucket i counts samples in
+/// [2^i, 2^(i+1)) microseconds, so 40 buckets span 1 µs to ~12.7 days.
+/// percentile() returns the upper bound of the bucket holding the
+/// requested rank — resolution is a factor of two, which is what a serving
+/// dashboard needs (is p99 1 ms or 1 s?), at the cost of zero allocation
+/// and O(1) recording.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record(double micros);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double mean_micros() const;
+  double max_micros() const {
+    return static_cast<double>(max_us_.load(std::memory_order_relaxed));
+  }
+  /// p in (0, 100]; returns 0 when no samples were recorded.
+  double percentile(double p) const;
+  void reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+/// One coherent read of the counters (values are sampled independently —
+/// a report taken mid-flight can be off by in-flight requests, never torn).
+struct StatsReport {
+  // ---- request path ----------------------------------------------------
+  uint64_t requests = 0;        ///< fulfilled predict() calls
+  uint64_t rows = 0;            ///< output rows served across all requests
+  uint64_t failed = 0;          ///< requests failed (dispatch fault, shutdown)
+  uint64_t rejected = 0;        ///< requests shed at a full queue
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+  double mean_us = 0.0, max_us = 0.0;
+  // ---- batching --------------------------------------------------------
+  uint64_t batches = 0;         ///< micro-batches dispatched
+  double batch_occupancy = 0.0; ///< mean requests per dispatched batch
+  std::size_t max_queue_depth = 0;
+  // ---- execution -------------------------------------------------------
+  uint64_t forward_passes = 0;  ///< fresh forward executions
+  uint64_t cache_hits = 0;      ///< batches/ingests served from the cached step
+  double forward_seconds = 0.0;
+  // ---- ingestion -------------------------------------------------------
+  uint64_t deltas_applied = 0;
+  uint64_t delta_edges = 0;     ///< additions + deletions across all batches
+  double ingest_seconds = 0.0;
+  double delta_edges_per_sec = 0.0;
+  // ---- snapshot lifecycle ----------------------------------------------
+  uint64_t snapshot_swaps = 0;
+
+  std::string to_json() const;
+};
+
+/// Thread-safe counter bundle owned by serve::Server.
+class ServerStats {
+ public:
+  void record_request(double total_micros, uint64_t output_rows);
+  void record_batch(std::size_t occupancy);
+  void record_forward(double seconds);
+  void record_cache_hit();
+  void record_failed(uint64_t n);
+  void record_rejected();
+  void record_ingest(uint64_t edges, double seconds);
+  void record_swap();
+
+  const LatencyHistogram& latency() const { return latency_; }
+  /// `max_queue_depth` comes from the request queue, which tracks it.
+  StatsReport report(std::size_t max_queue_depth) const;
+
+ private:
+  LatencyHistogram latency_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_requests_{0};
+  std::atomic<uint64_t> forward_passes_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> forward_ns_{0};
+  std::atomic<uint64_t> deltas_applied_{0};
+  std::atomic<uint64_t> delta_edges_{0};
+  std::atomic<uint64_t> ingest_ns_{0};
+  std::atomic<uint64_t> snapshot_swaps_{0};
+};
+
+}  // namespace stgraph::serve

@@ -6,6 +6,8 @@
 #include "core/executor.hpp"
 #include "graph/naive_graph.hpp"
 #include "graph/static_graph.hpp"
+#include "nn/models.hpp"
+#include "runtime/memory_tracker.hpp"
 #include "util/rng.hpp"
 
 namespace stgraph {
@@ -163,6 +165,82 @@ TEST(Executor, ForwardViewRequiresStep) {
   exec.begin_forward_step(0);
   EXPECT_EQ(exec.current_forward_timestamp(), 0u);
   EXPECT_EQ(exec.forward_view().num_edges, 1u);
+}
+
+TEST(Executor, InferenceModeSkipsBothStacksAndRejectsBackward) {
+  NaiveGraph graph(small_dtdg());
+  TemporalExecutor exec(graph);
+  exec.set_inference_mode(true);
+  // No NoGradGuard here on purpose: inference mode alone must keep the
+  // executor forward-only, even if a caller forgets the guard.
+  exec.begin_forward_step(0);
+  exec.begin_forward_step(1);
+  exec.begin_forward_step(2);
+  EXPECT_TRUE(exec.graph_stack().empty());
+  auto ticket = exec.save_for_backward({Tensor::ones({4, 4})},
+                                       {Tensor::ones({4, 4})});
+  EXPECT_EQ(ticket, TemporalExecutor::kInferenceTicket);
+  EXPECT_TRUE(exec.state_stack().empty());
+  EXPECT_EQ(exec.state_stack().device_bytes(), 0u);
+  EXPECT_THROW(exec.backward_view(2), StgError);
+  EXPECT_THROW(exec.retrieve_saved(ticket), StgError);
+  exec.verify_drained();
+}
+
+TEST(Executor, InferenceModeToggleRequiresDrainedStacks) {
+  NaiveGraph graph(small_dtdg());
+  TemporalExecutor exec(graph);
+  exec.begin_forward_step(0);  // training mode: pushes the Graph Stack
+  EXPECT_THROW(exec.set_inference_mode(true), StgError);
+  exec.backward_view(0);  // drain
+  exec.set_inference_mode(true);
+  exec.begin_forward_step(0);
+  // Inference steps push nothing, so the executor stays drained and the
+  // toggle back out is legal at any step boundary.
+  exec.set_inference_mode(false);
+  exec.verify_drained();
+}
+
+TEST(Executor, InferenceForwardRetainsNoGradientOrStackMemory) {
+  NaiveGraph graph(small_dtdg());
+  TemporalExecutor exec(graph);
+  exec.set_inference_mode(true);
+  Rng rng(1);
+  nn::TGCNEncoder model(3, 4, rng);
+  model.eval();
+  const Tensor x = Tensor::ones({4, 3});
+  auto run_once = [&] {
+    NoGradGuard ng;
+    Tensor h = model.initial_state(4);
+    for (uint32_t t = 0; t < 3; ++t) {
+      exec.begin_forward_step(t);
+      auto [out, h_next] = model.step(exec, x, h, nullptr);
+      h = h_next;
+    }
+  };
+  run_once();  // warm-up (fills any lazily-built caches)
+  const std::size_t baseline = MemoryTracker::instance().current_bytes();
+  const std::size_t state_peak = exec.state_stack().peak_device_bytes();
+  run_once();
+  // Forward-only execution retained nothing: no autograd graph, no saved
+  // state, no graph-stack entries — residency returns to the baseline.
+  EXPECT_EQ(MemoryTracker::instance().current_bytes(), baseline);
+  EXPECT_EQ(exec.state_stack().device_bytes(), 0u);
+  EXPECT_EQ(exec.state_stack().peak_device_bytes(), state_peak);
+  EXPECT_TRUE(exec.graph_stack().empty());
+  exec.verify_drained();
+
+  // Contrast: the same steps in training mode do retain backward state.
+  TemporalExecutor train_exec(graph);
+  Tensor h = model.initial_state(4);
+  for (uint32_t t = 0; t < 3; ++t) {
+    train_exec.begin_forward_step(t);
+    auto [out, h_next] = model.step(train_exec, x, h, nullptr);
+    h = h_next;
+  }
+  EXPECT_GT(train_exec.state_stack().device_bytes(), 0u);
+  EXPECT_EQ(train_exec.graph_stack().depth(), 3u);
+  train_exec.abort_sequence();
 }
 
 TEST(Backend, RegistryCreatesNative) {

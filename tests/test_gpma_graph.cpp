@@ -186,5 +186,80 @@ TEST(GpmaGraph, OutOfRangeTimestampThrows) {
   EXPECT_THROW(g.get_graph(g.num_timestamps()), StgError);
 }
 
+// ---- streaming append (serving ingestion path) ----------------------------
+
+TEST(AppendDelta, StreamedTimelineMatchesPrebuiltOneOnBothFormats) {
+  DtdgEvents ev = window_edge_stream(40, random_stream(40, 900, 131), 8.0);
+  ASSERT_GE(ev.deltas.size(), 3u);
+
+  // Reference: graphs built with the whole timeline up front.
+  NaiveGraph ref(ev);
+
+  // Streamed: start from the base snapshot, append_delta one at a time —
+  // the serve::Server ingestion path.
+  GpmaGraph gpma(DtdgEvents{ev.num_nodes, ev.base_edges, {}});
+  NaiveGraph naive(DtdgEvents{ev.num_nodes, ev.base_edges, {}});
+  EXPECT_TRUE(gpma.supports_append());
+  EXPECT_TRUE(naive.supports_append());
+  for (const EdgeDelta& d : ev.deltas) {
+    gpma.append_delta(d);
+    naive.append_delta(d);
+  }
+  ASSERT_EQ(gpma.num_timestamps(), ev.num_timestamps());
+  ASSERT_EQ(naive.num_timestamps(), ev.num_timestamps());
+
+  auto edge_pairs = [](const SnapshotView& v) {
+    std::set<std::pair<uint32_t, uint32_t>> out;
+    for (const auto& [r, c, e] : decode(v.out_view)) out.insert({r, c});
+    return out;
+  };
+  for (uint32_t t = 0; t < ev.num_timestamps(); ++t) {
+    const auto want = edge_pairs(ref.get_graph(t));
+    EXPECT_EQ(edge_pairs(gpma.get_graph(t)), want) << "gpma t=" << t;
+    EXPECT_EQ(edge_pairs(naive.get_graph(t)), want) << "naive t=" << t;
+    EXPECT_EQ(gpma.num_edges_at(t), ref.num_edges_at(t)) << "t=" << t;
+  }
+}
+
+TEST(AppendDelta, NaiveRejectsInvalidDeltaAndStaysUnchanged) {
+  DtdgEvents ev;
+  ev.num_nodes = 4;
+  ev.base_edges = {{0, 1}, {1, 2}, {2, 3}};
+  NaiveGraph g(ev);
+
+  EdgeDelta missing;
+  missing.deletions = {{3, 0}};  // not present
+  EXPECT_THROW(g.append_delta(missing), StgError);
+  EdgeDelta readd;
+  readd.additions = {{0, 1}};  // already present
+  EXPECT_THROW(g.append_delta(readd), StgError);
+  EdgeDelta oob;
+  oob.additions = {{0, 7}};
+  EXPECT_THROW(g.append_delta(oob), StgError);
+
+  // Strong guarantee: the timeline did not grow and t=0 still serves.
+  EXPECT_EQ(g.num_timestamps(), 1u);
+  EXPECT_EQ(g.get_graph(0).num_edges, 3u);
+
+  EdgeDelta good;
+  good.additions = {{3, 0}};
+  good.deletions = {{0, 1}};
+  g.append_delta(good);
+  EXPECT_EQ(g.num_timestamps(), 2u);
+  EXPECT_EQ(g.num_edges_at(1), 3u);
+}
+
+TEST(AppendDelta, GpmaRejectsOutOfBoundsNodesBeforeMutating) {
+  DtdgEvents ev;
+  ev.num_nodes = 4;
+  ev.base_edges = {{0, 1}, {1, 2}};
+  GpmaGraph g(ev);
+  EdgeDelta oob;
+  oob.additions = {{9, 0}};
+  EXPECT_THROW(g.append_delta(oob), StgError);
+  EXPECT_EQ(g.num_timestamps(), 1u);
+  EXPECT_EQ(g.get_graph(0).num_edges, 2u);  // still positions cleanly
+}
+
 }  // namespace
 }  // namespace stgraph

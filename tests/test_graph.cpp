@@ -208,6 +208,15 @@ TEST(NaiveGraph, MatchesGroundTruthSnapshots) {
   }
 }
 
+TEST(StaticTemporalGraph, DoesNotSupportStreamingAppend) {
+  StaticTemporalGraph g(3, {{0, 1}, {1, 2}}, 5);
+  EXPECT_FALSE(g.supports_append());
+  EdgeDelta d;
+  d.additions = {{2, 0}};
+  EXPECT_THROW(g.append_delta(d), StgError);
+  EXPECT_EQ(g.num_timestamps(), 5u);
+}
+
 TEST(NaiveGraph, DeviceBytesGrowWithTimestamps) {
   Rng rng(67);
   EdgeList stream;
