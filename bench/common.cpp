@@ -66,11 +66,17 @@ RunResult measure_epochs(const std::function<core::EpochStats()>& epoch_fn,
     r.per_epoch_seconds += s.seconds;
     r.graph_update_seconds += s.graph_update_seconds;
     r.gnn_seconds += s.gnn_seconds;
+    r.position_seconds += s.position_seconds;
+    r.view_seconds += s.view_seconds;
+    r.incremental_view_updates += s.incremental_view_updates;
+    r.full_view_rebuilds += s.full_view_rebuilds;
     r.final_loss = s.loss;
   }
   r.per_epoch_seconds /= opts.epochs;
   r.graph_update_seconds /= opts.epochs;
   r.gnn_seconds /= opts.epochs;
+  r.position_seconds /= opts.epochs;
+  r.view_seconds /= opts.epochs;
   return r;
 }
 }  // namespace

@@ -13,7 +13,21 @@
 #                           clients + streaming delta ingestion), emit
 #                           BENCH_serve.json with p50/p99 latency and
 #                           ingest throughput
+#   ./run_all.sh bench      graph-update benches only: bench_fig9 (GNN/
+#                           update time split with the per-phase counters
+#                           and the incremental-vs-full view-maintenance
+#                           ablation, emitted as BENCH_fig9.json) +
+#                           bench_micro_gpma
 cd /root/repo
+
+if [ "$1" = "bench" ]; then
+  cmake -B build -S . || exit 1
+  cmake --build build -j "$(nproc)" --target bench_fig9 bench_micro_gpma \
+    || exit 1
+  ./build/bench/bench_fig9 --json-out=/root/repo/BENCH_fig9.json || exit 1
+  ./build/bench/bench_micro_gpma || exit 1
+  exit 0
+fi
 
 if [ "$1" = "serve-smoke" ]; then
   cmake -B build -S . || exit 1

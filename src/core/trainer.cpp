@@ -148,6 +148,7 @@ EpochStats STGraphTrainer::run_epoch(bool training) {
   executor_.positioning_timer().reset();
   if (auto* gpma = dynamic_cast<GpmaGraph*>(&graph_)) {
     gpma->update_timer().reset();
+    gpma->reset_update_stats();
   }
 
   double loss_total = 0.0;
@@ -295,6 +296,12 @@ EpochStats STGraphTrainer::run_epoch(bool training) {
   stats.seconds = epoch_timer.seconds();
   stats.graph_update_seconds = executor_.positioning_timer().total_seconds();
   stats.gnn_seconds = stats.seconds - stats.graph_update_seconds;
+  if (auto* gpma = dynamic_cast<GpmaGraph*>(&graph_)) {
+    stats.position_seconds = gpma->position_timer().total_seconds();
+    stats.view_seconds = gpma->view_timer().total_seconds();
+    stats.incremental_view_updates = gpma->incremental_view_updates();
+    stats.full_view_rebuilds = gpma->full_view_rebuilds();
+  }
   stats.failures = failures_;
   return stats;
 }

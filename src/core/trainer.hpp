@@ -76,6 +76,14 @@ struct EpochStats {
   double seconds = 0.0;               // wall clock for the epoch
   double graph_update_seconds = 0.0;  // Figure 9: snapshot construction
   double gnn_seconds = 0.0;           // Figure 9: everything else
+  // GPMAGraph-only split of graph_update_seconds (zero for other graphs):
+  // Algorithm-2 delta replay vs snapshot-view maintenance, plus how often
+  // the view refresh took the delta-bounded incremental path vs a full
+  // rebuild.
+  double position_seconds = 0.0;
+  double view_seconds = 0.0;
+  uint64_t incremental_view_updates = 0;
+  uint64_t full_view_rebuilds = 0;
   FailureStats failures;              // cumulative guard counters
 };
 

@@ -10,14 +10,25 @@
 //     forward pass of the next.
 //   * Algorithm 3 (Reverse-GPMA): build the compacted reverse CSR
 //     (in-neighbor view for the forward pass) straight from the gapped PMA
-//     arrays — seed the per-destination cursor array with an inclusive
-//     prefix sum of the in-degrees, then scatter in parallel with
-//     atomic_sub.
+//     arrays with a per-destination prefix-sum + deterministic scatter.
+//
+// View maintenance is delta-bounded: the PMA reports which leaf segments a
+// batch touched (Pma::dirty_leaves()), and when the touched fraction is
+// below STGRAPH_VIEW_REBUILD_THRESHOLD the snapshot arrays are patched in
+// place — edge labels are recomputed only inside the dirty windows and
+// shifted by a constant elsewhere, row offsets are repaired with one
+// forward sweep, the degree orders are repaired by merging the few
+// vertices whose degree changed back into the (still sorted) survivor
+// stream, and the reverse CSR is spliced per destination. Past the
+// threshold (or after a capacity change) the full rebuild runs, itself
+// parallelized with a count/prefix/scatter pass over slot ranges. Both
+// paths produce bit-identical views for any thread count.
 //
 // The backward pass consumes the gapped PMA arrays directly (kernels skip
 // SPACE slots), so no out-CSR is ever materialized.
 #pragma once
 
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -55,15 +66,29 @@ class GpmaGraph final : public STGraphBase {
   void append_delta(const EdgeDelta& delta) override;
 
   /// Time spent replaying deltas + rebuilding views (Figure 9's
-  /// "graph update time").
+  /// "graph update time"). position_timer/view_timer split it into the
+  /// Algorithm-2 replay phase and the view-maintenance phase.
   PhaseTimer& update_timer() { return update_timer_; }
+  PhaseTimer& position_timer() { return position_timer_; }
+  PhaseTimer& view_timer() { return view_timer_; }
 
   /// Current PMA position (exposed for tests).
   uint32_t current_timestamp() const { return curr_time_; }
   const Pma& pma() const { return pma_; }
   /// Disable the Algorithm-2 snapshot cache (ablation bench).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  /// Disable the delta-bounded incremental view path (ablation bench /
+  /// parity tests); every refresh then takes the full-rebuild path.
+  void set_incremental_views(bool enabled) {
+    incremental_views_enabled_ = enabled;
+  }
   uint64_t delta_replays() const { return delta_replays_; }
+  uint64_t incremental_view_updates() const {
+    return incremental_view_updates_;
+  }
+  uint64_t full_view_rebuilds() const { return full_view_rebuilds_; }
+  /// Reset per-run instrumentation (timers + view counters).
+  void reset_update_stats();
 
  private:
   struct DeviceDelta {
@@ -74,9 +99,19 @@ class GpmaGraph final : public STGraphBase {
   /// Roll the PMA to timestamp `target` (Algorithm 2 core).
   void position(uint32_t target);
   void apply_delta(uint32_t idx, bool forward);
-  /// Relabel edges in slot order + rebuild row offsets, degree-sorted
-  /// orders and the Algorithm-3 reverse CSR.
-  void rebuild_views();
+  /// Bring every derived view array up to date with the PMA, choosing the
+  /// incremental or full path; clears the delta bookkeeping.
+  void refresh_views();
+  /// Full O(capacity) rebuild: relabel + row offsets + degree orders +
+  /// reverse CSR, parallelized over slot ranges. Reuses buffers.
+  void full_rebuild_views();
+  /// Delta-bounded in-place patch of every view array. Returns false if
+  /// the delta shape turned out unpatchable (caller falls back).
+  bool incremental_update();
+  /// Merge `affected` (vertices whose degree changed, sorted canonically)
+  /// back into the degree order `order` under (deg desc, id asc).
+  void repair_order(DeviceBuffer<uint32_t>& order, const uint32_t* deg,
+                    std::vector<uint32_t>& affected);
   void save_cache();
   void restore_cache();
 
@@ -93,9 +128,29 @@ class GpmaGraph final : public STGraphBase {
   DeviceBuffer<uint32_t> fwd_order_, bwd_order_;
   // Algorithm-3 output.
   DeviceBuffer<uint32_t> r_row_offset_, r_col_, r_eids_;
+  // Persistent scratch for the incremental splice / order repair (swapped
+  // with the live arrays, so allocations amortize away).
+  DeviceBuffer<uint32_t> r_row_offset_scratch_, r_col_scratch_,
+      r_eids_scratch_;
+  DeviceBuffer<uint32_t> order_scratch_;
+  std::vector<uint8_t> order_mark_;
+  // Host-side scratch for the incremental path (kept across refreshes so
+  // the per-step patch allocates nothing in steady state): the dirty
+  // windows' old/new live contents and the old-label -> new-label map.
+  std::vector<uint64_t> win_old_keys_, win_new_keys_;
+  std::vector<uint32_t> win_old_eids_, win_new_eids_;
+  std::vector<uint32_t> eid_remap_;
 
   uint32_t curr_time_ = 0;
   bool views_fresh_ = false;
+
+  // Delta bookkeeping between refreshes: every key actually applied to the
+  // PMA since the views were last rebuilt (multiple applications of the
+  // same key cancel out to a net add / net delete / survivor).
+  std::vector<uint64_t> pending_add_, pending_del_;
+  bool views_force_full_ = false;      // e.g. after a cache restore
+  bool incremental_views_enabled_ = true;
+  double rebuild_threshold_ = 0.25;    // dirty fraction beyond which we rebuild
 
   // Algorithm-2 cache: deep PMA copy + degrees at cache_time_.
   bool cache_enabled_ = true;
@@ -104,11 +159,17 @@ class GpmaGraph final : public STGraphBase {
   uint32_t cache_time_ = 0;
 
   PhaseTimer update_timer_;
+  PhaseTimer position_timer_;
+  PhaseTimer view_timer_;
   uint64_t delta_replays_ = 0;
+  uint64_t incremental_view_updates_ = 0;
+  uint64_t full_view_rebuilds_ = 0;
 };
 
 /// Algorithm 3, exposed standalone for unit tests and the ablation bench:
-/// build the compacted reverse CSR of a gapped adjacency.
+/// build the compacted reverse CSR of a gapped adjacency. Deterministic:
+/// per-destination neighbor lists come out sorted by source (slot order)
+/// regardless of the lane count. Reuses the output buffers' capacity.
 void reverse_gpma(uint32_t num_nodes, const DeviceBuffer<uint32_t>& row_offset,
                   const DeviceBuffer<uint32_t>& col,
                   const DeviceBuffer<uint32_t>& eids,

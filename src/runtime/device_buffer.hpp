@@ -59,11 +59,18 @@ class DeviceBuffer {
     return out;
   }
 
+  /// Resize to n elements. Heap capacity is deliberately retained when
+  /// shrinking (like a caching allocator): per-step view rebuilds resize
+  /// the same buffers up and down a few percent, and reallocating each
+  /// time would put malloc on the hot path. MemoryTracker is charged for
+  /// the logical size, matching what the GPU original would allocate.
   void resize(std::size_t n) {
     data_.resize(n);
-    data_.shrink_to_fit();
     charge(n * sizeof(T));
   }
+
+  /// Release the retained slack (used when a buffer goes cold).
+  void shrink_to_fit() { data_.shrink_to_fit(); }
 
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
 

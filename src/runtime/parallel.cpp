@@ -14,53 +14,21 @@ unsigned lane_count() { return ThreadPool::instance().lanes(); }
 void parallel_for_ranges(std::size_t n,
                          const std::function<void(std::size_t, std::size_t)>& fn,
                          std::size_t grain) {
-  if (n == 0) return;
-  auto& stats = KernelStats::instance();
-  stats.launches.fetch_add(1, std::memory_order_relaxed);
-  stats.total_threads.fetch_add(n, std::memory_order_relaxed);
-
-  auto& pool = ThreadPool::instance();
-  const unsigned lanes = pool.lanes();
-  if (lanes == 1 || n <= grain) {
-    fn(0, n);
-    return;
-  }
-  const std::size_t chunk = (n + lanes - 1) / lanes;
-  pool.run_on_lanes([&](unsigned lane) {
-    const std::size_t begin = static_cast<std::size_t>(lane) * chunk;
-    if (begin >= n) return;
-    const std::size_t end = std::min(n, begin + chunk);
-    fn(begin, end);
-  });
+  parallel_for_ranges(
+      n, [&fn](std::size_t b, std::size_t e) { fn(b, e); }, grain);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t grain) {
-  parallel_for_ranges(
-      n,
-      [&](std::size_t b, std::size_t e) {
-        for (std::size_t i = b; i < e; ++i) fn(i);
-      },
-      grain);
+  parallel_for(
+      n, [&fn](std::size_t i) { fn(i); }, grain);
 }
 
 void parallel_for_strided(std::size_t n,
                           const std::function<void(std::size_t)>& fn,
                           std::size_t grain) {
-  if (n == 0) return;
-  auto& stats = KernelStats::instance();
-  stats.launches.fetch_add(1, std::memory_order_relaxed);
-  stats.total_threads.fetch_add(n, std::memory_order_relaxed);
-
-  auto& pool = ThreadPool::instance();
-  const unsigned lanes = pool.lanes();
-  if (lanes == 1 || n <= grain) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  pool.run_on_lanes([&](unsigned lane) {
-    for (std::size_t i = lane; i < n; i += lanes) fn(i);
-  });
+  parallel_for_strided(
+      n, [&fn](std::size_t i) { fn(i); }, grain);
 }
 
 double parallel_reduce_sum(std::size_t n,

@@ -2,8 +2,17 @@
 // launches. `parallel_for` plays the role of a 1-D grid launch;
 // `KernelStats` counts launches the way the original system counts kernel
 // invocations (used by the fusion ablation bench: fewer launches == fused).
+//
+// Two flavors exist for each primitive:
+//   * templated overloads (preferred, used by run_kernel and the view
+//     builders): the callable is kept on the caller's stack and reaches the
+//     workers through ThreadPool::run_on_lanes_raw, so a launch allocates
+//     nothing and constructs no std::function;
+//   * std::function overloads (kept for call sites that already hold a
+//     type-erased callable).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -20,23 +29,89 @@ struct KernelStats {
   void reset() { launches = 0; total_threads = 0; }
 };
 
-/// Launch `fn(i)` for i in [0, n). Static block partitioning across lanes;
-/// below `grain` elements the launch runs inline (launch overhead would
-/// dominate, mirroring how tiny kernels are not worth a grid launch).
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  std::size_t grain = 1024);
+namespace detail {
+inline void count_launch(std::size_t n) {
+  auto& stats = KernelStats::instance();
+  stats.launches.fetch_add(1, std::memory_order_relaxed);
+  stats.total_threads.fetch_add(n, std::memory_order_relaxed);
+}
+}  // namespace detail
 
 /// Launch `fn(begin, end)` over contiguous index ranges — the analogue of a
 /// thread-block processing a tile. Lower per-element overhead than
-/// parallel_for; preferred in kernels.
-void parallel_for_ranges(std::size_t n,
-                         const std::function<void(std::size_t, std::size_t)>& fn,
-                         std::size_t grain = 1024);
+/// parallel_for; preferred in kernels. Non-allocating: `fn` stays on the
+/// caller's stack.
+template <typename Fn>
+void parallel_for_ranges(std::size_t n, Fn&& fn, std::size_t grain = 1024) {
+  if (n == 0) return;
+  detail::count_launch(n);
+  auto& pool = ThreadPool::instance();
+  const unsigned lanes = pool.lanes();
+  if (lanes == 1 || n <= grain) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  struct Ctx {
+    Fn& fn;
+    std::size_t n, chunk;
+  } ctx{fn, n, (n + lanes - 1) / lanes};
+  pool.run_on_lanes_raw(
+      [](void* c, unsigned lane) {
+        auto& x = *static_cast<Ctx*>(c);
+        const std::size_t begin = static_cast<std::size_t>(lane) * x.chunk;
+        if (begin >= x.n) return;
+        x.fn(begin, std::min(x.n, begin + x.chunk));
+      },
+      &ctx);
+}
+
+/// Launch `fn(i)` for i in [0, n). Static block partitioning across lanes;
+/// below `grain` elements the launch runs inline (launch overhead would
+/// dominate, mirroring how tiny kernels are not worth a grid launch).
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 1024) {
+  parallel_for_ranges(
+      n,
+      [&fn](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) fn(i);
+      },
+      grain);
+}
 
 /// Launch `fn(i)` for i in [0, n) with ROUND-ROBIN lane assignment (lane k
 /// processes k, k+L, k+2L, ...). This emulates GPU warp scheduling: when
 /// work items are sorted by descending cost (degree-ordered vertices),
 /// striding balances lanes where contiguous blocks would not.
+template <typename Fn>
+void parallel_for_strided(std::size_t n, Fn&& fn, std::size_t grain = 512) {
+  if (n == 0) return;
+  detail::count_launch(n);
+  auto& pool = ThreadPool::instance();
+  const unsigned lanes = pool.lanes();
+  if (lanes == 1 || n <= grain) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  struct Ctx {
+    Fn& fn;
+    std::size_t n;
+    unsigned lanes;
+  } ctx{fn, n, lanes};
+  pool.run_on_lanes_raw(
+      [](void* c, unsigned lane) {
+        auto& x = *static_cast<Ctx*>(c);
+        for (std::size_t i = lane; i < x.n; i += x.lanes) x.fn(i);
+      },
+      &ctx);
+}
+
+/// Type-erased overloads (declared after the templates so a lambda call
+/// site picks the non-allocating template via overload resolution).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1024);
+void parallel_for_ranges(std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t grain = 1024);
 void parallel_for_strided(std::size_t n,
                           const std::function<void(std::size_t)>& fn,
                           std::size_t grain = 512);

@@ -40,42 +40,54 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_on_lanes(const std::function<void(unsigned)>& fn) {
+  run_on_lanes_raw(
+      [](void* ctx, unsigned lane) {
+        (*static_cast<const std::function<void(unsigned)>*>(ctx))(lane);
+      },
+      const_cast<void*>(static_cast<const void*>(&fn)));
+}
+
+void ThreadPool::run_on_lanes_raw(RawJob fn, void* ctx) {
   if (workers_.empty() || in_pool_job_) {
     // Inline / reentrant execution: the caller covers every lane serially.
     // Reentrant launches see a single lane so grid math stays correct.
-    fn(0);
+    fn(ctx, 0);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_ = &fn;
+    job_fn_ = fn;
+    job_ctx_ = ctx;
     pending_ = static_cast<unsigned>(workers_.size());
     ++generation_;
   }
   cv_start_.notify_all();
 
   in_pool_job_ = true;
-  fn(0);  // lane 0 = calling thread
+  fn(ctx, 0);  // lane 0 = calling thread
   in_pool_job_ = false;
 
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return pending_ == 0; });
-  job_ = nullptr;
+  job_fn_ = nullptr;
+  job_ctx_ = nullptr;
 }
 
 void ThreadPool::worker_loop(unsigned lane) {
   uint64_t seen = 0;
   for (;;) {
-    const std::function<void(unsigned)>* job = nullptr;
+    RawJob job = nullptr;
+    void* ctx = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
       seen = generation_;
-      job = job_;
+      job = job_fn_;
+      ctx = job_ctx_;
     }
     in_pool_job_ = true;
-    (*job)(lane);
+    job(ctx, lane);
     in_pool_job_ = false;
     {
       std::lock_guard<std::mutex> lock(mu_);

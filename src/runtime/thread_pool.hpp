@@ -35,6 +35,13 @@ class ThreadPool {
   /// run_on_lanes) execute inline on the calling lane to avoid deadlock.
   void run_on_lanes(const std::function<void(unsigned)>& fn);
 
+  /// Type-erased launch used by the non-allocating templated parallel
+  /// primitives: `fn(ctx, lane)` runs on every lane with `ctx` pointing at
+  /// a caller-owned callable, so no std::function is constructed per
+  /// launch. Same inline/reentrant semantics as run_on_lanes.
+  using RawJob = void (*)(void* ctx, unsigned lane);
+  void run_on_lanes_raw(RawJob fn, void* ctx);
+
  private:
   void worker_loop(unsigned lane);
 
@@ -42,7 +49,8 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(unsigned)>* job_ = nullptr;
+  RawJob job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
   uint64_t generation_ = 0;
   unsigned pending_ = 0;
   bool stop_ = false;
