@@ -17,15 +17,19 @@
 #                           update time split with the per-phase counters
 #                           and the incremental-vs-full view-maintenance
 #                           ablation, emitted as BENCH_fig9.json) +
-#                           bench_micro_gpma
+#                           bench_micro_gpma + the kernel-engine ablation
+#                           (scalar vs SIMD, coef cache on/off, fused vs
+#                           unfused, emitted as BENCH_kernels.json)
 cd /root/repo
 
 if [ "$1" = "bench" ]; then
   cmake -B build -S . || exit 1
   cmake --build build -j "$(nproc)" --target bench_fig9 bench_micro_gpma \
-    || exit 1
+    bench_micro_kernels || exit 1
   ./build/bench/bench_fig9 --json-out=/root/repo/BENCH_fig9.json || exit 1
   ./build/bench/bench_micro_gpma || exit 1
+  ./build/bench/bench_micro_kernels \
+    --json-out=/root/repo/BENCH_kernels.json || exit 1
   exit 0
 fi
 

@@ -1,13 +1,79 @@
 #include "compiler/kernel.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "compiler/kernel_engine.hpp"
 #include "compiler/passes.hpp"
 #include "runtime/parallel.hpp"
+#include "runtime/simd.hpp"
 #include "util/check.hpp"
 
 namespace stgraph::compiler {
+
+namespace {
+
+// Canonical multiplication order for coefficient products. eval_coefs
+// multiplies left-to-right, and the specialized engine hoists the prefix of
+// factors that only depend on the row; float multiplication commutes
+// bitwise but does not associate, so both paths agree bit-for-bit only if
+// they multiply in the same order. Sorting coefs into this canonical rank
+// (stably, inside compile() — the optimizer passes are order-preserving and
+// tested structurally) makes the hoisted prefix a literal prefix of the
+// reference evaluation.
+int coef_rank(CoefKind k) {
+  switch (k) {
+    case CoefKind::kConst: return 0;
+    case CoefKind::kInvDegree: return 1;
+    case CoefKind::kInvDegreeP1: return 2;
+    case CoefKind::kGcnNorm: return 3;
+    case CoefKind::kEdgeWeight: return 4;
+  }
+  return 5;
+}
+
+void canonicalize(std::vector<Coef>& coefs) {
+  std::stable_sort(coefs.begin(), coefs.end(),
+                   [](const Coef& a, const Coef& b) {
+                     return coef_rank(a.kind) < coef_rank(b.kind);
+                   });
+}
+
+// Classify one canonical-ordered coef product into a TermPlan. Returns
+// false when the product exceeds what the plan can represent (factor
+// counts beyond uint8_t — no real program comes close).
+bool make_plan(const std::vector<Coef>& coefs, int input, TermPlan& tp) {
+  tp = TermPlan{};
+  tp.input = input;
+  auto bump = [](uint8_t& n) {
+    if (n == 0xFF) return false;
+    ++n;
+    return true;
+  };
+  for (const Coef& c : coefs) {
+    switch (c.kind) {
+      case CoefKind::kConst:
+        tp.c0 *= c.value;  // left-to-right, same as eval_coefs
+        break;
+      case CoefKind::kInvDegree:
+        if (!bump(tp.inv_deg)) return false;
+        break;
+      case CoefKind::kInvDegreeP1:
+        if (!bump(tp.inv_deg_p1)) return false;
+        break;
+      case CoefKind::kGcnNorm:
+        if (!bump(tp.gcn)) return false;
+        break;
+      case CoefKind::kEdgeWeight:
+        if (!bump(tp.edge_w)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 KernelSpec compile(Program p) {
   KernelSpec spec;
@@ -22,6 +88,8 @@ KernelSpec compile(Program p) {
               "mean lowering should leave only sum aggregation");
   }
   spec.num_inputs = spec.program.num_inputs();
+  for (MessageTerm& t : spec.program.terms) canonicalize(t.coefs);
+  canonicalize(spec.program.self_coefs);
   auto scan = [&](const std::vector<Coef>& coefs) {
     for (const Coef& c : coefs) {
       if (c.kind == CoefKind::kEdgeWeight) spec.uses_edge_weight = true;
@@ -32,6 +100,18 @@ KernelSpec compile(Program p) {
   };
   for (const MessageTerm& t : spec.program.terms) scan(t.coefs);
   if (spec.program.include_self) scan(spec.program.self_coefs);
+
+  spec.specializable =
+      spec.program.terms.size() <= kMaxSpecializedTerms;
+  spec.plans.reserve(spec.program.terms.size());
+  for (const MessageTerm& t : spec.program.terms) {
+    TermPlan tp;
+    if (!make_plan(t.coefs, t.input, tp)) spec.specializable = false;
+    spec.plans.push_back(tp);
+  }
+  if (spec.program.include_self &&
+      !make_plan(spec.program.self_coefs, 0, spec.self_plan))
+    spec.specializable = false;
   return spec;
 }
 
@@ -47,12 +127,9 @@ inline float eval_coefs(const std::vector<Coef>& coefs, uint32_t producer,
       case CoefKind::kConst:
         c *= k.value;
         break;
-      case CoefKind::kGcnNorm: {
-        const float dp = static_cast<float>(in_deg[producer] + 1);
-        const float dc = static_cast<float>(in_deg[consumer] + 1);
-        c *= 1.0f / std::sqrt(dp * dc);
+      case CoefKind::kGcnNorm:
+        c *= gcn_norm_coef(in_deg[producer], in_deg[consumer]);
         break;
-      }
       case CoefKind::kInvDegree: {
         const uint32_t d = in_deg[consumer];
         c *= d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
@@ -212,9 +289,7 @@ inline void process_row(const KernelSpec& spec, const KernelArgs& a,
   }
 }
 
-}  // namespace
-
-void run_kernel(const KernelSpec& spec, const KernelArgs& args) {
+void validate_args(const KernelSpec& spec, const KernelArgs& args) {
   STG_CHECK(args.out != nullptr && args.inputs != nullptr,
             "kernel launched without output/input buffers");
   STG_CHECK(!spec.uses_edge_weight || args.edge_weights != nullptr,
@@ -228,6 +303,12 @@ void run_kernel(const KernelSpec& spec, const KernelArgs& args) {
             "max-aggregation forward needs an argmax_out buffer");
   STG_CHECK(!spec.program.max_backward || args.argmax_in != nullptr,
             "max-aggregation backward needs the recorded argmax_in");
+}
+
+}  // namespace
+
+void run_kernel_reference(const KernelSpec& spec, const KernelArgs& args) {
+  validate_args(spec, args);
   const uint32_t n = args.view.num_nodes;
   const uint32_t F = args.num_feats;
   const uint32_t* order = args.view.node_ids;
@@ -250,6 +331,19 @@ void run_kernel(const KernelSpec& spec, const KernelArgs& args) {
           const uint32_t f1 = std::min(F, f0 + kFeatureTile);
           process_row(spec, args, row, f0, f1);
         });
+  }
+}
+
+void run_kernel(const KernelSpec& spec, const KernelArgs& args) {
+  if (!spec.specializable) {
+    run_kernel_reference(spec, args);
+    return;
+  }
+  validate_args(spec, args);
+  if (simd::enabled()) {
+    detail::run_engine_native(spec, args);
+  } else {
+    detail::run_engine_scalar(spec, args);
   }
 }
 

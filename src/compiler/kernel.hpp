@@ -23,6 +23,29 @@
 
 namespace stgraph::compiler {
 
+/// Specialized form of one message term's coefficient product, built at
+/// compile() time so the engine never re-interprets the coef list per edge.
+/// Factors are pre-classified by what they depend on:
+///   * c0            — product of every kConst factor (fully static),
+///   * inv_deg/p1    — consumer-degree factors: hoistable out of the edge
+///                     loop in the forward direction (consumer == row),
+///                     per-edge in the backward direction,
+///   * gcn           — symmetric degree factor, per-edge in both directions
+///                     but servable from the per-snapshot coefficient cache,
+///   * edge_w        — per-edge weight lookup.
+/// Factor multiplication order is canonical (const, inv-degree, inv-degree+1,
+/// gcn-norm, edge-weight, then out_scale) and compile() reorders the coef
+/// lists of the stored program to match, so the retained reference kernel and
+/// the specialized engine perform bit-identical float sequences.
+struct TermPlan {
+  int input = 0;
+  float c0 = 1.0f;          // folded constant prefix
+  uint8_t inv_deg = 0;      // count of kInvDegree factors
+  uint8_t inv_deg_p1 = 0;   // count of kInvDegreeP1 factors
+  uint8_t gcn = 0;          // count of kGcnNorm factors
+  uint8_t edge_w = 0;       // count of kEdgeWeight factors
+};
+
 /// A compiled, executable kernel (forward or backward direction chosen at
 /// run time via KernelArgs::producer_is_col).
 struct KernelSpec {
@@ -30,9 +53,19 @@ struct KernelSpec {
   bool uses_edge_weight = false;
   bool uses_degrees = false;
   int num_inputs = 1;
+  std::vector<TermPlan> plans;  // one per program.terms entry
+  TermPlan self_plan;           // valid when program.include_self
+  /// True when every term fits the specialization grid; otherwise
+  /// run_kernel falls back to the interpreted reference path.
+  bool specializable = true;
 };
 
 KernelSpec compile(Program p);
+
+/// Terms beyond this count fall back to the interpreted reference kernel
+/// (no real program comes close; the grid keeps per-row hoist state on the
+/// stack sized by this bound).
+inline constexpr uint32_t kMaxSpecializedTerms = 8;
 
 /// Runtime arguments for one launch.
 struct KernelArgs {
@@ -44,6 +77,10 @@ struct KernelArgs {
   /// Row-side features for the self term (usually inputs[self_input]).
   const float* self_features = nullptr;
   const float* edge_weights = nullptr;   // indexed by eid; may be null
+  /// Per-snapshot GCN-norm cache, indexed by eid: 1/sqrt((din(u)+1)(din(v)+1))
+  /// precomputed once per snapshot view by the owning graph class. May be
+  /// null, in which case kGcnNorm factors are computed inline per edge.
+  const float* gcn_coef = nullptr;
   float* out = nullptr;                  // [num_nodes, num_feats], overwritten
   /// Max aggregation forward: records the winning producer id per
   /// (vertex, feature) cell (kSpace when no candidate existed).
@@ -58,9 +95,18 @@ struct KernelArgs {
 
 void run_kernel(const KernelSpec& spec, const KernelArgs& args);
 
+/// The retained interpreted kernel: per-edge coef re-evaluation, scalar
+/// feature loops, original work shaping. Kept as the bit-parity oracle for
+/// the fuzz suite and the ablation baseline for bench_micro_kernels; also
+/// the fallback for programs outside the specialization grid.
+void run_kernel_reference(const KernelSpec& spec, const KernelArgs& args);
+
 /// Feature-size threshold at which the scheduler switches from
 /// vertex-per-item to (vertex × feature-tile) work shaping.
 inline constexpr uint32_t kFeatureTileThreshold = 64;
 inline constexpr uint32_t kFeatureTile = 32;
+/// Below this feature count tiling never pays (tiles would be narrower than
+/// one vector register), even when the vertex count alone cannot fill lanes.
+inline constexpr uint32_t kMinFeatureTile = 8;
 
 }  // namespace stgraph::compiler

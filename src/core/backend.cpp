@@ -1,6 +1,7 @@
 #include "core/backend.hpp"
 
 #include "runtime/parallel.hpp"
+#include "runtime/simd.hpp"
 #include "util/check.hpp"
 
 namespace stgraph::core {
@@ -9,6 +10,12 @@ namespace {
 class NativeBackend final : public Backend {
  public:
   std::string name() const override { return "native"; }
+
+  std::string device_info() const override {
+    return "native cpu, simd=" + std::string(simd::active_arch()) +
+           " (built for " + simd::arch_name() + "), lanes=" +
+           std::to_string(device::lane_count());
+  }
 
   Tensor tensor_from_host(const std::vector<float>& values,
                           Shape shape) const override {

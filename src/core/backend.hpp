@@ -24,6 +24,10 @@ class Backend {
  public:
   virtual ~Backend() = default;
   virtual std::string name() const = 0;
+  /// Human-readable device description for bench/report output (the CUDA
+  /// analogue would name the GPU; the native backend reports the SIMD ISA
+  /// its kernel engine was compiled for and the lane count in use).
+  virtual std::string device_info() const { return name(); }
 
   // ---- tensor factory ----------------------------------------------------
   virtual Tensor tensor_from_host(const std::vector<float>& values,

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "graph/csr.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/scan.hpp"
 #include "runtime/sort.hpp"
@@ -138,6 +139,8 @@ GpmaGraph::GpmaGraph(const DtdgEvents& events)
       r_row_offset_(0, MemCategory::kGraph),
       r_col_(0, MemCategory::kGraph),
       r_eids_(0, MemCategory::kGraph),
+      gcn_coef_(0, MemCategory::kGraph),
+      gcn_coef_scratch_(0, MemCategory::kGraph),
       r_row_offset_scratch_(0, MemCategory::kGraph),
       r_col_scratch_(0, MemCategory::kGraph),
       r_eids_scratch_(0, MemCategory::kGraph),
@@ -424,6 +427,40 @@ void GpmaGraph::full_rebuild_views() {
   // Algorithm 3: compacted reverse CSR for the forward pass.
   reverse_gpma(n, row_offset_, col_, eids_, in_deg_, m, r_row_offset_, r_col_,
                r_eids_);
+
+  // Per-snapshot GCN-norm cache, consumed by the kernel engine.
+  rebuild_coef_cache();
+}
+
+void GpmaGraph::rebuild_coef_cache() {
+  if (!coef_cache_enabled_) {
+    gcn_coef_.resize(0);
+    return;
+  }
+  const uint32_t m = static_cast<uint32_t>(pma_.size());
+  gcn_coef_.resize(m);
+  const uint32_t* rro = r_row_offset_.data();
+  const uint32_t* rc = r_col_.data();
+  const uint32_t* re = r_eids_.data();
+  const uint32_t* ind = in_deg_.data();
+  float* gc = gcn_coef_.data();
+  device::parallel_for_ranges(num_nodes_, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      const uint32_t dv = ind[v];
+      for (uint32_t j = rro[v]; j < rro[v + 1]; ++j)
+        gc[re[j]] = gcn_norm_coef(ind[rc[j]], dv);
+    }
+  });
+}
+
+void GpmaGraph::set_coef_cache_enabled(bool enabled) {
+  coef_cache_enabled_ = enabled;
+  if (!enabled) {
+    gcn_coef_.resize(0);
+    gcn_coef_scratch_.resize(0);
+  } else if (views_fresh_) {
+    rebuild_coef_cache();
+  }
 }
 
 void GpmaGraph::repair_order(DeviceBuffer<uint32_t>& order, const uint32_t* deg,
@@ -725,8 +762,11 @@ bool GpmaGraph::incremental_update() {
   // the still-sorted survivor stream. A vertex whose changes cancelled
   // (same in-degree as before) re-merges to its old position, so no
   // net-zero filtering is needed.
+  // in_aff outlives the block: the coefficient-cache patch at the end of
+  // this function recomputes around the same vertex set.
+  std::vector<uint32_t> in_aff;
   {
-    std::vector<uint32_t> in_aff, out_aff;
+    std::vector<uint32_t> out_aff;
     in_aff.reserve(net_add.size() + net_del.size());
     out_aff.reserve(net_add.size() + net_del.size());
     for (uint64_t k : net_add) {
@@ -872,6 +912,52 @@ bool GpmaGraph::incremental_update() {
     std::swap(r_col_, r_col_scratch_);
     std::swap(r_eids_, r_eids_scratch_);
   }
+
+  // ---- patch the edge-coefficient cache ---------------------------------
+  // Survivor labels keep their value (the factor depends only on endpoint
+  // in-degrees, which the gather relocates through the remap table); every
+  // edge touching a vertex whose in-degree may have changed is recomputed
+  // on both sides. in_aff is exactly that vertex set: in-degrees change
+  // only through net-added/-deleted edges' destinations. The recomputation
+  // matches full_rebuild_views bit for bit — same degrees, same expression.
+  if (!coef_cache_enabled_) {
+    gcn_coef_.resize(0);
+  } else if (gcn_coef_.size() != old_m) {
+    rebuild_coef_cache();  // cache was cleared or stale; start over
+  } else {
+    gcn_coef_scratch_.resize(new_m);
+    const uint32_t* rm = eid_remap_.data();
+    const float* oldc = gcn_coef_.data();
+    float* newc = gcn_coef_scratch_.data();
+    device::parallel_for_ranges(old_m, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t e = lo; e < hi; ++e)
+        if (rm[e] != kSpace) newc[rm[e]] = oldc[e];
+    });
+    std::swap(gcn_coef_, gcn_coef_scratch_);
+    float* gc = gcn_coef_.data();
+    const uint32_t* ind = in_deg_.data();
+    // Net adds first: their destination's degree change may have cancelled
+    // out, in which case the incident sweep below would not visit them.
+    for (std::size_t i = 0; i < net_add.size(); ++i)
+      gc[net_add_eid[i]] = gcn_norm_coef(ind[edge_key_src(net_add[i])],
+                                         ind[edge_key_dst(net_add[i])]);
+    // Then every edge incident to a possibly-changed in-degree, as
+    // destination (new reverse CSR rows) and as source (gapped forward
+    // rows).
+    const uint32_t* rro = r_row_offset_.data();
+    const uint32_t* rc = r_col_.data();
+    const uint32_t* re = r_eids_.data();
+    const uint32_t* ro = row_offset_.data();
+    const uint32_t* pc = col_.data();
+    const uint32_t* pe = eids_.data();
+    for (uint32_t v : in_aff) {
+      const uint32_t dv = ind[v];
+      for (uint32_t j = rro[v]; j < rro[v + 1]; ++j)
+        gc[re[j]] = gcn_norm_coef(ind[rc[j]], dv);
+      for (uint32_t j = ro[v]; j < ro[v + 1]; ++j)
+        if (pc[j] != kSpace) gc[pe[j]] = gcn_norm_coef(dv, ind[pc[j]]);
+    }
+  }
   return true;
 }
 
@@ -908,6 +994,7 @@ SnapshotView GpmaGraph::get_graph(uint32_t t) {
   v.out_view.has_gaps = true;
   v.in_degrees = in_deg_.data();
   v.out_degrees = out_deg_.data();
+  v.gcn_coef = gcn_coef_.empty() ? nullptr : gcn_coef_.data();
   return v;
 }
 
@@ -926,6 +1013,7 @@ std::size_t GpmaGraph::device_bytes() const {
                       row_offset_.bytes() + in_deg_.bytes() + out_deg_.bytes() +
                       fwd_order_.bytes() + bwd_order_.bytes() +
                       r_row_offset_.bytes() + r_col_.bytes() + r_eids_.bytes() +
+                      gcn_coef_.bytes() + gcn_coef_scratch_.bytes() +
                       r_row_offset_scratch_.bytes() + r_col_scratch_.bytes() +
                       r_eids_scratch_.bytes() + order_scratch_.bytes();
   for (const DeviceDelta& d : deltas_)

@@ -82,6 +82,9 @@ class GpmaGraph final : public STGraphBase {
   void set_incremental_views(bool enabled) {
     incremental_views_enabled_ = enabled;
   }
+  /// Disable the per-snapshot GCN-norm edge-coefficient cache (ablation
+  /// bench / parity tests); kernels then recompute the factor per edge.
+  void set_coef_cache_enabled(bool enabled);
   uint64_t delta_replays() const { return delta_replays_; }
   uint64_t incremental_view_updates() const {
     return incremental_view_updates_;
@@ -108,6 +111,9 @@ class GpmaGraph final : public STGraphBase {
   /// Delta-bounded in-place patch of every view array. Returns false if
   /// the delta shape turned out unpatchable (caller falls back).
   bool incremental_update();
+  /// Recompute the whole eid-indexed GCN-norm cache from the reverse CSR
+  /// (no-op clearing the buffer when the cache is disabled).
+  void rebuild_coef_cache();
   /// Merge `affected` (vertices whose degree changed, sorted canonically)
   /// back into the degree order `order` under (deg desc, id asc).
   void repair_order(DeviceBuffer<uint32_t>& order, const uint32_t* deg,
@@ -128,6 +134,12 @@ class GpmaGraph final : public STGraphBase {
   DeviceBuffer<uint32_t> fwd_order_, bwd_order_;
   // Algorithm-3 output.
   DeviceBuffer<uint32_t> r_row_offset_, r_col_, r_eids_;
+  // Per-snapshot GCN-norm cache indexed by eid, maintained alongside the
+  // views: rebuilt by full_rebuild_views(), patched (gather survivors
+  // through eid_remap_, recompute around changed in-degrees) by
+  // incremental_update(). Empty when disabled.
+  DeviceBuffer<float> gcn_coef_, gcn_coef_scratch_;
+  bool coef_cache_enabled_ = true;
   // Persistent scratch for the incremental splice / order repair (swapped
   // with the live arrays, so allocations amortize away).
   DeviceBuffer<uint32_t> r_row_offset_scratch_, r_col_scratch_,

@@ -107,6 +107,15 @@ GraphSnapshot build_snapshot(uint32_t num_nodes,
       DeviceBuffer<uint32_t>(csr_degrees(snap.in_csr), MemCategory::kGraph);
   snap.out_degrees =
       DeviceBuffer<uint32_t>(csr_degrees(snap.out_csr), MemCategory::kGraph);
+  // Coef cache is eid-indexed; labels are caller-controlled, so size by the
+  // largest label rather than the edge count.
+  uint32_t max_eid = 0;
+  for (const CooEdge& e : edges) max_eid = std::max(max_eid, e.eid);
+  snap.gcn_coef = DeviceBuffer<float>(edges.empty() ? 0 : max_eid + 1,
+                                      MemCategory::kGraph);
+  const uint32_t* ind = snap.in_degrees.data();
+  for (const CooEdge& e : edges)
+    snap.gcn_coef[e.eid] = gcn_norm_coef(ind[e.src], ind[e.dst]);
   return snap;
 }
 

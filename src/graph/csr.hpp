@@ -7,6 +7,7 @@
 // need to be permuted.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,17 @@ namespace stgraph {
 
 /// Sentinel marking an empty PMA slot inside a gapped column array.
 inline constexpr uint32_t kSpace = 0xFFFFFFFFu;
+
+/// The GCN symmetric normalization coefficient for an edge u→v,
+/// 1/sqrt((din(u)+1)(din(v)+1)). This single definition is shared by the
+/// interpreted kernel, the specialized engine, and every per-snapshot
+/// edge-coefficient cache builder so cached and inline values are
+/// bit-identical (the product commutes, so argument order is free).
+inline float gcn_norm_coef(uint32_t din_u, uint32_t din_v) {
+  const float dp = static_cast<float>(din_u + 1);
+  const float dc = static_cast<float>(din_v + 1);
+  return 1.0f / std::sqrt(dp * dc);
+}
 
 /// Edge in COO form with its label (eid). Labels are shared between the
 /// forward and backward CSRs so per-edge data (weights) resolves
@@ -87,6 +99,9 @@ struct GraphSnapshot {
   Csr in_csr;   // rows = dst; used by the forward pass (in-neighbors)
   DeviceBuffer<uint32_t> in_degrees;
   DeviceBuffer<uint32_t> out_degrees;
+  /// Per-edge GCN-norm cache indexed by eid (see gcn_norm_coef). Built once
+  /// per snapshot so kernels with kGcnNorm coefs skip the per-edge rsqrt.
+  DeviceBuffer<float> gcn_coef;
 
   GraphSnapshot() = default;
   GraphSnapshot(GraphSnapshot&&) = default;
@@ -96,7 +111,7 @@ struct GraphSnapshot {
 
   std::size_t device_bytes() const {
     return out_csr.device_bytes() + in_csr.device_bytes() +
-           in_degrees.bytes() + out_degrees.bytes();
+           in_degrees.bytes() + out_degrees.bytes() + gcn_coef.bytes();
   }
 };
 

@@ -83,6 +83,7 @@ SnapshotView NaiveGraph::get_graph(uint32_t t) {
   v.out_view = view_of(s.out_csr);
   v.in_degrees = s.in_degrees.data();
   v.out_degrees = s.out_degrees.data();
+  v.gcn_coef = s.gcn_coef.empty() ? nullptr : s.gcn_coef.data();
   v.num_nodes = s.num_nodes;
   v.num_edges = s.num_edges;
   return v;

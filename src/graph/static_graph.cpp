@@ -23,6 +23,7 @@ SnapshotView StaticTemporalGraph::make_view() const {
   v.out_view = view_of(snapshot_.out_csr);
   v.in_degrees = snapshot_.in_degrees.data();
   v.out_degrees = snapshot_.out_degrees.data();
+  v.gcn_coef = snapshot_.gcn_coef.empty() ? nullptr : snapshot_.gcn_coef.data();
   v.num_nodes = snapshot_.num_nodes;
   v.num_edges = snapshot_.num_edges;
   return v;

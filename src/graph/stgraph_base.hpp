@@ -30,6 +30,10 @@ struct SnapshotView {
   CsrView out_view;
   const uint32_t* in_degrees = nullptr;
   const uint32_t* out_degrees = nullptr;
+  /// Per-edge GCN-norm coefficients indexed by eid (shared labels, so one
+  /// array serves both directions). Null when the owning graph does not
+  /// maintain the cache; kernels then compute the factor inline.
+  const float* gcn_coef = nullptr;
   uint32_t num_nodes = 0;
   uint32_t num_edges = 0;
 };

@@ -62,6 +62,7 @@ Tensor SeastarGCNConv::forward(core::TemporalExecutor& exec, const Tensor& x,
     compiler::KernelArgs args;
     args.view = view.in_view;
     args.in_degrees = view.in_degrees;
+    args.gcn_coef = view.gcn_coef;
     const float* inputs[1] = {xw.data()};
     args.inputs = inputs;
     args.self_features = xw.data();
@@ -106,6 +107,7 @@ Tensor SeastarGCNConv::forward(core::TemporalExecutor& exec, const Tensor& x,
         compiler::KernelArgs args;
         args.view = bview.out_view;
         args.in_degrees = bview.in_degrees;
+        args.gcn_coef = bview.gcn_coef;
         const float* inputs[1] = {grad_out.data()};
         args.inputs = inputs;
         args.self_features = grad_out.data();

@@ -78,6 +78,7 @@ Tensor SeastarMaxPoolConv::forward(core::TemporalExecutor& exec,
     compiler::KernelArgs args;
     args.view = view.in_view;
     args.in_degrees = view.in_degrees;
+    args.gcn_coef = view.gcn_coef;
     const float* inputs[1] = {xw.data()};
     args.inputs = inputs;
     args.self_features = xw.data();
@@ -119,6 +120,7 @@ Tensor SeastarMaxPoolConv::forward(core::TemporalExecutor& exec,
         compiler::KernelArgs args;
         args.view = bview.out_view;
         args.in_degrees = bview.in_degrees;
+        args.gcn_coef = bview.gcn_coef;
         const float* inputs[1] = {grad_out.data()};
         args.inputs = inputs;
         args.self_features = grad_out.data();

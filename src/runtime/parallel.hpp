@@ -105,6 +105,51 @@ void parallel_for_strided(std::size_t n, Fn&& fn, std::size_t grain = 512) {
       &ctx);
 }
 
+/// Launch `fn(row, tile)` over the (rows × tiles) grid in row-major item
+/// order with ROUND-ROBIN lane assignment — the 2-D form of
+/// parallel_for_strided. Item coordinates are maintained incrementally
+/// (per-lane start divmod, then a subtractive carry per step) so the grid
+/// loop performs no per-item hardware division; at large rows × tiles the
+/// div/mod pair is measurable against a fused kernel body.
+template <typename Fn>
+void parallel_for_2d_strided(std::size_t rows, std::size_t tiles, Fn&& fn,
+                             std::size_t grain = 512) {
+  const std::size_t n = rows * tiles;
+  if (n == 0) return;
+  detail::count_launch(n);
+  auto& pool = ThreadPool::instance();
+  const unsigned lanes = pool.lanes();
+  if (lanes == 1 || n <= grain) {
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t t = 0; t < tiles; ++t) fn(r, t);
+    return;
+  }
+  struct Ctx {
+    Fn& fn;
+    std::size_t n, tiles;
+    unsigned lanes;
+  } ctx{fn, n, tiles, lanes};
+  pool.run_on_lanes_raw(
+      [](void* c, unsigned lane) {
+        auto& x = *static_cast<Ctx*>(c);
+        if (lane >= x.n) return;
+        // One divmod per lane to find the starting cell, then stride by
+        // `lanes` with a carry loop (lanes/tiles are both small, so the
+        // while rarely iterates more than a few times).
+        std::size_t r = lane / x.tiles;
+        std::size_t t = lane % x.tiles;
+        for (std::size_t i = lane; i < x.n; i += x.lanes) {
+          x.fn(r, t);
+          t += x.lanes;
+          while (t >= x.tiles) {
+            t -= x.tiles;
+            ++r;
+          }
+        }
+      },
+      &ctx);
+}
+
 /// Type-erased overloads (declared after the templates so a lambda call
 /// site picks the non-allocating template via overload resolution).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
