@@ -7,6 +7,20 @@
 #                           (fault-injection tests arm their own
 #                           failpoints; this shakes out UB on the
 #                           error/rollback paths)
+#   ./run_all.sh tsan       the multi-threaded suites (*_mt) under
+#                           ThreadSanitizer: thread pool barrier protocol,
+#                           serve request queue / double-buffered views
+#   ./run_all.sh lint       clang-tidy over src/ + a clang compile of the
+#                           concurrency layer with -Wthread-safety -Werror
+#                           (the annotations in util/thread_annotations.hpp
+#                           are no-ops under GCC; this is where they are
+#                           actually enforced). Skips cleanly when clang
+#                           is not installed.
+#   ./run_all.sh validate   tier-1 suite with STGRAPH_VALIDATE=1 exported
+#                           (every GPMA view refresh / streaming append /
+#                           training sequence runs the structural invariant
+#                           analyzer inline) + stgraph_check over freshly
+#                           generated artifacts
 #   ./run_all.sh serve-smoke
 #                           serving smoke test: checkpoint a tiny model,
 #                           serve it in-process (concurrent predict
@@ -49,9 +63,60 @@ if [ "$1" = "sanitize" ]; then
     -DSTGRAPH_BUILD_EXAMPLES=OFF || exit 1
   cmake --build build-asan -j "$(nproc)" || exit 1
   UBSAN_OPTIONS=halt_on_error=1 \
-    ctest --test-dir build-asan --output-on-failure 2>&1 \
-    | tee /root/repo/test_output_asan.txt
-  exit $?
+    ctest --test-dir build-asan --output-on-failure \
+    > build-asan/test_output_asan.txt 2>&1
+  status=$?
+  tail -n 20 build-asan/test_output_asan.txt
+  exit $status
+fi
+
+if [ "$1" = "tsan" ]; then
+  cmake -B build-tsan -S . \
+    -DSTGRAPH_SANITIZE=thread \
+    -DSTGRAPH_BUILD_BENCH=OFF \
+    -DSTGRAPH_BUILD_EXAMPLES=OFF || exit 1
+  cmake --build build-tsan -j "$(nproc)" \
+    --target test_threadpool_mt test_serve_mt || exit 1
+  for t in test_threadpool_mt test_serve_mt; do
+    echo "===== $t (tsan) ====="
+    TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/$t || exit 1
+  done
+  exit 0
+fi
+
+if [ "$1" = "lint" ]; then
+  status=0
+  if command -v clang-tidy > /dev/null 2>&1; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON || exit 1
+    find src tools -name '*.cpp' | while read -r f; do
+      clang-tidy -p build --quiet "$f" || exit 1
+    done || status=1
+  else
+    echo "lint: clang-tidy not installed, skipping tidy pass"
+  fi
+  if command -v clang++ > /dev/null 2>&1; then
+    # Thread-safety analysis of the annotated concurrency layer. The
+    # annotations expand to nothing under GCC, so this clang pass is the
+    # only place they are enforced.
+    for f in src/runtime/thread_pool.cpp src/serve/request_queue.cpp \
+             src/serve/server.cpp src/util/failpoint.cpp; do
+      echo "thread-safety: $f"
+      clang++ -std=c++17 -Isrc -fsyntax-only \
+        -Wthread-safety -Werror "$f" || status=1
+    done
+  else
+    echo "lint: clang++ not installed, skipping -Wthread-safety pass"
+  fi
+  exit $status
+fi
+
+if [ "$1" = "validate" ]; then
+  cmake -B build -S . || exit 1
+  cmake --build build -j "$(nproc)" || exit 1
+  STGRAPH_VALIDATE=1 ctest --test-dir build --output-on-failure || exit 1
+  ./build/examples/dataset_tool generate HC build/hc_check.stg || exit 1
+  ./build/tools/stgraph_check build/hc_check.stg || exit 1
+  exit 0
 fi
 
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt > /dev/null

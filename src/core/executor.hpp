@@ -77,6 +77,8 @@ class TemporalExecutor {
 
   StateStack& state_stack() { return state_stack_; }
   GraphStack& graph_stack() { return graph_stack_; }
+  const StateStack& state_stack() const { return state_stack_; }
+  const GraphStack& graph_stack() const { return graph_stack_; }
 
   /// Time spent inside graph positioning (both directions) — together with
   /// GpmaGraph::update_timer this feeds Figure 9's update/GNN split.

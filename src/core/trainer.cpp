@@ -10,6 +10,8 @@
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
 #include "util/timer.hpp"
+#include "verify/invariants.hpp"
+#include "verify/validate.hpp"
 
 namespace stgraph::core {
 namespace {
@@ -271,6 +273,15 @@ EpochStats STGraphTrainer::run_epoch(bool training) {
         optimizer_.step();
       }
       executor_.verify_drained();
+      // STGRAPH_VALIDATE: end-of-sequence audit — both protocol stacks
+      // drained, and the graph's current position still satisfies every
+      // structural invariant after the sequence's worth of repositioning.
+      if (verify::validation_enabled()) {
+        verify::Report r = verify::check_executor_drained(executor_);
+        r.merge(verify::check_graph_at(graph_, seq_end - 1));
+        verify::require_ok(r, "STGraphTrainer sequence ending at t=" +
+                                  std::to_string(seq_end - 1));
+      }
     }
 
     if (!skipped) {

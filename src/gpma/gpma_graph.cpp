@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 #include <utility>
 
 #include "graph/csr.hpp"
@@ -9,6 +10,8 @@
 #include "runtime/scan.hpp"
 #include "runtime/sort.hpp"
 #include "util/check.hpp"
+#include "verify/invariants.hpp"
+#include "verify/validate.hpp"
 
 namespace stgraph {
 namespace {
@@ -312,6 +315,18 @@ void GpmaGraph::refresh_views() {
   pma_.clear_dirty();
   views_force_full_ = false;
   views_fresh_ = true;
+
+  // STGRAPH_VALIDATE: audit the freshly patched (or rebuilt) views against
+  // the PMA before any kernel consumes them, so a bad incremental patch
+  // fails here rather than as a wrong gradient downstream.
+  if (verify::validation_enabled()) {
+    const SnapshotView v = make_view();
+    verify::Report r = verify::check_snapshot_view(v);
+    r.merge(verify::check_pma(pma_));
+    r.merge(verify::check_pma_view_agreement(pma_, v));
+    verify::require_ok(r, "GpmaGraph::refresh_views(t=" +
+                              std::to_string(curr_time_) + ")");
+  }
 }
 
 void GpmaGraph::full_rebuild_views() {
@@ -973,6 +988,10 @@ SnapshotView GpmaGraph::get_graph(uint32_t t) {
       refresh_views();
     }
   }
+  return make_view();
+}
+
+SnapshotView GpmaGraph::make_view() const {
   SnapshotView v;
   v.num_nodes = num_nodes_;
   v.num_edges = static_cast<uint32_t>(pma_.size());

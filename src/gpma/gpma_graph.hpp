@@ -120,6 +120,9 @@ class GpmaGraph final : public STGraphBase {
                     std::vector<uint32_t>& affected);
   void save_cache();
   void restore_cache();
+  /// Assemble the kernel-facing view of the current position from the
+  /// derived arrays (pointer packing only; requires fresh views).
+  SnapshotView make_view() const;
 
   uint32_t num_nodes_ = 0;
   Pma pma_;

@@ -1,9 +1,12 @@
 #include "graph/naive_graph.hpp"
 
 #include <algorithm>
+#include <string>
 #include <unordered_set>
 
 #include "util/check.hpp"
+#include "verify/invariants.hpp"
+#include "verify/validate.hpp"
 
 namespace stgraph {
 
@@ -64,6 +67,15 @@ void NaiveGraph::append_delta(const EdgeDelta& delta) {
   for (const auto& [s, d] : edges) coo.push_back({s, d, eid++});
   GraphSnapshot snap = build_snapshot(num_nodes_, coo);
   snapshots_.push_back(std::move(snap));  // commit point
+
+  // STGRAPH_VALIDATE: audit the newly materialized snapshot before it can
+  // serve a request.
+  if (verify::validation_enabled()) {
+    const uint32_t t = static_cast<uint32_t>(snapshots_.size()) - 1;
+    verify::require_ok(verify::check_snapshot_view(get_graph(t)),
+                       "NaiveGraph::append_delta(t=" + std::to_string(t) +
+                           ")");
+  }
 }
 
 uint32_t NaiveGraph::num_edges_at(uint32_t t) const {

@@ -136,15 +136,24 @@ void save_checkpoint(const nn::Module& module, const std::string& path) {
   w.finish();
 }
 
-void load_checkpoint(nn::Module& module, const std::string& path) {
+std::vector<std::pair<std::string, Tensor>> load_checkpoint_tensors(
+    const std::string& path) {
   Reader r(path);
   r.expect_magic(kMagicCkpt, kVersion);
-  std::unordered_map<std::string, Tensor> loaded;
+  std::vector<std::pair<std::string, Tensor>> loaded;
   const uint32_t count = r.scalar<uint32_t>();
+  loaded.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     std::string name = r.str(4096);
-    loaded.emplace(std::move(name), read_tensor(r));
+    loaded.emplace_back(std::move(name), read_tensor(r));
   }
+  return loaded;
+}
+
+void load_checkpoint(nn::Module& module, const std::string& path) {
+  std::unordered_map<std::string, Tensor> loaded;
+  for (auto& [name, t] : load_checkpoint_tensors(path))
+    loaded.emplace(std::move(name), std::move(t));
   auto params = module.parameters();
   STG_CHECK(params.size() == loaded.size(), "checkpoint '", path, "' has ",
             loaded.size(), " tensors, model has ", params.size());

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "datasets/synthetic.hpp"
 #include "nn/module.hpp"
@@ -41,6 +43,11 @@ void save_checkpoint(const nn::Module& module, const std::string& path);
 /// Load a checkpoint into `module`: every parameter name must be present
 /// with a matching shape (strict, like torch.load_state_dict default).
 void load_checkpoint(nn::Module& module, const std::string& path);
+/// Module-free checkpoint read: the raw (name, tensor) pairs in file
+/// order. Used by `stgraph_check` to audit a checkpoint without knowing
+/// the model architecture that produced it.
+std::vector<std::pair<std::string, Tensor>> load_checkpoint_tensors(
+    const std::string& path);
 
 // ---- plain-text edge lists ----------------------------------------------
 /// Parse `src dst [timestamp]` lines ('#'/'%' comments allowed). Rows are

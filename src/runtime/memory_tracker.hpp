@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/thread_annotations.hpp"
+
 namespace stgraph {
 
 /// What kind of structure an allocation backs. Used for the per-category

@@ -1,0 +1,82 @@
+// Annotated mutex wrappers: the lock types the concurrency layer uses so
+// Clang Thread Safety Analysis (-Wthread-safety, see
+// util/thread_annotations.hpp) can prove lock discipline. libstdc++'s
+// std::mutex carries no capability annotations, so locks taken through it
+// are invisible to the analysis; Mutex/MutexLock are zero-overhead
+// wrappers that make every acquire/release visible.
+//
+//   class Buffered {
+//     Mutex mu_;
+//     std::deque<Item> items_ STG_GUARDED_BY(mu_);
+//     void push(Item it) {
+//       MutexLock lock(mu_);
+//       items_.push_back(std::move(it));   // provably under mu_
+//     }
+//   };
+//
+// Condition waits use ConditionVariable, whose wait() re-establishes the
+// capability assertion after std::condition_variable gives the lock back.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace stgraph {
+
+/// std::mutex with capability annotations.
+class STG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() STG_ACQUIRE() { mu_.lock(); }
+  void unlock() STG_RELEASE() { mu_.unlock(); }
+  bool try_lock() STG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop that the analysis cannot follow
+  /// (ConditionVariable waits go through here).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock (std::unique_lock semantics: movable-from-nothing, always
+/// owns for its full scope here — no deferred/adopted states, which keeps
+/// the capability tracking trivially sound).
+class STG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) STG_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() STG_RELEASE() = default;
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The underlying unique_lock, for std::condition_variable interop.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable that waits against a MutexLock. std::condition_
+/// variable::wait unlocks and relocks outside the analysis's view; from
+/// the caller's perspective the capability is held continuously across
+/// wait(), which is exactly how the analysis models it. Deliberately
+/// predicate-free: a predicate lambda would be analyzed as a separate
+/// function that does not hold the capability, so callers spin
+/// `while (!cond) cv.wait(lock);` with the condition read in their own
+/// (capability-holding) scope.
+class ConditionVariable {
+ public:
+  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace stgraph

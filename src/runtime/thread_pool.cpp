@@ -32,7 +32,7 @@ ThreadPool::ThreadPool(unsigned workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_start_.notify_all();
@@ -55,7 +55,7 @@ void ThreadPool::run_on_lanes_raw(RawJob fn, void* ctx) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_fn_ = fn;
     job_ctx_ = ctx;
     pending_ = static_cast<unsigned>(workers_.size());
@@ -67,8 +67,8 @@ void ThreadPool::run_on_lanes_raw(RawJob fn, void* ctx) {
   fn(ctx, 0);  // lane 0 = calling thread
   in_pool_job_ = false;
 
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) cv_done_.wait(lock);
   job_fn_ = nullptr;
   job_ctx_ = nullptr;
 }
@@ -79,8 +79,8 @@ void ThreadPool::worker_loop(unsigned lane) {
     RawJob job = nullptr;
     void* ctx = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen) cv_start_.wait(lock);
       if (stop_) return;
       seen = generation_;
       job = job_fn_;
@@ -90,7 +90,7 @@ void ThreadPool::worker_loop(unsigned lane) {
     job(ctx, lane);
     in_pool_job_ = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--pending_ == 0) cv_done_.notify_one();
     }
   }

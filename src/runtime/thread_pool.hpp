@@ -7,12 +7,13 @@
 // inline execution (zero workers) so tests remain fast on tiny machines.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stgraph {
 
@@ -46,14 +47,14 @@ class ThreadPool {
   void worker_loop(unsigned lane);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  RawJob job_fn_ = nullptr;
-  void* job_ctx_ = nullptr;
-  uint64_t generation_ = 0;
-  unsigned pending_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  ConditionVariable cv_start_;
+  ConditionVariable cv_done_;
+  RawJob job_fn_ STG_GUARDED_BY(mu_) = nullptr;
+  void* job_ctx_ STG_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ STG_GUARDED_BY(mu_) = 0;
+  unsigned pending_ STG_GUARDED_BY(mu_) = 0;
+  bool stop_ STG_GUARDED_BY(mu_) = false;
   static thread_local bool in_pool_job_;
 };
 

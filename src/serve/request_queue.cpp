@@ -6,7 +6,7 @@ namespace stgraph::serve {
 
 bool RequestQueue::push(PredictRequest&& req) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (closed_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(req));
     max_depth_ = std::max(max_depth_, queue_.size());
@@ -16,8 +16,8 @@ bool RequestQueue::push(PredictRequest&& req) {
 }
 
 std::vector<PredictRequest> RequestQueue::pop_batch(std::size_t max_batch) {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return closed_ || !queue_.empty(); });
+  MutexLock lk(mu_);
+  while (!closed_ && queue_.empty()) cv_.wait(lk);
   std::vector<PredictRequest> batch;
   const std::size_t n = std::min(max_batch, queue_.size());
   batch.reserve(n);
@@ -30,24 +30,24 @@ std::vector<PredictRequest> RequestQueue::pop_batch(std::size_t max_batch) {
 
 void RequestQueue::close() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 void RequestQueue::reopen() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   closed_ = false;
 }
 
 std::size_t RequestQueue::depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return queue_.size();
 }
 
 std::size_t RequestQueue::max_depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return max_depth_;
 }
 

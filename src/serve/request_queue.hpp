@@ -7,14 +7,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <vector>
 
+#include "runtime/mutex.hpp"
 #include "tensor/tensor.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stgraph::serve {
 
@@ -57,11 +57,11 @@ class RequestQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<PredictRequest> queue_;
-  std::size_t max_depth_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  ConditionVariable cv_;
+  std::deque<PredictRequest> queue_ STG_GUARDED_BY(mu_);
+  std::size_t max_depth_ STG_GUARDED_BY(mu_) = 0;
+  bool closed_ STG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace stgraph::serve

@@ -37,7 +37,7 @@ void Server::load(const std::string& path) {
 
 void Server::install(std::shared_ptr<const ModelSnapshot> snap) {
   STG_CHECK(snap != nullptr, "serve: cannot install a null snapshot");
-  std::lock_guard<std::mutex> lk(exec_mu_);
+  MutexLock lk(exec_mu_);
   snap->install(model_);  // copies params into the live module + eval()
   snapshot_ = std::move(snap);
   stats_.record_swap();
@@ -50,13 +50,13 @@ void Server::install(std::shared_ptr<const ModelSnapshot> snap) {
 }
 
 std::shared_ptr<const ModelSnapshot> Server::snapshot() const {
-  std::lock_guard<std::mutex> lk(exec_mu_);
+  MutexLock lk(exec_mu_);
   return snapshot_;
 }
 
 void Server::start(Tensor features) {
   STG_CHECK(!running(), "serve: server already running");
-  std::lock_guard<std::mutex> lk(exec_mu_);
+  MutexLock lk(exec_mu_);
   STG_CHECK(features.defined() &&
                 features.rows() == static_cast<int64_t>(graph_.num_nodes()),
             "serve: start features must have one row per node (",
@@ -123,7 +123,7 @@ PredictResult Server::predict(std::vector<uint32_t> nodes) {
 void Server::ingest(const EdgeDelta& delta, Tensor next_features) {
   STG_CHECK(running(), "serve: ingest() on a stopped server");
   Timer timer;
-  std::lock_guard<std::mutex> lk(exec_mu_);
+  MutexLock lk(exec_mu_);
   const auto n = static_cast<uint32_t>(graph_.num_nodes());
   STG_CHECK(next_features.defined() &&
                 next_features.rows() == static_cast<int64_t>(n) &&
@@ -196,7 +196,7 @@ void Server::ingest(const EdgeDelta& delta, Tensor next_features) {
 }
 
 ReadView Server::read_view() const {
-  std::lock_guard<std::mutex> lk(view_mu_);
+  MutexLock lk(view_mu_);
   return view_;
 }
 
@@ -205,7 +205,7 @@ StatsReport Server::stats() const {
 }
 
 void Server::publish_view_locked() {
-  std::lock_guard<std::mutex> lk(view_mu_);
+  MutexLock lk(view_mu_);
   view_ = {time_, version_, static_cast<uint32_t>(edges_.size())};
 }
 
@@ -231,7 +231,7 @@ void Server::exec_loop() {
     if (batch.empty()) return;  // queue closed and drained
     stats_.record_batch(batch.size());
 
-    std::lock_guard<std::mutex> lk(exec_mu_);
+    MutexLock lk(exec_mu_);
     std::size_t done = 0;
     try {
       STG_FAILPOINT("serve.batch.dispatch",

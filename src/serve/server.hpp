@@ -31,7 +31,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -39,9 +38,11 @@
 #include "core/executor.hpp"
 #include "graph/stgraph_base.hpp"
 #include "nn/models.hpp"
+#include "runtime/mutex.hpp"
 #include "serve/model_snapshot.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stgraph::serve {
 
@@ -106,10 +107,10 @@ class Server {
 
  private:
   void exec_loop();
-  /// Run (or reuse) the forward pass for the current version. Requires
-  /// exec_mu_. Returns true when the cached step was reused.
-  bool ensure_step_locked();
-  void publish_view_locked();
+  /// Run (or reuse) the forward pass for the current version. Returns true
+  /// when the cached step was reused.
+  bool ensure_step_locked() STG_REQUIRES(exec_mu_);
+  void publish_view_locked() STG_REQUIRES(exec_mu_) STG_EXCLUDES(view_mu_);
   static uint64_t edge_key(uint32_t s, uint32_t d) {
     return (static_cast<uint64_t>(s) << 32) | d;
   }
@@ -117,25 +118,33 @@ class Server {
   STGraphBase& graph_;
   nn::TemporalModel& model_;
   ServeConfig cfg_;
-  core::TemporalExecutor executor_;
+  core::TemporalExecutor executor_ STG_GUARDED_BY(exec_mu_);
   RequestQueue queue_;
   ServerStats stats_;
   std::thread exec_thread_;
   std::atomic<bool> running_{false};
 
-  mutable std::mutex exec_mu_;  // guards everything below
-  std::shared_ptr<const ModelSnapshot> snapshot_;
-  std::unordered_set<uint64_t> edges_;  ///< live edge set (delta validation)
-  Tensor features_;  ///< x_t of the current timestep
-  Tensor hidden_;    ///< h_t entering the current timestep
-  uint32_t time_ = 0;
-  uint64_t version_ = 0;   ///< 0 = not started; bumped per ingest/install
-  Tensor step_out_;        ///< cached model output for step_version_
-  Tensor step_h_next_;     ///< cached next hidden for step_version_
-  uint64_t step_version_ = 0;  ///< 0 = cache invalid
+  /// Serializes all model/graph/executor access; acquired before view_mu_.
+  mutable Mutex exec_mu_ STG_ACQUIRED_BEFORE(view_mu_);
+  std::shared_ptr<const ModelSnapshot> snapshot_ STG_GUARDED_BY(exec_mu_);
+  /// Live edge set (delta validation).
+  std::unordered_set<uint64_t> edges_ STG_GUARDED_BY(exec_mu_);
+  /// x_t of the current timestep.
+  Tensor features_ STG_GUARDED_BY(exec_mu_);
+  /// h_t entering the current timestep.
+  Tensor hidden_ STG_GUARDED_BY(exec_mu_);
+  uint32_t time_ STG_GUARDED_BY(exec_mu_) = 0;
+  /// 0 = not started; bumped per ingest/install.
+  uint64_t version_ STG_GUARDED_BY(exec_mu_) = 0;
+  /// Cached model output for step_version_.
+  Tensor step_out_ STG_GUARDED_BY(exec_mu_);
+  /// Cached next hidden for step_version_.
+  Tensor step_h_next_ STG_GUARDED_BY(exec_mu_);
+  /// 0 = cache invalid.
+  uint64_t step_version_ STG_GUARDED_BY(exec_mu_) = 0;
 
-  mutable std::mutex view_mu_;
-  ReadView view_;
+  mutable Mutex view_mu_;
+  ReadView view_ STG_GUARDED_BY(view_mu_);
 };
 
 }  // namespace stgraph::serve

@@ -12,7 +12,17 @@
 #include <cstdint>
 #include <string>
 
+#include "util/thread_annotations.hpp"
+
 namespace stgraph::serve {
+
+// Concurrency contract: every member of LatencyHistogram and ServerStats
+// is a std::atomic touched with relaxed ordering — there is deliberately
+// no lock for Clang Thread Safety Analysis to track here (the analysis
+// sees atomics as unguarded by design). The TSan job is what exercises
+// this file's lock-freedom claims; the lint job proves the rest of the
+// serve layer never reaches these counters while holding exec_mu_ out of
+// order (see Server's STG_ACQUIRED_BEFORE chain).
 
 /// Fixed-bucket log-2 latency histogram: bucket i counts samples in
 /// [2^i, 2^(i+1)) microseconds, so 40 buckets span 1 µs to ~12.7 days.

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
 
+#include "runtime/mutex.hpp"
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stgraph::failpoint {
 namespace {
@@ -19,9 +20,9 @@ struct Point {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, Point> points;
-  bool env_loaded = false;
+  Mutex mu;
+  std::unordered_map<std::string, Point> points STG_GUARDED_BY(mu);
+  bool env_loaded STG_GUARDED_BY(mu) = false;
 };
 
 Registry& registry() {
@@ -47,7 +48,8 @@ Spec parse_spec(const std::string& text) {
                  "' (want always|once|on:N|every:N)");
 }
 
-void activate_from_spec_locked(Registry& r, const std::string& spec_list) {
+void activate_from_spec_locked(Registry& r, const std::string& spec_list)
+    STG_REQUIRES(r.mu) {
   std::size_t pos = 0;
   while (pos < spec_list.size()) {
     std::size_t end = spec_list.find_first_of(";,", pos);
@@ -72,7 +74,7 @@ void activate_from_spec_locked(Registry& r, const std::string& spec_list) {
   }
 }
 
-void load_env_locked(Registry& r) {
+void load_env_locked(Registry& r) STG_REQUIRES(r.mu) {
   r.env_loaded = true;
   const char* env = std::getenv("STGRAPH_FAILPOINTS");
   if (env && *env) activate_from_spec_locked(r, env);
@@ -82,7 +84,7 @@ void load_env_locked(Registry& r) {
 
 void enable(const std::string& name, Spec spec) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   Point& p = r.points[name];
   p.spec = spec;
   p.enabled = true;
@@ -91,26 +93,26 @@ void enable(const std::string& name, Spec spec) {
 
 void disable(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   if (it != r.points.end()) it->second.enabled = false;
 }
 
 void disable_all() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   for (auto& [name, p] : r.points) p.enabled = false;
 }
 
 void activate_from_spec(const std::string& spec_list) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   activate_from_spec_locked(r, spec_list);
 }
 
 bool should_fire(const char* name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   if (!r.env_loaded) load_env_locked(r);
   Point& p = r.points[name];
   ++p.total_hits;
@@ -134,21 +136,21 @@ bool should_fire(const char* name) {
 
 uint64_t hit_count(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   return it == r.points.end() ? 0 : it->second.total_hits;
 }
 
 uint64_t fire_count(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   return it == r.points.end() ? 0 : it->second.fires;
 }
 
 std::vector<std::string> registered() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   std::vector<std::string> names;
   names.reserve(r.points.size());
   for (const auto& [name, p] : r.points) names.push_back(name);

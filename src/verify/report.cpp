@@ -1,0 +1,32 @@
+#include "verify/report.hpp"
+
+#include <sstream>
+
+namespace stgraph::verify {
+
+void Report::fail(std::string checker, std::string message) {
+  findings_.push_back({std::move(checker), std::move(message)});
+}
+
+void Report::merge(Report other) {
+  checks_run_ += other.checks_run_;
+  findings_.insert(findings_.end(),
+                   std::make_move_iterator(other.findings_.begin()),
+                   std::make_move_iterator(other.findings_.end()));
+}
+
+std::string Report::to_string() const {
+  std::ostringstream oss;
+  if (ok()) {
+    oss << "OK (" << checks_run_ << " invariants checked)";
+    return oss.str();
+  }
+  oss << findings_.size() << " invariant violation"
+      << (findings_.size() == 1 ? "" : "s") << " (" << checks_run_
+      << " invariants checked):";
+  for (const Finding& f : findings_)
+    oss << "\n  [" << f.checker << "] " << f.message;
+  return oss.str();
+}
+
+}  // namespace stgraph::verify

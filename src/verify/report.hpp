@@ -1,0 +1,49 @@
+// Result type of the structural invariant analyzer (src/verify/): every
+// `verify::check_*` returns a Report — the list of invariant violations it
+// found, tagged with the checker that found them, plus a count of checks
+// actually evaluated (so "OK" can be distinguished from "nothing ran").
+// Reports compose with merge(), print with to_string(), and gate with
+// ok(); the STGRAPH_VALIDATE hooks (verify/validate.hpp) turn a failing
+// report into an StgError at the mutation site that produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stgraph::verify {
+
+/// One invariant violation: which checker, and what it saw.
+struct Finding {
+  std::string checker;
+  std::string message;
+};
+
+class Report {
+ public:
+  /// True iff no checker recorded a violation.
+  bool ok() const { return findings_.empty(); }
+
+  /// Record a violation. Each checker caps its own reporting (a corrupted
+  /// array yields a handful of representative findings, not one per slot).
+  void fail(std::string checker, std::string message);
+
+  /// Count one evaluated invariant (cheap bookkeeping so callers can tell
+  /// an OK report apart from a checker that skipped everything).
+  void note_check() { ++checks_run_; }
+
+  /// Fold `other` into this report (findings append, check counts add).
+  void merge(Report other);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  uint64_t checks_run() const { return checks_run_; }
+
+  /// "OK (N invariants checked)" or a line-per-finding summary.
+  std::string to_string() const;
+
+ private:
+  std::vector<Finding> findings_;
+  uint64_t checks_run_ = 0;
+};
+
+}  // namespace stgraph::verify
