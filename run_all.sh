@@ -33,17 +33,47 @@
 #                           ablation, emitted as BENCH_fig9.json) +
 #                           bench_micro_gpma + the kernel-engine ablation
 #                           (scalar vs SIMD, coef cache on/off, fused vs
-#                           unfused, emitted as BENCH_kernels.json)
+#                           unfused, emitted as BENCH_kernels.json) +
+#                           bench_serve_robust (2x overload with deadlines,
+#                           fault schedules, WAL recovery cost, emitted as
+#                           BENCH_serve_robust.json)
+#   ./run_all.sh chaos      chaos harness sweep: test_serve_chaos (random
+#                           failpoint schedules + concurrent load + fork/
+#                           SIGKILL recovery parity) across 20 fixed seeds
+#                           via STGRAPH_CHAOS_SEED, then stgraph_check over
+#                           a freshly recovered WAL
 cd /root/repo
 
 if [ "$1" = "bench" ]; then
   cmake -B build -S . || exit 1
   cmake --build build -j "$(nproc)" --target bench_fig9 bench_micro_gpma \
-    bench_micro_kernels || exit 1
+    bench_micro_kernels bench_serve_robust || exit 1
   ./build/bench/bench_fig9 --json-out=/root/repo/BENCH_fig9.json || exit 1
   ./build/bench/bench_micro_gpma || exit 1
   ./build/bench/bench_micro_kernels \
     --json-out=/root/repo/BENCH_kernels.json || exit 1
+  ./build/bench/bench_serve_robust \
+    --out=/root/repo/BENCH_serve_robust.json || exit 1
+  exit 0
+fi
+
+if [ "$1" = "chaos" ]; then
+  cmake -B build -S . || exit 1
+  cmake --build build -j "$(nproc)" --target test_serve_chaos \
+    bench_serve_robust stgraph_check || exit 1
+  seed=1
+  while [ "$seed" -le 20 ]; do
+    echo "===== chaos seed $seed ====="
+    STGRAPH_CHAOS_SEED=$seed ./build/tests/test_serve_chaos \
+      --gtest_brief=1 || exit 1
+    seed=$((seed + 1))
+  done
+  # Generate a real WAL through the public serving surface (the robustness
+  # bench journals its whole fault-injected run) and audit it with the CLI
+  # validator: CRC framing, start record, monotonic time/version.
+  ./build/bench/bench_serve_robust --out=/tmp/BENCH_serve_robust.json \
+    --threads=4 --ops=10 --deltas=10 || exit 1
+  ./build/tools/stgraph_check /tmp/stgraph_bench_robust.stgw || exit 1
   exit 0
 fi
 
@@ -79,7 +109,8 @@ if [ "$1" = "tsan" ]; then
     --target test_threadpool_mt test_serve_mt || exit 1
   for t in test_threadpool_mt test_serve_mt; do
     echo "===== $t (tsan) ====="
-    TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/$t || exit 1
+    TSAN_OPTIONS="halt_on_error=1 suppressions=$(pwd)/tsan.supp" \
+      ./build-tsan/tests/$t || exit 1
   done
   exit 0
 fi
@@ -99,7 +130,8 @@ if [ "$1" = "lint" ]; then
     # annotations expand to nothing under GCC, so this clang pass is the
     # only place they are enforced.
     for f in src/runtime/thread_pool.cpp src/serve/request_queue.cpp \
-             src/serve/server.cpp src/util/failpoint.cpp; do
+             src/serve/server.cpp src/serve/wal.cpp \
+             src/util/failpoint.cpp; do
       echo "thread-safety: $f"
       clang++ -std=c++17 -Isrc -fsyntax-only \
         -Wthread-safety -Werror "$f" || status=1

@@ -15,9 +15,14 @@
 //   };
 //
 // Condition waits use ConditionVariable, whose wait() re-establishes the
-// capability assertion after std::condition_variable gives the lock back.
+// capability assertion after the native condition variable gives the lock
+// back. The serving runtime's deadline discipline needs bounded blocking,
+// so Mutex wraps std::timed_mutex (try_lock_for) and ConditionVariable
+// wraps std::condition_variable_any (wait_for) — a client that cannot get
+// the execution lock before its deadline is shed instead of parked.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -25,7 +30,9 @@
 
 namespace stgraph {
 
-/// std::mutex with capability annotations.
+/// std::timed_mutex with capability annotations (timed_mutex rather than
+/// mutex so deadline-bounded paths can bail out instead of blocking
+/// forever; the uncontended fast path is the same futex acquire).
 class STG_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
@@ -35,13 +42,17 @@ class STG_CAPABILITY("mutex") Mutex {
   void lock() STG_ACQUIRE() { mu_.lock(); }
   void unlock() STG_RELEASE() { mu_.unlock(); }
   bool try_lock() STG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  /// Bounded acquire: true iff the lock was taken before `timeout` passed.
+  bool try_lock_for(std::chrono::nanoseconds timeout) STG_TRY_ACQUIRE(true) {
+    return mu_.try_lock_for(timeout);
+  }
 
-  /// The wrapped std::mutex, for interop that the analysis cannot follow
-  /// (ConditionVariable waits go through here).
-  std::mutex& native() { return mu_; }
+  /// The wrapped std::timed_mutex, for interop that the analysis cannot
+  /// follow (ConditionVariable waits go through here).
+  std::timed_mutex& native() { return mu_; }
 
  private:
-  std::mutex mu_;
+  std::timed_mutex mu_;
 };
 
 /// Scoped lock (std::unique_lock semantics: movable-from-nothing, always
@@ -54,29 +65,57 @@ class STG_SCOPED_CAPABILITY MutexLock {
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
-  /// The underlying unique_lock, for std::condition_variable interop.
-  std::unique_lock<std::mutex>& native() { return lock_; }
+  /// The underlying unique_lock, for condition-variable interop.
+  std::unique_lock<std::timed_mutex>& native() { return lock_; }
 
  private:
-  std::unique_lock<std::mutex> lock_;
+  std::unique_lock<std::timed_mutex> lock_;
 };
 
-/// Condition variable that waits against a MutexLock. std::condition_
-/// variable::wait unlocks and relocks outside the analysis's view; from
-/// the caller's perspective the capability is held continuously across
-/// wait(), which is exactly how the analysis models it. Deliberately
-/// predicate-free: a predicate lambda would be analyzed as a separate
-/// function that does not hold the capability, so callers spin
-/// `while (!cond) cv.wait(lock);` with the condition read in their own
-/// (capability-holding) scope.
+/// Deadline-bounded scoped lock: tries to acquire for at most `timeout`
+/// and records whether it succeeded. Callers MUST check owns() before
+/// touching guarded state — the STG_ACQUIRE annotation tells the analysis
+/// the capability is held (the conditional-acquire pattern it cannot
+/// model), so the owns() check is the human half of the contract. A
+/// non-owning instance releases nothing.
+class STG_SCOPED_CAPABILITY MutexTimedLock {
+ public:
+  MutexTimedLock(Mutex& mu, std::chrono::nanoseconds timeout) STG_ACQUIRE(mu)
+      : lock_(mu.native(), std::defer_lock) {
+    owns_ = timeout.count() > 0 && lock_.try_lock_for(timeout);
+  }
+  ~MutexTimedLock() STG_RELEASE() = default;
+  MutexTimedLock(const MutexTimedLock&) = delete;
+  MutexTimedLock& operator=(const MutexTimedLock&) = delete;
+
+  bool owns() const { return owns_; }
+
+ private:
+  std::unique_lock<std::timed_mutex> lock_;
+  bool owns_ = false;
+};
+
+/// Condition variable that waits against a MutexLock. The native wait
+/// unlocks and relocks outside the analysis's view; from the caller's
+/// perspective the capability is held continuously across wait(), which is
+/// exactly how the analysis models it. Deliberately predicate-free: a
+/// predicate lambda would be analyzed as a separate function that does not
+/// hold the capability, so callers spin `while (!cond) cv.wait(lock);`
+/// with the condition read in their own (capability-holding) scope.
+/// condition_variable_any pairs with the timed_mutex underneath Mutex.
 class ConditionVariable {
  public:
   void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+  /// Bounded wait; returns false on timeout (spurious wakes return true —
+  /// callers re-check their predicate either way).
+  bool wait_for(MutexLock& lock, std::chrono::nanoseconds timeout) {
+    return cv_.wait_for(lock.native(), timeout) == std::cv_status::no_timeout;
+  }
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }
 
  private:
-  std::condition_variable cv_;
+  std::condition_variable_any cv_;
 };
 
 }  // namespace stgraph

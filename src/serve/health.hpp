@@ -1,0 +1,82 @@
+// Failure-semantics vocabulary of the serving runtime: the health state
+// machine the server walks through its lifecycle, the typed rejection
+// taxonomy for every request the server declines to execute, and the
+// exception that carries a rejection back to the client.
+//
+// Health transitions:
+//
+//   STARTING ──start()──► HEALTHY ◄──recovered batch──┐
+//                            │                        │
+//                            ├─ circuit trips ──► DEGRADED
+//                            │   (consecutive batch failures, non-finite
+//                            │    outputs, or a watchdog-detected stall)
+//                            └─ stop() ─────────► DRAINING
+//
+// While DEGRADED the circuit breaker is open: predict() is answered from
+// the last-good cached step (version-tagged stale) instead of touching the
+// execution path, and requests that cannot be served stale are shed with
+// ShedReason::kCircuitOpen. A cooldown admits one probe batch; a clean
+// batch closes the circuit and returns the server to HEALTHY.
+//
+// Every shed request is counted under exactly one ShedReason in
+// ServerStats, so `issued == fulfilled + stale + failed + shed_total`
+// holds at all times — no request is ever silently dropped.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace stgraph::serve {
+
+/// Lifecycle state of a serve::Server (see diagram above).
+enum class HealthState : uint8_t {
+  kStarting = 0,  ///< constructed / stopped, not serving
+  kHealthy = 1,   ///< serving normally
+  kDegraded = 2,  ///< circuit open: stale reads only
+  kDraining = 3,  ///< stop() in progress: queued requests are rejected
+};
+
+/// Why a request was declined without (full) execution. Each shed maps to
+/// exactly one reason; ServerStats counts them separately.
+enum class ShedReason : uint8_t {
+  kQueueFull = 0,        ///< bounded queue at capacity, or quota exceeded
+  kDeadlineExpired = 1,  ///< deadline passed (at admission, dequeue, or
+                         ///< completion), or queue delay made it hopeless
+  kDraining = 2,         ///< server stopping; request rejected promptly
+  kCircuitOpen = 3,      ///< circuit open and no stale step to serve
+};
+
+inline const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kStarting: return "starting";
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+inline const char* to_string(ShedReason r) {
+  switch (r) {
+    case ShedReason::kQueueFull: return "queue_full";
+    case ShedReason::kDeadlineExpired: return "deadline_expired";
+    case ShedReason::kDraining: return "draining";
+    case ShedReason::kCircuitOpen: return "circuit_open";
+  }
+  return "unknown";
+}
+
+/// Thrown to the client when its request is shed. Derives from StgError so
+/// existing catch sites keep working; new code can switch on reason().
+class ShedError : public StgError {
+ public:
+  ShedError(ShedReason reason, const std::string& what)
+      : StgError(what), reason_(reason) {}
+  ShedReason reason() const { return reason_; }
+
+ private:
+  ShedReason reason_;
+};
+
+}  // namespace stgraph::serve

@@ -4,15 +4,16 @@
 
 namespace stgraph::serve {
 
-bool RequestQueue::push(PredictRequest&& req) {
+RequestQueue::PushResult RequestQueue::push(PredictRequest&& req) {
   {
     MutexLock lk(mu_);
-    if (closed_ || queue_.size() >= capacity_) return false;
+    if (closed_) return PushResult::kClosed;
+    if (queue_.size() >= capacity_) return PushResult::kFull;
     queue_.push_back(std::move(req));
     max_depth_ = std::max(max_depth_, queue_.size());
   }
   cv_.notify_one();
-  return true;
+  return PushResult::kOk;
 }
 
 std::vector<PredictRequest> RequestQueue::pop_batch(std::size_t max_batch) {
@@ -26,6 +27,17 @@ std::vector<PredictRequest> RequestQueue::pop_batch(std::size_t max_batch) {
     queue_.pop_front();
   }
   return batch;  // empty <=> closed and drained
+}
+
+std::vector<PredictRequest> RequestQueue::drain_all() {
+  MutexLock lk(mu_);
+  std::vector<PredictRequest> all;
+  all.reserve(queue_.size());
+  while (!queue_.empty()) {
+    all.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return all;
 }
 
 void RequestQueue::close() {

@@ -22,6 +22,8 @@ namespace stgraph::serve {
 struct PredictResult {
   uint32_t timestamp = 0;   ///< graph time the forward pass ran at
   uint64_t version = 0;     ///< server state version (bumps per ingest/swap)
+  bool stale = false;       ///< served from the last-good cached step while
+                            ///< the circuit was open (bounded staleness)
   Tensor outputs;           ///< one row per requested node (all nodes if
                             ///< the request listed none)
   double queue_micros = 0;  ///< time spent waiting for the batcher
@@ -32,22 +34,36 @@ struct PredictRequest {
   std::vector<uint32_t> nodes;  ///< empty = all nodes
   std::promise<PredictResult> promise;
   std::chrono::steady_clock::time_point enqueued;
+  /// Absolute deadline; time_point::max() = none. Enforced at dequeue
+  /// (expired requests shed without executing) and at completion.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 class RequestQueue {
  public:
+  enum class PushResult : uint8_t {
+    kOk,
+    kFull,    ///< at capacity — load shed (queue_full)
+    kClosed,  ///< close()d — server draining (draining)
+  };
+
   explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
 
-  /// Returns false (request untouched) when the queue is full or closed.
-  bool push(PredictRequest&& req);
+  /// Request is untouched unless kOk is returned.
+  PushResult push(PredictRequest&& req);
 
   /// Blocks until at least one request is available or the queue is closed,
   /// then moves out up to `max_batch` requests. An empty result means
   /// closed-and-drained: the exec loop should exit.
   std::vector<PredictRequest> pop_batch(std::size_t max_batch);
 
+  /// Move out everything queued right now without blocking (watchdog
+  /// flush, drain-time rejection). Never returns requests to the queue.
+  std::vector<PredictRequest> drain_all();
+
   /// Wakes the popper; subsequent pushes fail, already-queued requests
-  /// still drain (graceful shutdown).
+  /// still drain (the exec loop rejects them promptly while draining).
   void close();
   /// Re-arm after close() so the server can be start()ed again.
   void reopen();

@@ -1,7 +1,9 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
+#include <limits>
 #include <utility>
 
 #include "tensor/ops.hpp"
@@ -14,9 +16,25 @@ namespace stgraph::serve {
 using clock = std::chrono::steady_clock;
 
 namespace {
+
 double micros_between(clock::time_point a, clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
 }
+
+int64_t ns_between(clock::time_point a, clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+}
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+std::exception_ptr make_shed(ShedReason reason, const std::string& what) {
+  return std::make_exception_ptr(ShedError(reason, what));
+}
+
 }  // namespace
 
 Server::Server(STGraphBase& graph, nn::TemporalModel& model, ServeConfig cfg)
@@ -24,9 +42,12 @@ Server::Server(STGraphBase& graph, nn::TemporalModel& model, ServeConfig cfg)
       model_(model),
       cfg_(std::move(cfg)),
       executor_(graph),
-      queue_(cfg_.queue_capacity) {
+      queue_(cfg_.queue_capacity),
+      admission_(cfg_.max_inflight_ingests) {
   STG_CHECK(cfg_.max_batch > 0, "serve: max_batch must be positive");
   STG_CHECK(cfg_.queue_capacity > 0, "serve: queue_capacity must be positive");
+  STG_CHECK(cfg_.circuit_failure_threshold > 0,
+            "serve: circuit_failure_threshold must be positive");
 }
 
 Server::~Server() { stop(); }
@@ -66,9 +87,12 @@ void Server::start(Tensor features) {
   STG_CHECK(time_ < graph_.num_timestamps(), "serve: start_time ", time_,
             " outside the graph's ", graph_.num_timestamps(), " timestamps");
   features_ = std::move(features);
-  hidden_ = (cfg_.resume_hidden && snapshot_ && snapshot_->hidden().defined())
-                ? snapshot_->hidden().clone()
-                : model_.initial_state(features_.rows());
+  hidden_ = start_hidden_override_.defined()
+                ? start_hidden_override_.clone()
+                : ((cfg_.resume_hidden && snapshot_ &&
+                    snapshot_->hidden().defined())
+                       ? snapshot_->hidden().clone()
+                       : model_.initial_state(features_.rows()));
   model_.eval();
   executor_.set_inference_mode(true);
 
@@ -88,42 +112,275 @@ void Server::start(Tensor features) {
 
   version_ = 1;
   step_version_ = 0;
+
+  // Arm the WAL on a fresh start: journal the exact (features, hidden) we
+  // begin from so recovery reseeds bit-identically. recover() opens the
+  // writer itself after replay — it must not truncate the log it is
+  // reading.
+  if (!cfg_.wal_path.empty() && !recovering_) {
+    wal_ = std::make_unique<wal::Writer>(cfg_.wal_path, /*truncate=*/true,
+                                         cfg_.wal_sync_every);
+    wal::Record rec;
+    rec.type = wal::RecordType::kStart;
+    rec.time = time_;
+    rec.version = version_;
+    rec.features = features_;
+    rec.hidden = hidden_;
+    const uint64_t before = wal_->bytes_written();
+    wal_->append(rec);
+    stats_.record_wal_append(wal_->bytes_written() - before);
+  }
+
+  // Reset the overload/failure machinery for this run.
+  admission_.reset();
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  circuit_open_.store(false, std::memory_order_relaxed);
+  circuit_open_until_ns_.store(0, std::memory_order_relaxed);
+  exec_busy_.store(false, std::memory_order_relaxed);
+  touch_heartbeat();
+  draining_.store(false, std::memory_order_release);
+
   publish_view_locked();
   queue_.reopen();
+  {
+    MutexLock wlk(wd_mu_);
+    wd_stop_ = false;
+  }
   running_.store(true, std::memory_order_release);
+  health_.store(HealthState::kHealthy, std::memory_order_release);
   exec_thread_ = std::thread(&Server::exec_loop, this);
+  if (cfg_.watchdog_interval_ms > 0.0)
+    watchdog_thread_ = std::thread(&Server::watchdog_loop, this);
   STG_LOG_INFO << "serve: started at t=" << time_ << " ("
                << graph_.format_name() << ", " << view.num_edges
-               << " edges, max_batch=" << cfg_.max_batch << ")";
+               << " edges, max_batch=" << cfg_.max_batch
+               << (wal_ ? ", wal=" + cfg_.wal_path : std::string()) << ")";
 }
 
 void Server::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  queue_.close();  // pushes fail; queued requests drain, then the loop exits
+  health_.store(HealthState::kDraining, std::memory_order_release);
+  draining_.store(true, std::memory_order_release);
+  queue_.close();  // pushes fail; the exec loop promptly rejects the backlog
+  {
+    MutexLock lk(wd_mu_);
+    wd_stop_ = true;
+  }
+  wd_cv_.notify_all();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   if (exec_thread_.joinable()) exec_thread_.join();
+  // Belt and braces: nothing should remain after the loop exits, but a
+  // parked waiter is the one failure mode drain must never produce.
+  std::vector<PredictRequest> leftovers = queue_.drain_all();
+  if (!leftovers.empty()) {
+    stats_.record_shed(ShedReason::kDraining, leftovers.size());
+    const std::exception_ptr ep =
+        make_shed(ShedReason::kDraining, "serve: server draining");
+    for (auto& req : leftovers) req.promise.set_exception(ep);
+  }
+  {
+    MutexLock lk(exec_mu_);
+    if (wal_) {
+      wal_->sync();
+      wal_.reset();
+    }
+  }
+  draining_.store(false, std::memory_order_release);
+  health_.store(HealthState::kStarting, std::memory_order_release);
   STG_LOG_INFO << "serve: stopped after "
                << stats_.report(queue_.max_depth()).requests << " requests";
 }
 
+void Server::recover(const std::string& checkpoint_path,
+                     const std::string& wal_path) {
+  STG_CHECK(!running(), "serve: recover() on a running server");
+  Timer timer;
+  load(checkpoint_path);
+
+  wal::ReadResult rr = wal::read(wal_path);
+  STG_CHECK(!rr.records.empty() &&
+                rr.records.front().type == wal::RecordType::kStart,
+            "serve: WAL '", wal_path,
+            "' has no start record — nothing to recover; start() fresh");
+  if (rr.torn_tail) {
+    STG_LOG_WARN << "serve: WAL '" << wal_path << "' has a torn tail ("
+                 << (rr.total_bytes - rr.valid_bytes)
+                 << " bytes past the last valid record) — truncating";
+    wal::truncate_torn_tail(wal_path, rr);
+  }
+
+  const wal::Record& first = rr.records.front();
+  cfg_.start_time = first.time;
+  cfg_.wal_path = wal_path;
+  recovering_ = true;  // start() must not truncate/journal; we do it below
+  start_hidden_override_ = first.hidden;
+  try {
+    start(first.features.clone());
+    // Replay every committed step through the normal ingest path: the
+    // forward pass is deterministic, so the replayed hidden states — and
+    // therefore the republished read view — are bit-identical to the run
+    // that wrote the log.
+    for (std::size_t i = 1; i < rr.records.size(); ++i) {
+      const wal::Record& rec = rr.records[i];
+      STG_CHECK(rec.type == wal::RecordType::kIngest,
+                "serve: WAL record ", i, " is not an ingest record");
+      ingest_with_deadline(rec.delta, rec.features.clone(), /*budget_ns=*/0);
+    }
+  } catch (...) {
+    recovering_ = false;
+    start_hidden_override_ = Tensor();
+    throw;
+  }
+  recovering_ = false;
+  start_hidden_override_ = Tensor();
+
+  // Resume journaling into the same log (append mode — the replayed
+  // records stay; future ingests extend them).
+  {
+    MutexLock lk(exec_mu_);
+    wal_ = std::make_unique<wal::Writer>(wal_path, /*truncate=*/false,
+                                         cfg_.wal_sync_every);
+  }
+  stats_.set_recovery(rr.records.size(), timer.seconds());
+  STG_LOG_INFO << "serve: recovered " << rr.records.size()
+               << " WAL records in " << timer.seconds() << "s (t=" << cfg_.start_time
+               << " + " << (rr.records.size() - 1) << " steps"
+               << (rr.torn_tail ? ", torn tail truncated" : "") << ")";
+}
+
 PredictResult Server::predict(std::vector<uint32_t> nodes) {
-  STG_CHECK(running(), "serve: predict() on a stopped server");
+  return predict_with_deadline(std::move(nodes), default_deadline_ns());
+}
+
+PredictResult Server::predict(std::vector<uint32_t> nodes,
+                              std::chrono::nanoseconds deadline) {
+  return predict_with_deadline(std::move(nodes), deadline.count());
+}
+
+PredictResult Server::predict_with_deadline(std::vector<uint32_t> nodes,
+                                            int64_t budget_ns) {
+  if (!running()) {
+    stats_.record_shed(ShedReason::kDraining);
+    throw ShedError(ShedReason::kDraining,
+                    "serve: predict() on a stopped server");
+  }
+  const auto enqueued = clock::now();
+
+  // Circuit open: answer from the last-good step (version-tagged stale)
+  // without queueing behind the failing execution path.
+  if (circuit_blocks_now()) return serve_stale(nodes, enqueued);
+
+  ShedReason reason = ShedReason::kQueueFull;
+  if (admission_.admit_predict(budget_ns, &reason) ==
+      AdmissionController::Decision::kShed) {
+    stats_.record_shed(reason);
+    throw ShedError(reason,
+                    "serve: admission shed — expected queue delay " +
+                        std::to_string(admission_.expected_queue_delay_ns() /
+                                       1000) +
+                        "us exceeds the deadline budget " +
+                        std::to_string(budget_ns / 1000) + "us");
+  }
+
   PredictRequest req;
   req.nodes = std::move(nodes);
-  req.enqueued = clock::now();
+  req.enqueued = enqueued;
+  if (budget_ns > 0) req.deadline = enqueued + std::chrono::nanoseconds(budget_ns);
   std::future<PredictResult> fut = req.promise.get_future();
-  if (!queue_.push(std::move(req))) {
-    stats_.record_rejected();
-    throw StgError("serve: request queue full (capacity " +
-                   std::to_string(cfg_.queue_capacity) +
-                   ") — request rejected");
+  switch (queue_.push(std::move(req))) {
+    case RequestQueue::PushResult::kOk:
+      break;
+    case RequestQueue::PushResult::kFull:
+      stats_.record_shed(ShedReason::kQueueFull);
+      throw ShedError(ShedReason::kQueueFull,
+                      "serve: request queue full (capacity " +
+                          std::to_string(cfg_.queue_capacity) +
+                          ") — request shed");
+    case RequestQueue::PushResult::kClosed:
+      stats_.record_shed(ShedReason::kDraining);
+      throw ShedError(ShedReason::kDraining,
+                      "serve: server draining — request rejected");
   }
-  return fut.get();  // rethrows the batch's failure, if any
+  return fut.get();  // rethrows the batch's failure or shed, if any
+}
+
+PredictResult Server::serve_stale(const std::vector<uint32_t>& nodes,
+                                  clock::time_point enqueued) {
+  MutexLock lk(stale_mu_);
+  if (!last_good_out_.defined()) {
+    stats_.record_shed(ShedReason::kCircuitOpen);
+    throw ShedError(ShedReason::kCircuitOpen,
+                    "serve: circuit open and no last-good step to serve");
+  }
+  const auto n = static_cast<uint32_t>(last_good_out_.rows());
+  for (uint32_t node : nodes) {
+    if (node >= n) {
+      stats_.record_failed(1);
+      throw StgError("serve: predict node " + std::to_string(node) +
+                     " outside the " + std::to_string(n) + "-node graph");
+    }
+  }
+  PredictResult res;
+  res.timestamp = last_good_time_;
+  res.version = last_good_version_;
+  res.stale = true;
+  res.outputs =
+      nodes.empty() ? last_good_out_ : ops::gather_rows(last_good_out_, nodes);
+  res.queue_micros = 0.0;
+  res.total_micros = micros_between(enqueued, clock::now());
+  stats_.record_stale_served(res.total_micros,
+                             static_cast<uint64_t>(res.outputs.rows()));
+  return res;
 }
 
 void Server::ingest(const EdgeDelta& delta, Tensor next_features) {
-  STG_CHECK(running(), "serve: ingest() on a stopped server");
+  ingest_with_deadline(delta, std::move(next_features), default_deadline_ns());
+}
+
+void Server::ingest(const EdgeDelta& delta, Tensor next_features,
+                    std::chrono::nanoseconds deadline) {
+  ingest_with_deadline(delta, std::move(next_features), deadline.count());
+}
+
+void Server::ingest_with_deadline(const EdgeDelta& delta, Tensor next_features,
+                                  int64_t budget_ns) {
+  if (!running()) {
+    stats_.record_shed(ShedReason::kDraining);
+    throw ShedError(ShedReason::kDraining,
+                    "serve: ingest() on a stopped server");
+  }
+  ShedReason reason = ShedReason::kQueueFull;
+  if (admission_.admit_ingest(&reason) ==
+      AdmissionController::Decision::kShed) {
+    stats_.record_shed(reason);
+    throw ShedError(reason, "serve: ingest quota exhausted (" +
+                                std::to_string(admission_.inflight_ingests()) +
+                                " in flight)");
+  }
+  struct Ticket {
+    AdmissionController& a;
+    ~Ticket() { a.release_ingest(); }
+  } ticket{admission_};
+
   Timer timer;
-  MutexLock lk(exec_mu_);
+  if (budget_ns > 0) {
+    MutexTimedLock lk(exec_mu_, std::chrono::nanoseconds(budget_ns));
+    if (!lk.owns()) {
+      stats_.record_shed(ShedReason::kDeadlineExpired);
+      throw ShedError(ShedReason::kDeadlineExpired,
+                      "serve: ingest could not acquire the execution lock "
+                      "within its " +
+                          std::to_string(budget_ns / 1000000) + "ms deadline");
+    }
+    ingest_locked(delta, std::move(next_features), timer);
+  } else {
+    MutexLock lk(exec_mu_);
+    ingest_locked(delta, std::move(next_features), timer);
+  }
+}
+
+void Server::ingest_locked(const EdgeDelta& delta, Tensor next_features,
+                           const Timer& timer) {
   const auto n = static_cast<uint32_t>(graph_.num_nodes());
   STG_CHECK(next_features.defined() &&
                 next_features.rows() == static_cast<int64_t>(n) &&
@@ -161,26 +418,55 @@ void Server::ingest(const EdgeDelta& delta, Tensor next_features) {
                 throw StgError("failpoint serve.delta.apply fired at t=" +
                                std::to_string(time_)));
 
-  // h_{t+1} is a function of (x_t, h_t) on snapshot t — compute it before
-  // the graph moves. Reuses the cached step when a batch already ran here.
-  if (ensure_step_locked()) stats_.record_cache_hit();
-
+  // Timeline-position checks come before the forward pass and the WAL
+  // append: a step that cannot commit must not be journaled.
   const uint32_t next = time_ + 1;
   const bool has_edges = !delta.additions.empty() || !delta.deletions.empty();
+  const bool appendable =
+      graph_.supports_append() && next == graph_.num_timestamps();
   if (has_edges) {
     STG_CHECK(graph_.supports_append(), "serve: ", graph_.format_name(),
               " cannot ingest edge deltas");
     STG_CHECK(next == graph_.num_timestamps(),
               "serve: can only append at the head of the timeline (t=", next,
               ", head=", graph_.num_timestamps(), ")");
-    graph_.append_delta(delta);
-  } else if (graph_.supports_append() && next == graph_.num_timestamps()) {
-    graph_.append_delta(delta);  // empty delta: structure carries over
-  } else {
+  } else if (!appendable) {
     STG_CHECK(next < graph_.num_timestamps(), "serve: no timestamp ", next,
               " to advance to and ", graph_.format_name(),
               " cannot append one");
   }
+
+  // h_{t+1} is a function of (x_t, h_t) on snapshot t — compute it before
+  // the graph moves. Reuses the cached step when a batch already ran here.
+  // A failed forward counts against the circuit like a failed batch.
+  try {
+    if (ensure_step_locked()) stats_.record_cache_hit();
+  } catch (...) {
+    executor_.abort_sequence();
+    step_version_ = 0;
+    note_batch_failure();
+    throw;
+  }
+
+  // ---- write-ahead point -------------------------------------------------
+  // The step is fully validated and computed; journal it before mutating
+  // the graph. A crash after this append but before the in-memory commit
+  // replays to exactly the state this commit would have produced. A
+  // *failed* append rolls the file back and aborts the ingest with nothing
+  // committed.
+  if (wal_) {
+    wal::Record rec;
+    rec.type = wal::RecordType::kIngest;
+    rec.time = next;
+    rec.version = version_ + 1;
+    rec.delta = delta;
+    rec.features = next_features;
+    const uint64_t before = wal_->bytes_written();
+    wal_->append(rec);
+    stats_.record_wal_append(wal_->bytes_written() - before);
+  }
+
+  if (has_edges || appendable) graph_.append_delta(delta);
 
   // ---- commit point ------------------------------------------------------
   hidden_ = step_h_next_;
@@ -191,6 +477,7 @@ void Server::ingest(const EdgeDelta& delta, Tensor next_features) {
   for (uint64_t k : batch_del) edges_.erase(k);
   for (uint64_t k : batch_add) edges_.insert(k);
   publish_view_locked();
+  note_batch_success();
   stats_.record_ingest(delta.additions.size() + delta.deletions.size(),
                        timer.seconds());
 }
@@ -201,7 +488,8 @@ ReadView Server::read_view() const {
 }
 
 StatsReport Server::stats() const {
-  return stats_.report(queue_.max_depth());
+  return stats_.report(queue_.max_depth(),
+                       health_.load(std::memory_order_acquire));
 }
 
 void Server::publish_view_locked() {
@@ -217,11 +505,64 @@ bool Server::ensure_step_locked() {
   const float* weights =
       cfg_.edge_weights.empty() ? nullptr : cfg_.edge_weights.data();
   auto [out, h_next] = model_.step(executor_, features_, hidden_, weights);
+  STG_FAILPOINT("serve.step.poison",
+                out.data()[0] = std::numeric_limits<float>::quiet_NaN());
+  if (cfg_.check_outputs) {
+    const float* p = out.data();
+    const int64_t numel = out.rows() * out.cols();
+    for (int64_t i = 0; i < numel; ++i)
+      STG_CHECK(std::isfinite(p[i]), "serve: non-finite model output at t=",
+                time_, " (flat index ", i, ") — refusing to serve poison");
+  }
   step_out_ = out;
   step_h_next_ = h_next;
   step_version_ = version_;
   stats_.record_forward(timer.seconds());
+  // This step is known good: make it the stale-read fallback.
+  {
+    MutexLock slk(stale_mu_);
+    last_good_out_ = step_out_;
+    last_good_time_ = time_;
+    last_good_version_ = version_;
+  }
   return false;
+}
+
+bool Server::circuit_blocks_now() const {
+  if (!circuit_open_.load(std::memory_order_acquire)) return false;
+  // Past the cooldown the circuit half-opens: requests flow to the exec
+  // path again as probes; the first success closes it, a failure re-arms
+  // the cooldown.
+  return now_ns() < circuit_open_until_ns_.load(std::memory_order_acquire);
+}
+
+void Server::trip_circuit() {
+  circuit_open_until_ns_.store(
+      now_ns() + static_cast<int64_t>(cfg_.circuit_cooldown_ms * 1e6),
+      std::memory_order_release);
+  if (!circuit_open_.exchange(true, std::memory_order_acq_rel)) {
+    stats_.record_circuit_trip();
+    if (running()) health_.store(HealthState::kDegraded,
+                                 std::memory_order_release);
+    STG_LOG_WARN << "serve: circuit OPEN (cooldown "
+                 << cfg_.circuit_cooldown_ms
+                 << "ms) — serving last-good step";
+  }
+}
+
+void Server::note_batch_failure() {
+  const uint32_t fails =
+      consecutive_failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (fails >= cfg_.circuit_failure_threshold) trip_circuit();
+}
+
+void Server::note_batch_success() {
+  consecutive_failures_.store(0, std::memory_order_release);
+  if (circuit_open_.exchange(false, std::memory_order_acq_rel)) {
+    if (running()) health_.store(HealthState::kHealthy,
+                                 std::memory_order_release);
+    STG_LOG_INFO << "serve: circuit CLOSED — probe succeeded";
+  }
 }
 
 void Server::exec_loop() {
@@ -229,42 +570,128 @@ void Server::exec_loop() {
   while (true) {
     std::vector<PredictRequest> batch = queue_.pop_batch(cfg_.max_batch);
     if (batch.empty()) return;  // queue closed and drained
-    stats_.record_batch(batch.size());
+    touch_heartbeat();
+    exec_busy_.store(true, std::memory_order_release);
+    process_batch(std::move(batch));
+    exec_busy_.store(false, std::memory_order_release);
+    touch_heartbeat();
+  }
+}
 
-    MutexLock lk(exec_mu_);
-    std::size_t done = 0;
-    try {
-      STG_FAILPOINT("serve.batch.dispatch",
-                    throw StgError("failpoint serve.batch.dispatch fired"));
-      if (ensure_step_locked()) stats_.record_cache_hit();
-      const auto fulfilled = clock::now();
-      for (; done < batch.size(); ++done) {
-        PredictRequest& req = batch[done];
-        PredictResult res;
-        res.timestamp = time_;
-        res.version = version_;
-        for (uint32_t node : req.nodes)
-          STG_CHECK(node < graph_.num_nodes(), "serve: predict node ", node,
-                    " outside the ", graph_.num_nodes(), "-node graph");
-        res.outputs = req.nodes.empty()
-                          ? step_out_
-                          : ops::gather_rows(step_out_, req.nodes);
-        res.queue_micros = micros_between(req.enqueued, fulfilled);
-        res.total_micros = micros_between(req.enqueued, clock::now());
-        stats_.record_request(res.total_micros,
-                              static_cast<uint64_t>(res.outputs.rows()));
-        req.promise.set_value(std::move(res));
+void Server::process_batch(std::vector<PredictRequest> batch) {
+  const auto dequeued = clock::now();
+
+  // Draining: reject promptly with a typed error — never execute, never
+  // leave a waiter parked behind a shutdown.
+  if (draining_.load(std::memory_order_acquire)) {
+    stats_.record_shed(ShedReason::kDraining, batch.size());
+    const std::exception_ptr ep =
+        make_shed(ShedReason::kDraining, "serve: server draining");
+    for (auto& req : batch) req.promise.set_exception(ep);
+    return;
+  }
+
+  // Deadline enforcement at dequeue: an expired request is shed without
+  // spending a forward pass on it. Queue-delay samples feed the admission
+  // controller's early-shed estimate either way.
+  std::vector<PredictRequest> live;
+  live.reserve(batch.size());
+  for (auto& req : batch) {
+    admission_.observe_queue_delay(ns_between(req.enqueued, dequeued));
+    if (dequeued > req.deadline) {
+      stats_.record_shed(ShedReason::kDeadlineExpired);
+      req.promise.set_exception(make_shed(
+          ShedReason::kDeadlineExpired,
+          "serve: deadline expired after " +
+              std::to_string(static_cast<int64_t>(
+                  micros_between(req.enqueued, dequeued))) +
+              "us in queue"));
+    } else {
+      live.push_back(std::move(req));
+    }
+  }
+  if (live.empty()) return;
+  stats_.record_batch(live.size());
+
+  MutexLock lk(exec_mu_);
+  std::size_t done = 0;
+  try {
+    STG_FAILPOINT("serve.batch.delay",
+                  std::this_thread::sleep_for(std::chrono::milliseconds(50)));
+    touch_heartbeat();
+    STG_FAILPOINT("serve.batch.dispatch",
+                  throw StgError("failpoint serve.batch.dispatch fired"));
+    if (ensure_step_locked()) stats_.record_cache_hit();
+    note_batch_success();
+    const auto fulfilled = clock::now();
+    for (; done < live.size(); ++done) {
+      PredictRequest& req = live[done];
+      // Deadline enforcement at completion: the pass ran, but a client
+      // whose budget elapsed mid-batch still gets the typed shed (it may
+      // already have moved on).
+      if (fulfilled > req.deadline) {
+        stats_.record_shed(ShedReason::kDeadlineExpired);
+        req.promise.set_exception(make_shed(
+            ShedReason::kDeadlineExpired,
+            "serve: request completed past its deadline"));
+        continue;
       }
-    } catch (...) {
-      // A failed dispatch fails this batch's outstanding requests but the
-      // server keeps serving; a throw mid-forward may have left the
-      // executor mid-step, so unwind it and drop the step cache.
-      executor_.abort_sequence();
-      step_version_ = 0;
-      stats_.record_failed(batch.size() - done);
-      const std::exception_ptr ep = std::current_exception();
-      for (; done < batch.size(); ++done)
-        batch[done].promise.set_exception(ep);
+      PredictResult res;
+      res.timestamp = time_;
+      res.version = version_;
+      for (uint32_t node : req.nodes)
+        STG_CHECK(node < graph_.num_nodes(), "serve: predict node ", node,
+                  " outside the ", graph_.num_nodes(), "-node graph");
+      res.outputs = req.nodes.empty()
+                        ? step_out_
+                        : ops::gather_rows(step_out_, req.nodes);
+      res.queue_micros = micros_between(req.enqueued, dequeued);
+      res.total_micros = micros_between(req.enqueued, clock::now());
+      stats_.record_request(res.total_micros,
+                            static_cast<uint64_t>(res.outputs.rows()));
+      req.promise.set_value(std::move(res));
+    }
+  } catch (...) {
+    // A failed dispatch fails this batch's outstanding requests but the
+    // server keeps serving; a throw mid-forward may have left the
+    // executor mid-step, so unwind it and drop the step cache. Repeated
+    // failures trip the circuit into stale-serving mode.
+    executor_.abort_sequence();
+    step_version_ = 0;
+    note_batch_failure();
+    stats_.record_failed(live.size() - done);
+    const std::exception_ptr ep = std::current_exception();
+    for (; done < live.size(); ++done) live[done].promise.set_exception(ep);
+  }
+}
+
+void Server::watchdog_loop() {
+  const auto interval = std::chrono::nanoseconds(
+      static_cast<int64_t>(cfg_.watchdog_interval_ms * 1e6));
+  const auto stall_ns =
+      static_cast<int64_t>(cfg_.watchdog_stall_ms * 1e6);
+  MutexLock lk(wd_mu_);
+  while (!wd_stop_) {
+    wd_cv_.wait_for(lk, interval);
+    if (wd_stop_) break;
+    if (!exec_busy_.load(std::memory_order_acquire)) continue;
+    const int64_t hb = heartbeat_ns_.load(std::memory_order_acquire);
+    if (now_ns() - hb < stall_ns) continue;
+    // The execution thread has been inside one batch past the stall
+    // budget. We cannot rescue the requests it already holds, but we can
+    // stop new ones from piling up behind it: fail the circuit (predicts
+    // divert to the stale path) and flush everything still queued.
+    stats_.record_watchdog_stall();
+    STG_LOG_WARN << "serve: watchdog — execution loop stalled for "
+                 << (now_ns() - hb) / 1000000 << "ms; tripping circuit";
+    trip_circuit();
+    std::vector<PredictRequest> waiting = queue_.drain_all();
+    if (!waiting.empty()) {
+      stats_.record_shed(ShedReason::kCircuitOpen, waiting.size());
+      const std::exception_ptr ep = make_shed(
+          ShedReason::kCircuitOpen,
+          "serve: execution thread stalled — request flushed by watchdog");
+      for (auto& req : waiting) req.promise.set_exception(ep);
     }
   }
 }

@@ -91,8 +91,35 @@ void ServerStats::record_failed(uint64_t n) {
   failed_.fetch_add(n, std::memory_order_relaxed);
 }
 
-void ServerStats::record_rejected() {
-  rejected_.fetch_add(1, std::memory_order_relaxed);
+void ServerStats::record_shed(ShedReason reason, uint64_t n) {
+  shed_[static_cast<std::size_t>(reason)].fetch_add(n,
+                                                    std::memory_order_relaxed);
+}
+
+void ServerStats::record_stale_served(double total_micros,
+                                      uint64_t output_rows) {
+  latency_.record(total_micros);
+  stale_served_.fetch_add(1, std::memory_order_relaxed);
+  rows_.fetch_add(output_rows, std::memory_order_relaxed);
+}
+
+void ServerStats::record_circuit_trip() {
+  circuit_trips_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerStats::record_watchdog_stall() {
+  watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerStats::record_wal_append(uint64_t bytes) {
+  wal_records_.fetch_add(1, std::memory_order_relaxed);
+  wal_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void ServerStats::set_recovery(uint64_t records, double seconds) {
+  recovered_records_.store(records, std::memory_order_relaxed);
+  recovery_ns_.store(static_cast<uint64_t>(seconds * 1e9),
+                     std::memory_order_relaxed);
 }
 
 void ServerStats::record_ingest(uint64_t edges, double seconds) {
@@ -106,15 +133,27 @@ void ServerStats::record_swap() {
   snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
 }
 
-StatsReport ServerStats::report(std::size_t max_queue_depth) const {
+StatsReport ServerStats::report(std::size_t max_queue_depth,
+                                HealthState health) const {
   StatsReport r;
   r.requests = requests_.load(std::memory_order_relaxed);
   r.rows = rows_.load(std::memory_order_relaxed);
   r.failed = failed_.load(std::memory_order_relaxed);
-  r.rejected = rejected_.load(std::memory_order_relaxed);
+  r.shed_queue_full = shed(ShedReason::kQueueFull);
+  r.shed_deadline_expired = shed(ShedReason::kDeadlineExpired);
+  r.shed_draining = shed(ShedReason::kDraining);
+  r.shed_circuit_open = shed(ShedReason::kCircuitOpen);
+  r.shed_total = r.shed_queue_full + r.shed_deadline_expired +
+                 r.shed_draining + r.shed_circuit_open;
+  r.rejected = r.shed_total;
+  r.stale_served = stale_served_.load(std::memory_order_relaxed);
+  r.circuit_trips = circuit_trips_.load(std::memory_order_relaxed);
+  r.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
+  r.health = to_string(health);
   r.p50_us = latency_.percentile(50.0);
   r.p95_us = latency_.percentile(95.0);
   r.p99_us = latency_.percentile(99.0);
+  r.p999_us = latency_.percentile(99.9);
   r.mean_us = latency_.mean_micros();
   r.max_us = latency_.max_micros();
   r.batches = batches_.load(std::memory_order_relaxed);
@@ -135,6 +174,11 @@ StatsReport ServerStats::report(std::size_t max_queue_depth) const {
       r.ingest_seconds > 0.0
           ? static_cast<double>(r.delta_edges) / r.ingest_seconds
           : 0.0;
+  r.wal_records = wal_records_.load(std::memory_order_relaxed);
+  r.wal_bytes = wal_bytes_.load(std::memory_order_relaxed);
+  r.recovered_records = recovered_records_.load(std::memory_order_relaxed);
+  r.recovery_seconds =
+      static_cast<double>(recovery_ns_.load(std::memory_order_relaxed)) * 1e-9;
   r.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
   return r;
 }
@@ -146,9 +190,18 @@ std::string StatsReport::to_json() const {
   os << "  \"rows\": " << rows << ",\n";
   os << "  \"failed\": " << failed << ",\n";
   os << "  \"rejected\": " << rejected << ",\n";
+  os << "  \"shed\": {\"queue_full\": " << shed_queue_full
+     << ", \"deadline_expired\": " << shed_deadline_expired
+     << ", \"draining\": " << shed_draining
+     << ", \"circuit_open\": " << shed_circuit_open
+     << ", \"total\": " << shed_total << "},\n";
+  os << "  \"stale_served\": " << stale_served << ",\n";
+  os << "  \"circuit_trips\": " << circuit_trips << ",\n";
+  os << "  \"watchdog_stalls\": " << watchdog_stalls << ",\n";
+  os << "  \"health\": \"" << health << "\",\n";
   os << "  \"latency_us\": {\"p50\": " << p50_us << ", \"p95\": " << p95_us
-     << ", \"p99\": " << p99_us << ", \"mean\": " << mean_us
-     << ", \"max\": " << max_us << "},\n";
+     << ", \"p99\": " << p99_us << ", \"p999\": " << p999_us
+     << ", \"mean\": " << mean_us << ", \"max\": " << max_us << "},\n";
   os << "  \"batches\": " << batches << ",\n";
   os << "  \"batch_occupancy\": " << batch_occupancy << ",\n";
   os << "  \"max_queue_depth\": " << max_queue_depth << ",\n";
@@ -159,6 +212,10 @@ std::string StatsReport::to_json() const {
   os << "  \"delta_edges\": " << delta_edges << ",\n";
   os << "  \"ingest_seconds\": " << ingest_seconds << ",\n";
   os << "  \"delta_edges_per_sec\": " << delta_edges_per_sec << ",\n";
+  os << "  \"wal_records\": " << wal_records << ",\n";
+  os << "  \"wal_bytes\": " << wal_bytes << ",\n";
+  os << "  \"recovered_records\": " << recovered_records << ",\n";
+  os << "  \"recovery_seconds\": " << recovery_seconds << ",\n";
   os << "  \"snapshot_swaps\": " << snapshot_swaps << "\n";
   os << "}\n";
   return os.str();

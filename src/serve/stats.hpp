@@ -1,10 +1,19 @@
 // Serving observability (the serve subsystem's stats surface): per-request
 // latency percentiles from a fixed-bucket histogram, micro-batch
-// occupancy, queue pressure, and delta-ingestion throughput. Everything is
-// lock-free (atomic counters and buckets) so the hot predict path never
-// takes a lock to record a sample, and report() can be called from any
-// thread while the server runs. The JSON form of a report is what
-// `run_all.sh serve-smoke` writes to BENCH_serve.json.
+// occupancy, queue pressure, delta-ingestion throughput, and the
+// robustness counters (typed shed reasons, stale reads, circuit trips,
+// watchdog stalls, WAL volume, recovery cost). Everything is lock-free
+// (atomic counters and buckets) so the hot predict path never takes a
+// lock to record a sample, and report() can be called from any thread
+// while the server runs. The JSON form of a report is what
+// `run_all.sh serve-smoke` writes to BENCH_serve.json and what
+// bench_serve_robust writes to BENCH_serve_robust.json.
+//
+// Accounting invariant (asserted by the chaos harness): every request the
+// server ever accepted a call for lands in exactly one of
+//   requests (fulfilled) | stale_served | failed | shed[reason],
+// so `issued == requests + stale_served + failed + shed_total` — nothing
+// is silently dropped.
 #pragma once
 
 #include <array>
@@ -12,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/health.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace stgraph::serve {
@@ -55,12 +65,23 @@ class LatencyHistogram {
 /// a report taken mid-flight can be off by in-flight requests, never torn).
 struct StatsReport {
   // ---- request path ----------------------------------------------------
-  uint64_t requests = 0;        ///< fulfilled predict() calls
+  uint64_t requests = 0;        ///< fulfilled predict() calls (fresh step)
   uint64_t rows = 0;            ///< output rows served across all requests
-  uint64_t failed = 0;          ///< requests failed (dispatch fault, shutdown)
-  uint64_t rejected = 0;        ///< requests shed at a full queue
-  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+  uint64_t failed = 0;          ///< requests failed (dispatch fault, bad node)
+  uint64_t rejected = 0;        ///< total shed requests (= shed_total)
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0, p999_us = 0.0;
   double mean_us = 0.0, max_us = 0.0;
+  // ---- load shedding (typed rejection taxonomy) ------------------------
+  uint64_t shed_queue_full = 0;       ///< bounded queue / quota exceeded
+  uint64_t shed_deadline_expired = 0; ///< at admission, dequeue or completion
+  uint64_t shed_draining = 0;         ///< rejected during stop()
+  uint64_t shed_circuit_open = 0;     ///< circuit open, no stale step
+  uint64_t shed_total = 0;
+  // ---- degraded mode ---------------------------------------------------
+  uint64_t stale_served = 0;    ///< predicts answered from the last-good step
+  uint64_t circuit_trips = 0;   ///< circuit open transitions
+  uint64_t watchdog_stalls = 0; ///< exec-loop stalls the watchdog flagged
+  std::string health = "starting";
   // ---- batching --------------------------------------------------------
   uint64_t batches = 0;         ///< micro-batches dispatched
   double batch_occupancy = 0.0; ///< mean requests per dispatched batch
@@ -74,6 +95,11 @@ struct StatsReport {
   uint64_t delta_edges = 0;     ///< additions + deletions across all batches
   double ingest_seconds = 0.0;
   double delta_edges_per_sec = 0.0;
+  // ---- durability ------------------------------------------------------
+  uint64_t wal_records = 0;     ///< records appended this run
+  uint64_t wal_bytes = 0;
+  uint64_t recovered_records = 0;  ///< WAL records replayed by recover()
+  double recovery_seconds = 0.0;   ///< wall time of the last recover()
   // ---- snapshot lifecycle ----------------------------------------------
   uint64_t snapshot_swaps = 0;
 
@@ -88,20 +114,34 @@ class ServerStats {
   void record_forward(double seconds);
   void record_cache_hit();
   void record_failed(uint64_t n);
-  void record_rejected();
+  void record_shed(ShedReason reason, uint64_t n = 1);
+  void record_stale_served(double total_micros, uint64_t output_rows);
+  void record_circuit_trip();
+  void record_watchdog_stall();
   void record_ingest(uint64_t edges, double seconds);
+  void record_wal_append(uint64_t bytes);
+  void set_recovery(uint64_t records, double seconds);
   void record_swap();
 
   const LatencyHistogram& latency() const { return latency_; }
-  /// `max_queue_depth` comes from the request queue, which tracks it.
-  StatsReport report(std::size_t max_queue_depth) const;
+  uint64_t shed(ShedReason reason) const {
+    return shed_[static_cast<std::size_t>(reason)].load(
+        std::memory_order_relaxed);
+  }
+  /// `max_queue_depth` comes from the request queue, which tracks it;
+  /// `health` from the server's state machine.
+  StatsReport report(std::size_t max_queue_depth,
+                     HealthState health = HealthState::kStarting) const;
 
  private:
   LatencyHistogram latency_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> rows_{0};
   std::atomic<uint64_t> failed_{0};
-  std::atomic<uint64_t> rejected_{0};
+  std::array<std::atomic<uint64_t>, 4> shed_{};
+  std::atomic<uint64_t> stale_served_{0};
+  std::atomic<uint64_t> circuit_trips_{0};
+  std::atomic<uint64_t> watchdog_stalls_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batch_requests_{0};
   std::atomic<uint64_t> forward_passes_{0};
@@ -110,6 +150,10 @@ class ServerStats {
   std::atomic<uint64_t> deltas_applied_{0};
   std::atomic<uint64_t> delta_edges_{0};
   std::atomic<uint64_t> ingest_ns_{0};
+  std::atomic<uint64_t> wal_records_{0};
+  std::atomic<uint64_t> wal_bytes_{0};
+  std::atomic<uint64_t> recovered_records_{0};
+  std::atomic<uint64_t> recovery_ns_{0};
   std::atomic<uint64_t> snapshot_swaps_{0};
 };
 

@@ -6,6 +6,7 @@
 
 #include "runtime/mutex.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace stgraph::failpoint {
@@ -23,6 +24,11 @@ struct Registry {
   Mutex mu;
   std::unordered_map<std::string, Point> points STG_GUARDED_BY(mu);
   bool env_loaded STG_GUARDED_BY(mu) = false;
+  /// One PRNG for every probabilistic trigger: a fixed seed plus a fixed
+  /// hit sequence replays the identical fire schedule, which is what makes
+  /// chaos runs reproducible. Seeded lazily from $STGRAPH_FAILPOINT_SEED.
+  Rng rng STG_GUARDED_BY(mu){0};
+  bool rng_seeded STG_GUARDED_BY(mu) = false;
 };
 
 Registry& registry() {
@@ -33,10 +39,27 @@ Registry& registry() {
 Spec parse_spec(const std::string& text) {
   if (text.empty() || text == "always") return Spec::always();
   if (text == "once") return Spec::once();
+  // "1inN": one-in-N randomized trigger (fires with probability 1/N).
+  if (text.size() > 3 && text.compare(0, 3, "1in") == 0) {
+    const std::string arg = text.substr(3);
+    char* end = nullptr;
+    const uint64_t n = std::strtoull(arg.c_str(), &end, 10);
+    STG_CHECK(end && *end == '\0' && n >= 1, "failpoint spec '", text,
+              "' has a malformed count");
+    return Spec::one_in(n);
+  }
   const auto colon = text.find(':');
   if (colon != std::string::npos) {
     const std::string kind = text.substr(0, colon);
     const std::string arg = text.substr(colon + 1);
+    if (kind == "p" || kind == "prob") {
+      char* end = nullptr;
+      const double p = std::strtod(arg.c_str(), &end);
+      STG_CHECK(end && end != arg.c_str() && *end == '\0' && p >= 0.0 &&
+                    p <= 1.0,
+                "failpoint spec '", text, "' needs a probability in [0, 1]");
+      return Spec::prob(p);
+    }
     char* end = nullptr;
     const uint64_t n = std::strtoull(arg.c_str(), &end, 10);
     STG_CHECK(end && *end == '\0' && n >= 1, "failpoint spec '", text,
@@ -45,7 +68,7 @@ Spec parse_spec(const std::string& text) {
     if (kind == "every") return Spec::every_nth(n);
   }
   throw StgError("unknown failpoint trigger '" + text +
-                 "' (want always|once|on:N|every:N)");
+                 "' (want always|once|on:N|every:N|p:F|1inN)");
 }
 
 void activate_from_spec_locked(Registry& r, const std::string& spec_list)
@@ -80,6 +103,15 @@ void load_env_locked(Registry& r) STG_REQUIRES(r.mu) {
   if (env && *env) activate_from_spec_locked(r, env);
 }
 
+void seed_rng_locked(Registry& r) STG_REQUIRES(r.mu) {
+  if (r.rng_seeded) return;
+  r.rng_seeded = true;
+  uint64_t seed = 0;
+  if (const char* env = std::getenv("STGRAPH_FAILPOINT_SEED"); env && *env)
+    seed = std::strtoull(env, nullptr, 10);
+  r.rng = Rng(seed);
+}
+
 }  // namespace
 
 void enable(const std::string& name, Spec spec) {
@@ -110,6 +142,13 @@ void activate_from_spec(const std::string& spec_list) {
   activate_from_spec_locked(r, spec_list);
 }
 
+void set_seed(uint64_t seed) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  r.rng_seeded = true;
+  r.rng = Rng(seed);
+}
+
 bool should_fire(const char* name) {
   Registry& r = registry();
   MutexLock lock(r.mu);
@@ -128,6 +167,10 @@ bool should_fire(const char* name) {
       break;
     case Spec::Mode::kEveryNth:
       fire = p.hits_since_enable % p.spec.n == 0;
+      break;
+    case Spec::Mode::kProb:
+      seed_rng_locked(r);
+      fire = r.rng.next_double() < p.spec.p;
       break;
   }
   if (fire) ++p.fires;

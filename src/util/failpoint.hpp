@@ -19,6 +19,11 @@
 //
 // Triggers are counted per enable() so tests are deterministic: `on:N`
 // fires exactly on the Nth hit after enabling, `every:N` on every Nth.
+// The chaos-harness triggers are randomized but reproducible: `p:0.01`
+// fires each hit with probability 0.01 and `1inN` with probability 1/N,
+// both drawn from one process-wide PRNG seeded by set_seed() /
+// $STGRAPH_FAILPOINT_SEED (default 0) — the same seed replays the same
+// fire schedule for a fixed hit sequence.
 // Naming convention: dotted lowercase `<subsystem>.<site>.<effect>`.
 #pragma once
 
@@ -35,14 +40,22 @@ struct Spec {
     kAlways,    // every hit
     kOnNth,     // exactly the Nth hit (1-based), once
     kEveryNth,  // hits N, 2N, 3N, ...
+    kProb,      // each hit independently with probability p
   };
   Mode mode = Mode::kAlways;
   uint64_t n = 1;
+  double p = 0.0;  // kProb only
 
-  static Spec always() { return {Mode::kAlways, 1}; }
-  static Spec once() { return {Mode::kOnNth, 1}; }
-  static Spec on_nth(uint64_t n) { return {Mode::kOnNth, n}; }
-  static Spec every_nth(uint64_t n) { return {Mode::kEveryNth, n}; }
+  static Spec always() { return {Mode::kAlways, 1, 0.0}; }
+  static Spec once() { return {Mode::kOnNth, 1, 0.0}; }
+  static Spec on_nth(uint64_t n) { return {Mode::kOnNth, n, 0.0}; }
+  static Spec every_nth(uint64_t n) { return {Mode::kEveryNth, n, 0.0}; }
+  /// Fire each hit with probability `p` (chaos-style randomized faults).
+  static Spec prob(double p) { return {Mode::kProb, 1, p}; }
+  /// Fire each hit with probability 1/n — the `1inN` spec syntax.
+  static Spec one_in(uint64_t n) {
+    return {Mode::kProb, n, 1.0 / static_cast<double>(n)};
+  }
 };
 
 /// Arm `name` with `spec`; resets the point's per-enable hit counter.
@@ -52,11 +65,17 @@ void disable(const std::string& name);
 /// Disarm everything — call from test teardown.
 void disable_all();
 
-/// Parse a spec list of the form "name[=always|once|on:N|every:N]"
-/// separated by ';' or ',' and enable each entry. Throws StgError on a
-/// malformed spec. Called automatically for $STGRAPH_FAILPOINTS on the
-/// first should_fire(); exposed for tests.
+/// Parse a spec list of the form
+/// "name[=always|once|on:N|every:N|p:F|1inN]" separated by ';' or ',' and
+/// enable each entry. Throws StgError on a malformed spec. Called
+/// automatically for $STGRAPH_FAILPOINTS on the first should_fire();
+/// exposed for tests.
 void activate_from_spec(const std::string& spec_list);
+
+/// Reseed the PRNG behind the probabilistic triggers (p:F / 1inN). The
+/// default seed is $STGRAPH_FAILPOINT_SEED (or 0), read once at startup;
+/// chaos runs call this per-iteration so every seed replays exactly.
+void set_seed(uint64_t seed);
 
 /// Core query: registers `name` on first call, counts the hit, and
 /// returns whether the armed trigger (if any) fires. Thread-safe.

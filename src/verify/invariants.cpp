@@ -9,6 +9,7 @@
 #include "compiler/autodiff.hpp"
 #include "core/executor.hpp"
 #include "gpma/gpma_graph.hpp"
+#include "serve/wal.hpp"
 
 namespace stgraph::verify {
 namespace {
@@ -529,6 +530,64 @@ Report check_graph(STGraphBase& g) {
   // Return sweep: delta-replaying formats roll their position structure
   // backward here, exercising the inverse-delta path too.
   if (g.is_dynamic() && T > 1) r.merge(check_graph_at(g, 0));
+  return r;
+}
+
+Report check_wal(const std::string& path) {
+  Report r;
+  Failer fail(r, "check_wal");
+
+  serve::wal::ReadResult rr;
+  try {
+    rr = serve::wal::read(path);  // header + per-record CRC framing
+  } catch (const std::exception& e) {
+    fail("unreadable WAL: ", e.what());
+    return r;
+  }
+  r.note_check();  // header magic/version accepted
+
+  if (rr.torn_tail)
+    fail("torn tail: ", rr.total_bytes - rr.valid_bytes,
+         " trailing bytes past the last valid record at offset ",
+         rr.valid_bytes, " (Server::recover() truncates this)");
+  r.note_check();
+
+  if (rr.records.empty()) {
+    fail("no valid records (a live log always starts with a start record)");
+    return r;
+  }
+  if (rr.records.front().type != serve::wal::RecordType::kStart)
+    fail("record 0 has type ",
+         static_cast<int>(rr.records.front().type), ", want start (1)");
+  r.note_check();
+
+  const int64_t feat_cols =
+      rr.records.front().features.defined() ? rr.records.front().features.cols()
+                                            : -1;
+  uint32_t prev_time = 0;
+  uint64_t prev_version = 0;
+  for (std::size_t i = 0; i < rr.records.size(); ++i) {
+    const auto& rec = rr.records[i];
+    if (i > 0 && rec.type != serve::wal::RecordType::kIngest)
+      fail("record ", i, " has type ", static_cast<int>(rec.type),
+           ", want ingest (2)");
+    if (!rec.features.defined())
+      fail("record ", i, " carries no feature matrix");
+    else if (rec.features.cols() != feat_cols)
+      fail("record ", i, " features have ", rec.features.cols(),
+           " cols, want ", feat_cols, " (start record's width)");
+    if (i > 0) {
+      if (rec.time != prev_time + 1)
+        fail("record ", i, " time ", rec.time, " does not advance t=",
+             prev_time, " by exactly one");
+      if (rec.version <= prev_version)
+        fail("record ", i, " version ", rec.version,
+             " not strictly greater than ", prev_version);
+    }
+    prev_time = rec.time;
+    prev_version = rec.version;
+    r.note_check();
+  }
   return r;
 }
 

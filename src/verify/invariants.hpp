@@ -30,6 +30,10 @@
 //   * check_graph_at / check_graph — whole-object sweep over one / every
 //                             timestamp, including the PMA cross-checks
 //                             for GPMAGraph.
+//   * check_wal             — serving write-ahead log: header, per-record
+//                             CRC framing, a start record first, strictly
+//                             monotonic time/version, and torn-tail
+//                             detection.
 //
 // Checkers are read-only and allocation-light (O(V+E) scratch); they are
 // wired behind STGRAPH_VALIDATE=1 (verify/validate.hpp), the
@@ -113,5 +117,13 @@ Report check_graph_at(STGraphBase& g, uint32_t t);
 /// check_graph_at over every timestamp, then a return sweep to t=0 so
 /// delta-replaying formats also verify their backward roll.
 Report check_graph(STGraphBase& g);
+
+/// Serving WAL ("STGW") well-formedness: readable header, CRC-valid
+/// records, a kStart record first (with defined features), per-record
+/// feature matrices shaped consistently, time advancing by exactly one and
+/// version strictly monotonic across records. A torn tail (trailing bytes
+/// that fail length/CRC checks — the crash case) is reported as a finding
+/// so the tool surfaces it, with a note that recover() truncates it.
+Report check_wal(const std::string& path);
 
 }  // namespace stgraph::verify

@@ -5,6 +5,7 @@
 // dispatch failure handling, and the stats/histogram/queue building blocks.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -340,14 +341,120 @@ TEST_F(ServeTest, EmptyDeltaExtendsAnAppendableTimeline) {
   server.stop();
 }
 
+TEST_F(ServeTest, CircuitBreakerTripsServesStaleAndClosesOnSuccess) {
+  const DtdgEvents events = tiny_events();
+  const datasets::TemporalSignal sig =
+      datasets::make_dynamic_signal(events, signal_opts());
+  GpmaGraph graph(base_only(events));
+  Rng rng(5);
+  nn::TGCNEncoder model(kFeat, kHidden, rng);
+  serve::ServeConfig cfg;
+  cfg.circuit_failure_threshold = 2;
+  cfg.circuit_cooldown_ms = 60000;  // no half-open probe during this test
+  serve::Server server(graph, model, cfg);
+  server.start(sig.features[0]);
+  EXPECT_EQ(server.health(), serve::HealthState::kHealthy);
+  const serve::PredictResult good = server.predict();  // primes last-good
+  EXPECT_FALSE(good.stale);
+
+  failpoint::enable("serve.batch.dispatch", failpoint::Spec::always());
+  EXPECT_THROW(server.predict(), StgError);  // consecutive failure 1
+  EXPECT_THROW(server.predict(), StgError);  // failure 2 — circuit opens
+  EXPECT_EQ(server.health(), serve::HealthState::kDegraded);
+
+  // Open circuit: predicts divert to the last-good step, version-tagged
+  // stale, without touching the (still failing) execution path.
+  const serve::PredictResult stale = server.predict();
+  EXPECT_TRUE(stale.stale);
+  EXPECT_EQ(stale.version, good.version);
+  EXPECT_EQ(stale.timestamp, good.timestamp);
+  expect_bitwise_equal(stale.outputs, good.outputs, "stale full read");
+  const serve::PredictResult sub = server.predict({4, 1});
+  EXPECT_TRUE(sub.stale);
+  ASSERT_EQ(sub.outputs.rows(), 2);
+
+  // A successful forward (here via ingest, which runs the same step)
+  // closes the circuit and restores HEALTHY.
+  failpoint::disable_all();
+  server.ingest(events.deltas[0], sig.features[1]);
+  EXPECT_EQ(server.health(), serve::HealthState::kHealthy);
+  const serve::PredictResult fresh = server.predict();
+  EXPECT_FALSE(fresh.stale);
+  EXPECT_EQ(fresh.timestamp, 1u);
+
+  server.stop();
+  const serve::StatsReport report = server.stats();
+  EXPECT_EQ(report.circuit_trips, 1u);
+  EXPECT_EQ(report.stale_served, 2u);
+  EXPECT_EQ(report.failed, 2u);
+  EXPECT_EQ(report.requests, 2u);  // the pre-trip and post-close predicts
+}
+
+TEST_F(ServeTest, NonFiniteOutputsFailTheBatchInsteadOfServingPoison) {
+  const DtdgEvents events = tiny_events();
+  const datasets::TemporalSignal sig =
+      datasets::make_dynamic_signal(events, signal_opts());
+  GpmaGraph graph(base_only(events));
+  Rng rng(5);
+  nn::TGCNEncoder model(kFeat, kHidden, rng);
+  serve::Server server(graph, model);
+  server.start(sig.features[0]);
+
+  failpoint::enable("serve.step.poison", failpoint::Spec::once());
+  EXPECT_THROW(server.predict(), StgError);  // NaN scan rejects the step
+  const serve::PredictResult ok = server.predict();  // cache was dropped
+  EXPECT_FALSE(ok.stale);
+  for (int64_t i = 0; i < ok.outputs.numel(); ++i)
+    ASSERT_TRUE(std::isfinite(ok.outputs.data()[i]));
+  server.stop();
+  EXPECT_EQ(server.stats().failed, 1u);
+}
+
+TEST_F(ServeTest, ShedsAreTypedCountedAndAccountedInTheReport) {
+  const DtdgEvents events = tiny_events();
+  const datasets::TemporalSignal sig =
+      datasets::make_dynamic_signal(events, signal_opts());
+  GpmaGraph graph(base_only(events));
+  Rng rng(5);
+  nn::TGCNEncoder model(kFeat, kHidden, rng);
+  serve::Server server(graph, model);
+  EXPECT_EQ(server.health(), serve::HealthState::kStarting);
+
+  // Rejections off a non-running server are typed draining sheds.
+  try {
+    server.predict();
+    FAIL() << "predict on a stopped server must throw";
+  } catch (const serve::ShedError& e) {
+    EXPECT_EQ(e.reason(), serve::ShedReason::kDraining);
+  }
+  server.start(sig.features[0]);
+  server.predict();
+  server.stop();
+  EXPECT_THROW(server.predict(), serve::ShedError);
+  EXPECT_THROW(server.ingest(events.deltas[0], sig.features[1]),
+               serve::ShedError);
+
+  const serve::StatsReport report = server.stats();
+  EXPECT_EQ(report.shed_draining, 3u);
+  EXPECT_EQ(report.shed_total, 3u);
+  EXPECT_EQ(report.rejected, report.shed_total);  // back-compat alias
+  EXPECT_EQ(report.requests, 1u);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"shed\""), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_expired\""), std::string::npos);
+  EXPECT_NE(json.find("\"health\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+}
+
 // ---- building blocks ------------------------------------------------------
 
 TEST(RequestQueue, BoundedPushPopAndClose) {
+  using Push = serve::RequestQueue::PushResult;
   serve::RequestQueue q(2);
   serve::PredictRequest a, b, c;
-  EXPECT_TRUE(q.push(std::move(a)));
-  EXPECT_TRUE(q.push(std::move(b)));
-  EXPECT_FALSE(q.push(std::move(c)));  // full: load shed
+  EXPECT_EQ(q.push(std::move(a)), Push::kOk);
+  EXPECT_EQ(q.push(std::move(b)), Push::kOk);
+  EXPECT_EQ(q.push(std::move(c)), Push::kFull);  // full: load shed
   EXPECT_EQ(q.depth(), 2u);
   EXPECT_EQ(q.max_depth(), 2u);
 
@@ -355,10 +462,10 @@ TEST(RequestQueue, BoundedPushPopAndClose) {
   q.close();
   EXPECT_TRUE(q.pop_batch(8).empty());  // closed and drained
   serve::PredictRequest d;
-  EXPECT_FALSE(q.push(std::move(d)));  // closed
+  EXPECT_EQ(q.push(std::move(d)), Push::kClosed);  // draining
   q.reopen();
   serve::PredictRequest e;
-  EXPECT_TRUE(q.push(std::move(e)));
+  EXPECT_EQ(q.push(std::move(e)), Push::kOk);
 }
 
 TEST(LatencyHistogram, PercentilesLandInPowerOfTwoBuckets) {

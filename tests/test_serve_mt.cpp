@@ -5,10 +5,14 @@
 //   * every request is answered exactly once (fulfilled or rejected),
 //   * each thread observes non-decreasing (version, timestamp) pairs,
 //   * outputs are finite and correctly shaped throughout the churn,
-//   * the final read view reflects every applied delta.
+//   * the final read view reflects every applied delta,
+//   * deadline expiry under slow batches is a typed shed and the stats
+//     classify every request exactly once,
+//   * stop() promptly rejects parked waiters with the draining error.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -17,7 +21,9 @@
 #include "gpma/gpma_graph.hpp"
 #include "nn/models.hpp"
 #include "serve/server.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace stgraph {
 namespace {
@@ -98,6 +104,139 @@ TEST(ServeMt, ConcurrentPredictAndIngestStaysConsistent) {
   // Micro-batching must have actually batched or cached: the number of
   // forward passes cannot exceed one per (version) plus one per ingest.
   EXPECT_LE(report.forward_passes, 2u * (deltas + 1));
+}
+
+TEST(ServeMt, DeadlineExpiryUnderConcurrencyClassifiesEveryRequestOnce) {
+  DtdgEvents ev;
+  ev.num_nodes = 8;
+  for (uint32_t i = 0; i < 8; ++i) ev.base_edges.emplace_back(i, (i + 1) % 8);
+  datasets::DynamicLoadOptions opts;
+  opts.feature_size = 4;
+  opts.link_samples_per_step = 8;
+  const datasets::TemporalSignal sig = datasets::make_dynamic_signal(ev, opts);
+
+  GpmaGraph graph(ev);
+  Rng rng(13);
+  nn::TGCNEncoder model(4, 8, rng);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 1;             // serialize batches so queues actually form
+  cfg.watchdog_interval_ms = 0;  // keep the schedule down to two threads
+  serve::Server server(graph, model, cfg);
+  server.start(sig.features[0]);
+
+  // Phase 1: every batch takes >= 50ms (injected delay) but clients only
+  // budget 5ms — nothing can legally be fulfilled. Expiry fires at
+  // admission (EWMA), at dequeue, or at completion; each is the same typed
+  // shed, and every request resolves exactly once.
+  failpoint::enable("serve.batch.delay", failpoint::Spec::always());
+  constexpr uint32_t kThreads = 3;
+  constexpr uint32_t kOps = 6;
+  std::atomic<uint64_t> fulfilled{0};
+  std::atomic<uint64_t> expired{0};
+  std::atomic<uint64_t> other_shed{0};
+  std::atomic<uint64_t> errored{0};
+  std::vector<std::thread> threads;
+  for (uint32_t tid = 0; tid < kThreads; ++tid)
+    threads.emplace_back([&, tid] {
+      for (uint32_t k = 0; k < kOps; ++k) {
+        try {
+          server.predict({(tid + k) % 8}, std::chrono::milliseconds(5));
+          fulfilled.fetch_add(1);
+        } catch (const serve::ShedError& e) {
+          if (e.reason() == serve::ShedReason::kDeadlineExpired)
+            expired.fetch_add(1);
+          else
+            other_shed.fetch_add(1);
+        } catch (const StgError&) {
+          errored.fetch_add(1);
+        }
+      }
+    });
+  for (auto& th : threads) th.join();
+  failpoint::disable_all();
+
+  EXPECT_EQ(fulfilled.load(), 0u);  // 50ms floor vs 5ms budget
+  EXPECT_GE(expired.load(), 1u);
+  EXPECT_EQ(fulfilled.load() + expired.load() + other_shed.load() +
+                errored.load(),
+            kThreads * kOps);
+
+  // Phase 2: same server, generous budgets — requests succeed again (the
+  // delay EWMA must not keep shedding once the overload clears).
+  uint64_t ok = 0;
+  for (uint32_t k = 0; k < 10; ++k) {
+    const serve::PredictResult res =
+        server.predict({k % 8}, std::chrono::seconds(5));
+    EXPECT_FALSE(res.stale);
+    ++ok;
+  }
+  server.stop();
+
+  const serve::StatsReport report = server.stats();
+  EXPECT_EQ(report.requests, fulfilled.load() + ok);
+  EXPECT_EQ(report.shed_deadline_expired, expired.load());
+  EXPECT_EQ(report.shed_total,
+            expired.load() + other_shed.load());
+  EXPECT_EQ(report.failed, errored.load());
+  // Full accounting: everything issued landed in exactly one bucket.
+  EXPECT_EQ(kThreads * kOps + ok, report.requests + report.stale_served +
+                                      report.failed + report.shed_total);
+}
+
+TEST(ServeMt, StopRejectsParkedWaitersPromptlyWithTypedDrainingError) {
+  DtdgEvents ev;
+  ev.num_nodes = 8;
+  for (uint32_t i = 0; i < 8; ++i) ev.base_edges.emplace_back(i, (i + 1) % 8);
+  datasets::DynamicLoadOptions opts;
+  opts.feature_size = 4;
+  opts.link_samples_per_step = 8;
+  const datasets::TemporalSignal sig = datasets::make_dynamic_signal(ev, opts);
+
+  GpmaGraph graph(ev);
+  Rng rng(29);
+  nn::TGCNEncoder model(4, 8, rng);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 1;  // one request per 50ms batch: the rest park in queue
+  serve::Server server(graph, model, cfg);
+  server.start(sig.features[0]);
+  failpoint::enable("serve.batch.delay", failpoint::Spec::always());
+
+  constexpr uint32_t kThreads = 4;
+  constexpr uint32_t kOps = 3;
+  std::atomic<uint64_t> resolved{0};
+  std::atomic<uint64_t> draining_errs{0};
+  std::vector<std::thread> threads;
+  for (uint32_t tid = 0; tid < kThreads; ++tid)
+    threads.emplace_back([&, tid] {
+      for (uint32_t k = 0; k < kOps; ++k) {
+        try {
+          server.predict({tid});
+        } catch (const serve::ShedError& e) {
+          if (e.reason() == serve::ShedReason::kDraining) {
+            draining_errs.fetch_add(1);
+          }
+        } catch (const StgError&) {
+        }
+        resolved.fetch_add(1);
+      }
+    });
+
+  // Let requests pile up behind the slowed batcher, then pull the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  Timer stop_timer;
+  server.stop();
+  const double stop_seconds = stop_timer.seconds();
+  for (auto& th : threads) th.join();
+  failpoint::disable_all();
+
+  // Every request resolved — none left parked on a promise — and stop()
+  // did not wait out the whole backlog at 50ms per queued request.
+  EXPECT_EQ(resolved.load(), kThreads * kOps);
+  EXPECT_GE(draining_errs.load(), 1u);
+  EXPECT_LT(stop_seconds, 5.0);
+  const serve::StatsReport report = server.stats();
+  EXPECT_EQ(report.shed_draining, draining_errs.load());
+  EXPECT_EQ(report.health, "starting");  // back to cold after a full stop
 }
 
 TEST(ServeMt, StopWhileClientsAreInFlightDrainsGracefully) {

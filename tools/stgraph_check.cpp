@@ -12,6 +12,9 @@
 //        unique, shapes non-degenerate, values finite.
 //   STGT (training-run state)      — CRC-validated load; parameters,
 //        moments and hidden state finite, moment arrays aligned.
+//   STGW (serving write-ahead log) — per-record CRC framing, a start
+//        record first, time advancing by one and version strictly
+//        monotonic, torn-tail detection.
 //
 // Exit status: 0 when every invariant holds, 1 on violations, 2 on
 // usage/man I/O errors. Intended both as a debugging tool and as the CI
@@ -30,6 +33,7 @@
 #include "graph/static_graph.hpp"
 #include "io/serialize.hpp"
 #include "io/train_state.hpp"
+#include "serve/wal.hpp"
 #include "util/check.hpp"
 #include "verify/invariants.hpp"
 
@@ -41,6 +45,7 @@ constexpr uint32_t kMagicStatic = 0x53544753;  // "STGS"
 constexpr uint32_t kMagicDtdg = 0x53544744;    // "STGD"
 constexpr uint32_t kMagicCkpt = 0x53544743;    // "STGC"
 constexpr uint32_t kMagicTrain = 0x53544754;   // "STGT"
+constexpr uint32_t kMagicWal = 0x53544757;     // "STGW"
 
 uint32_t sniff_magic(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -139,6 +144,16 @@ verify::Report audit_train_state(const std::string& path) {
   return r;
 }
 
+verify::Report audit_wal(const std::string& path) {
+  const serve::wal::ReadResult rr = serve::wal::read(path);
+  std::printf("STGW write-ahead log: %zu records, %llu/%llu valid bytes%s\n",
+              rr.records.size(),
+              static_cast<unsigned long long>(rr.valid_bytes),
+              static_cast<unsigned long long>(rr.total_bytes),
+              rr.torn_tail ? " (torn tail)" : "");
+  return verify::check_wal(path);
+}
+
 int run(const std::string& path) {
   const uint32_t magic = sniff_magic(path);
   verify::Report r;
@@ -147,12 +162,13 @@ int run(const std::string& path) {
     case kMagicDtdg: r = audit_dtdg(path); break;
     case kMagicCkpt: r = audit_checkpoint(path); break;
     case kMagicTrain: r = audit_train_state(path); break;
+    case kMagicWal: r = audit_wal(path); break;
     default:
       throw StgError("'" + path + "' has unknown magic 0x" + [&] {
         char buf[16];
         std::snprintf(buf, sizeof(buf), "%08X", magic);
         return std::string(buf);
-      }() + " (expected STGS, STGD, STGC or STGT)");
+      }() + " (expected STGS, STGD, STGC, STGT or STGW)");
   }
   std::printf("%s: %s\n", path.c_str(), r.to_string().c_str());
   return r.ok() ? 0 : 1;
@@ -165,8 +181,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: stgraph_check <file>...\n"
                  "  audits STGraph binary artifacts (datasets, DTDG event "
-                 "sets, checkpoints,\n  training states) against the "
-                 "structural invariant analyzers in src/verify/\n");
+                 "sets, checkpoints,\n  training states, serving WALs) "
+                 "against the structural invariant\n  analyzers in "
+                 "src/verify/\n");
     return 2;
   }
   int rc = 0;
