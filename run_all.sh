@@ -7,9 +7,10 @@
 #                           (fault-injection tests arm their own
 #                           failpoints; this shakes out UB on the
 #                           error/rollback paths)
-#   ./run_all.sh tsan       the multi-threaded suites (*_mt) under
-#                           ThreadSanitizer: thread pool barrier protocol,
-#                           serve request queue / double-buffered views
+#   ./run_all.sh tsan       the multi-threaded suites under ThreadSanitizer:
+#                           thread pool barrier protocol, serve request
+#                           queue / double-buffered views, and the socket
+#                           front-end (concurrent clients over loopback)
 #   ./run_all.sh lint       clang-tidy over src/ + a clang compile of the
 #                           concurrency layer with -Wthread-safety -Werror
 #                           (the annotations in util/thread_annotations.hpp
@@ -27,6 +28,13 @@
 #                           clients + streaming delta ingestion), emit
 #                           BENCH_serve.json with p50/p99 latency and
 #                           ingest throughput
+#   ./run_all.sh serve-net-smoke
+#                           network serving smoke test: bring up the TCP
+#                           front-end, drive the closed/open-loop load
+#                           generator over loopback, assert the per-tenant
+#                           accounting identity, reader-scaling and
+#                           no-late-accepts contracts, emit
+#                           BENCH_serve_net.json
 #   ./run_all.sh bench      graph-update benches only: bench_fig9 (GNN/
 #                           update time split with the per-phase counters
 #                           and the incremental-vs-full view-maintenance
@@ -36,7 +44,9 @@
 #                           unfused, emitted as BENCH_kernels.json) +
 #                           bench_serve_robust (2x overload with deadlines,
 #                           fault schedules, WAL recovery cost, emitted as
-#                           BENCH_serve_robust.json)
+#                           BENCH_serve_robust.json) + bench_serve_net
+#                           (closed/open-loop TCP load, reader-scaling
+#                           sweep, emitted as BENCH_serve_net.json)
 #   ./run_all.sh chaos      chaos harness sweep: test_serve_chaos (random
 #                           failpoint schedules + concurrent load + fork/
 #                           SIGKILL recovery parity) across 20 fixed seeds
@@ -47,13 +57,15 @@ cd /root/repo
 if [ "$1" = "bench" ]; then
   cmake -B build -S . || exit 1
   cmake --build build -j "$(nproc)" --target bench_fig9 bench_micro_gpma \
-    bench_micro_kernels bench_serve_robust || exit 1
+    bench_micro_kernels bench_serve_robust bench_serve_net || exit 1
   ./build/bench/bench_fig9 --json-out=/root/repo/BENCH_fig9.json || exit 1
   ./build/bench/bench_micro_gpma || exit 1
   ./build/bench/bench_micro_kernels \
     --json-out=/root/repo/BENCH_kernels.json || exit 1
   ./build/bench/bench_serve_robust \
     --out=/root/repo/BENCH_serve_robust.json || exit 1
+  ./build/bench/bench_serve_net \
+    --out=/root/repo/BENCH_serve_net.json || exit 1
   exit 0
 fi
 
@@ -86,6 +98,19 @@ if [ "$1" = "serve-smoke" ]; then
   exit 0
 fi
 
+if [ "$1" = "serve-net-smoke" ]; then
+  cmake -B build -S . || exit 1
+  cmake --build build -j "$(nproc)" --target bench_serve_net || exit 1
+  # The bench exits non-zero if any contract fails: bit-identical outputs
+  # across reader counts, >=2x throughput scaling 1->4 readers, the
+  # accounting identity accepted + shed + errors == issued, and zero
+  # accepted responses past deadline + one batch interval at 2x overload.
+  ./build/bench/bench_serve_net --out=/root/repo/BENCH_serve_net.json \
+    --connections=8 --ops=6 --requests=200 || exit 1
+  cat /root/repo/BENCH_serve_net.json
+  exit 0
+fi
+
 if [ "$1" = "sanitize" ]; then
   cmake -B build-asan -S . \
     -DSTGRAPH_SANITIZE=address,undefined \
@@ -106,8 +131,8 @@ if [ "$1" = "tsan" ]; then
     -DSTGRAPH_BUILD_BENCH=OFF \
     -DSTGRAPH_BUILD_EXAMPLES=OFF || exit 1
   cmake --build build-tsan -j "$(nproc)" \
-    --target test_threadpool_mt test_serve_mt || exit 1
-  for t in test_threadpool_mt test_serve_mt; do
+    --target test_threadpool_mt test_serve_mt test_serve_net || exit 1
+  for t in test_threadpool_mt test_serve_mt test_serve_net; do
     echo "===== $t (tsan) ====="
     TSAN_OPTIONS="halt_on_error=1 suppressions=$(pwd)/tsan.supp" \
       ./build-tsan/tests/$t || exit 1
@@ -130,8 +155,11 @@ if [ "$1" = "lint" ]; then
     # annotations expand to nothing under GCC, so this clang pass is the
     # only place they are enforced.
     for f in src/runtime/thread_pool.cpp src/serve/request_queue.cpp \
-             src/serve/server.cpp src/serve/wal.cpp \
-             src/util/failpoint.cpp; do
+             src/serve/server.cpp src/serve/wal.cpp src/serve/stats.cpp \
+             src/util/failpoint.cpp src/net/protocol.cpp \
+             src/net/event_loop.cpp src/net/connection.cpp \
+             src/net/listener.cpp src/net/frontend.cpp \
+             src/net/client.cpp; do
       echo "thread-safety: $f"
       clang++ -std=c++17 -Isrc -fsyntax-only \
         -Wthread-safety -Werror "$f" || status=1

@@ -1,0 +1,66 @@
+#include "net/connection.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/failpoint.hpp"
+
+namespace stgraph::net {
+
+Connection::Connection(int fd, uint64_t id) : fd_(fd), id_(id) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Connection::IoResult Connection::read_into_decoder() {
+  char buf[64 * 1024];
+  std::size_t want = sizeof(buf);
+  // Worst-case fragmentation: one byte per event. Level-triggered epoll
+  // re-fires until the kernel buffer drains, so this is slow, not stuck.
+  STG_FAILPOINT("net.read.torn", want = 1);
+  const ssize_t n = ::recv(fd_, buf, want, 0);
+  if (n > 0) {
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+    return IoResult::kOk;
+  }
+  if (n == 0) return IoResult::kClosed;  // orderly EOF
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+    return IoResult::kOk;
+  return IoResult::kClosed;  // ECONNRESET etc.
+}
+
+void Connection::queue_write(const std::vector<uint8_t>& bytes) {
+  // Compact the consumed prefix before growing, so a long-lived connection
+  // does not accrete every response it ever sent.
+  if (out_off_ > 0 && out_off_ == out_.size()) {
+    out_.clear();
+    out_off_ = 0;
+  } else if (out_off_ > 64 * 1024) {
+    out_.erase(out_.begin(), out_.begin() + static_cast<long>(out_off_));
+    out_off_ = 0;
+  }
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+Connection::IoResult Connection::flush() {
+  while (out_off_ < out_.size()) {
+    std::size_t n_bytes = out_.size() - out_off_;
+    STG_FAILPOINT("net.write.short", n_bytes = 1);
+    const ssize_t n = ::send(fd_, out_.data() + out_off_, n_bytes,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      out_off_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return IoResult::kOk;  // kernel buffer full — EPOLLOUT will re-arm
+    if (errno == EINTR) continue;
+    return IoResult::kClosed;  // EPIPE/ECONNRESET — peer is gone
+  }
+  return IoResult::kOk;
+}
+
+}  // namespace stgraph::net

@@ -1,0 +1,62 @@
+// One accepted client connection, owned by the front-end's event loop
+// thread (no locking — every method runs on the loop thread). Wraps a
+// non-blocking socket with:
+//   * a FrameDecoder reassembling torn input into frames / JSON lines,
+//   * an outbound buffer with partial-write handling: queue_write appends,
+//     flush() sends what the kernel will take (MSG_NOSIGNAL — a peer that
+//     vanished mid-write surfaces as EPIPE, never SIGPIPE) and the caller
+//     re-arms EPOLLOUT while bytes remain,
+//   * failpoints net.read.torn (read 1 byte per event) and net.write.short
+//     (write 1 byte per flush) so tests can force worst-case fragmentation
+//     on both directions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace stgraph::net {
+
+class Connection {
+ public:
+  /// Takes ownership of `fd` (closes it on destruction unless released).
+  Connection(int fd, uint64_t id);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+
+  enum class IoResult : uint8_t {
+    kOk,        ///< progress made (or EAGAIN — try again on the next event)
+    kClosed,    ///< peer closed (EOF) or connection error — drop it
+  };
+
+  /// Read whatever the socket has (one recv per event under the torn-read
+  /// failpoint) into the decoder.
+  IoResult read_into_decoder();
+  FrameDecoder& decoder() { return decoder_; }
+
+  /// Append bytes to the outbound buffer (does not write to the socket).
+  void queue_write(const std::vector<uint8_t>& bytes);
+  /// Push buffered bytes to the kernel; partial writes keep the remainder
+  /// queued. Returns kClosed on EPIPE/ECONNRESET.
+  IoResult flush();
+  bool wants_write() const { return out_off_ < out_.size(); }
+
+  /// Close after the outbound buffer drains (protocol-error goodbyes).
+  void set_close_after_flush() { close_after_flush_ = true; }
+  bool close_after_flush() const { return close_after_flush_; }
+
+ private:
+  int fd_;
+  uint64_t id_;
+  FrameDecoder decoder_;
+  std::vector<uint8_t> out_;
+  std::size_t out_off_ = 0;
+  bool close_after_flush_ = false;
+};
+
+}  // namespace stgraph::net

@@ -1,0 +1,136 @@
+#include "net/event_loop.hpp"
+
+#include <pthread.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stgraph::net {
+
+namespace {
+
+uint64_t this_thread_id() {
+  // gettid(2) without the glibc-version dependency: the pthread handle is
+  // unique per live thread, which is all the on-loop-thread assert needs.
+  return static_cast<uint64_t>(pthread_self());
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  STG_CHECK(epfd_ >= 0, "net: epoll_create1 failed: ", std::strerror(errno));
+  wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  STG_CHECK(wakefd_ >= 0, "net: eventfd failed: ", std::strerror(errno));
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakefd_;
+  STG_CHECK(::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev) == 0,
+            "net: epoll_ctl(wakefd) failed: ", std::strerror(errno));
+}
+
+EventLoop::~EventLoop() {
+  if (wakefd_ >= 0) ::close(wakefd_);
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+bool EventLoop::on_loop_thread() const {
+  return loop_tid_.load(std::memory_order_acquire) == this_thread_id();
+}
+
+void EventLoop::add(int fd, uint32_t events, IoCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  STG_CHECK(::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+            "net: epoll_ctl(ADD, fd=", fd, ") failed: ",
+            std::strerror(errno));
+  handlers_[fd] = std::make_shared<IoCallback>(std::move(cb));
+}
+
+void EventLoop::modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  STG_CHECK(::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+            "net: epoll_ctl(MOD, fd=", fd, ") failed: ",
+            std::strerror(errno));
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);  // best-effort
+  handlers_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    MutexLock lk(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EventLoop::wake() {
+  const uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; short/failed writes are
+  // benign here.
+  [[maybe_unused]] ssize_t n = ::write(wakefd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_posted() {
+  // Swap out under the lock, run outside it: a task may post() again.
+  std::deque<std::function<void()>> tasks;
+  {
+    MutexLock lk(post_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& fn : tasks) fn();
+}
+
+void EventLoop::run() {
+  loop_tid_.store(this_thread_id(), std::memory_order_release);
+  stop_.store(false, std::memory_order_release);
+  std::vector<epoll_event> events(64);
+  while (!stop_.load(std::memory_order_acquire)) {
+    drain_posted();
+    if (stop_.load(std::memory_order_acquire)) break;
+    const int n = ::epoll_wait(epfd_, events.data(),
+                               static_cast<int>(events.size()), /*ms=*/100);
+    if (n < 0) {
+      STG_CHECK(errno == EINTR, "net: epoll_wait failed: ",
+                std::strerror(errno));
+      continue;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakefd_) {
+        uint64_t drained;
+        while (::read(wakefd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // Look up at dispatch time: an earlier callback in this batch may
+      // have removed this fd (e.g. closed a sibling connection).
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      std::shared_ptr<IoCallback> cb = it->second;
+      (*cb)(events[i].events);
+    }
+  }
+  drain_posted();  // run anything posted up to the stop
+  loop_tid_.store(0, std::memory_order_release);
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+}  // namespace stgraph::net

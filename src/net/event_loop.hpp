@@ -1,0 +1,71 @@
+// Single-threaded epoll event loop — the reactor under the network
+// front-end. One thread calls run(); every registered fd's callback fires
+// on that thread, so connection state needs no locking. Other threads
+// talk to the loop exclusively through post(), which enqueues a task and
+// wakes the loop via an eventfd — this is how the server's reader threads
+// hand completed predict responses back to the socket layer.
+//
+// Level-triggered (the epoll default): a callback that does not fully
+// drain its fd is simply invoked again on the next wait, which is what
+// makes the torn-read failpoint (read 1 byte per event) a slowdown rather
+// than a stall.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "runtime/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace stgraph::net {
+
+class EventLoop {
+ public:
+  /// Bitmask of EPOLLIN/EPOLLOUT (and error bits on delivery).
+  using IoCallback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` (loop thread only, or before run() starts). The loop
+  /// does not own the fd; unregister with remove() before closing it.
+  void add(int fd, uint32_t events, IoCallback cb);
+  /// Change the interest set of a registered fd (loop thread only).
+  void modify(int fd, uint32_t events);
+  /// Unregister; pending events for the fd are dropped (loop thread only).
+  void remove(int fd);
+
+  /// Enqueue `fn` to run on the loop thread; wakes the loop. Thread-safe;
+  /// callable before run() (tasks run at loop startup) and after stop()
+  /// (tasks are discarded when the loop has exited).
+  void post(std::function<void()> fn);
+
+  /// Process events and posted tasks until stop(). Runs on the caller.
+  void run();
+  /// Ask the loop to exit after the current iteration. Thread-safe.
+  void stop();
+
+  bool on_loop_thread() const;
+
+ private:
+  void wake();
+  void drain_posted();
+
+  int epfd_ = -1;
+  int wakefd_ = -1;  // eventfd
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> loop_tid_{0};
+  // shared_ptr so a callback that remove()s its own fd (or a sibling's)
+  // mid-dispatch never frees a std::function the loop is still executing.
+  std::unordered_map<int, std::shared_ptr<IoCallback>> handlers_;
+  Mutex post_mu_;
+  std::deque<std::function<void()>> posted_ STG_GUARDED_BY(post_mu_);
+};
+
+}  // namespace stgraph::net

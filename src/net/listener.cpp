@@ -1,0 +1,81 @@
+#include "net/listener.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.hpp"
+#include "util/failpoint.hpp"
+
+namespace stgraph::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  STG_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+            "net: fcntl(O_NONBLOCK) failed: ", std::strerror(errno));
+}
+
+}  // namespace
+
+Listener::Listener(const std::string& host, uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  STG_CHECK(fd_ >= 0, "net: socket() failed: ", std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  STG_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+            "net: '", host, "' is not a valid IPv4 address");
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    STG_CHECK(false, "net: bind(", host, ":", port, ") failed: ",
+              std::strerror(err));
+  }
+  STG_CHECK(::listen(fd_, SOMAXCONN) == 0, "net: listen failed: ",
+            std::strerror(errno));
+  set_nonblocking(fd_);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  STG_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+            "net: getsockname failed: ", std::strerror(errno));
+  port_ = ntohs(bound.sin_port);
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+int Listener::accept_one() {
+  while (true) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return -1;  // EAGAIN or transient accept error — nothing pending
+    }
+    bool dropped = false;
+    STG_FAILPOINT("net.accept", {
+      ::close(cfd);
+      dropped = true;
+    });
+    if (dropped) continue;  // injected accept failure — try the next one
+    set_nonblocking(cfd);
+    const int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return cfd;
+  }
+}
+
+}  // namespace stgraph::net

@@ -1,0 +1,36 @@
+// Listening TCP socket for the network front-end: bind + listen at
+// construction (port 0 picks an ephemeral port, reported by port() — how
+// the tests and the load generator find their server), accept() drains
+// the backlog non-blocking. Accepted sockets come back non-blocking with
+// TCP_NODELAY set (latency-bound request/response traffic). The
+// net.accept failpoint drops an accepted connection on the floor, which
+// clients observe as an immediate close — chaos coverage for the accept
+// path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace stgraph::net {
+
+class Listener {
+ public:
+  Listener(const std::string& host, uint16_t port);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int fd() const { return fd_; }
+  /// The actually bound port (resolves port-0 binds).
+  uint16_t port() const { return port_; }
+
+  /// Accept one pending connection; returns the non-blocking client fd or
+  /// -1 when the backlog is empty (EAGAIN). Call in a loop on EPOLLIN.
+  int accept_one();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace stgraph::net

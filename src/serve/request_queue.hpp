@@ -1,15 +1,25 @@
-// Bounded MPSC request queue for the serving runtime: many client threads
-// push predict requests, one execution thread pops them in micro-batches.
-// The bound turns overload into explicit load shedding (push() returns
-// false, the server reports the request as rejected) instead of unbounded
-// memory growth — the same back-pressure posture a network-facing replica
-// would need, kept in-process here.
+// Bounded, tenant-partitioned MPMC request queue for the serving runtime:
+// many client (or network) threads push predict requests into per-tenant
+// lanes; N replicated reader threads pop them in micro-batches assembled
+// by weighted round-robin across the lanes. Each lane's bound turns
+// overload into explicit per-tenant load shedding (push() reports kFull,
+// the server sheds the request as queue_full) instead of unbounded memory
+// growth — one noisy tenant fills its own lane, not the server.
+//
+// Completion model: a request resolves through its `done` callback,
+// invoked EXACTLY ONCE from whichever thread finishes it (a reader thread
+// on fulfilment, the submitting thread on admission shed, the stopping
+// thread on drain). The blocking predict() API wraps a promise in the
+// callback; the network front-end wraps a frame writer — the queue itself
+// never blocks a thread per in-flight request.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <future>
+#include <exception>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "runtime/mutex.hpp"
@@ -27,12 +37,19 @@ struct PredictResult {
   Tensor outputs;           ///< one row per requested node (all nodes if
                             ///< the request listed none)
   double queue_micros = 0;  ///< time spent waiting for the batcher
-  double total_micros = 0;  ///< enqueue -> promise fulfilled
+  double total_micros = 0;  ///< enqueue -> completion delivered
 };
+
+/// Exactly-once completion: `ep == nullptr` delivers the result; a
+/// non-null `ep` carries the typed failure (ShedError / StgError).
+using PredictCallback =
+    std::function<void(std::exception_ptr ep, PredictResult&& result)>;
 
 struct PredictRequest {
   std::vector<uint32_t> nodes;  ///< empty = all nodes
-  std::promise<PredictResult> promise;
+  uint16_t tenant = 0;          ///< wire-level tenant id
+  std::size_t tenant_slot = 0;  ///< dense stats/queue lane index
+  PredictCallback done;
   std::chrono::steady_clock::time_point enqueued;
   /// Absolute deadline; time_point::max() = none. Enforced at dequeue
   /// (expired requests shed without executing) and at completion.
@@ -40,43 +57,93 @@ struct PredictRequest {
       std::chrono::steady_clock::time_point::max();
 };
 
-class RequestQueue {
+/// Resolve a request exactly once (no-op on a callback-less request, which
+/// only ever exists in unit tests).
+inline void complete_request(PredictRequest& req, PredictResult&& res) {
+  if (req.done) {
+    PredictCallback cb = std::move(req.done);
+    req.done = nullptr;
+    cb(nullptr, std::move(res));
+  }
+}
+inline void fail_request(PredictRequest& req, const std::exception_ptr& ep) {
+  if (req.done) {
+    PredictCallback cb = std::move(req.done);
+    req.done = nullptr;
+    cb(ep, PredictResult{});
+  }
+}
+
+/// Static description of one tenant lane.
+struct TenantLane {
+  uint16_t id = 0;           ///< tenant id requests carry on the wire
+  uint32_t weight = 1;       ///< WRR share: max requests taken per visit
+  std::size_t capacity = 0;  ///< per-lane bound; 0 = use the set default
+};
+
+class TenantQueueSet {
  public:
   enum class PushResult : uint8_t {
     kOk,
-    kFull,    ///< at capacity — load shed (queue_full)
+    kFull,    ///< lane at capacity — load shed (queue_full)
     kClosed,  ///< close()d — server draining (draining)
   };
 
-  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+  /// `lanes` empty configures a single default lane {id 0, weight 1}.
+  /// Lane capacities of 0 fall back to `default_capacity`.
+  TenantQueueSet(std::vector<TenantLane> lanes, std::size_t default_capacity);
 
-  /// Request is untouched unless kOk is returned.
+  std::size_t num_lanes() const { return lanes_.size(); }
+  uint16_t lane_id(std::size_t lane) const { return lanes_[lane].spec.id; }
+  uint32_t lane_weight(std::size_t lane) const {
+    return lanes_[lane].spec.weight;
+  }
+  /// Dense lane index for a tenant id; unknown tenants map to lane 0 (the
+  /// default tenant) so a client with a bogus id is rate-shared, not
+  /// crashed.
+  std::size_t lane_of(uint16_t tenant) const;
+
+  /// Request is untouched unless kOk is returned. The lane is
+  /// req.tenant_slot (resolve with lane_of first).
   PushResult push(PredictRequest&& req);
 
-  /// Blocks until at least one request is available or the queue is closed,
-  /// then moves out up to `max_batch` requests. An empty result means
-  /// closed-and-drained: the exec loop should exit.
+  /// Blocks until at least one request is available or the queue is
+  /// closed, then assembles up to `max_batch` requests by weighted
+  /// round-robin: starting from a rotating cursor, each non-empty lane
+  /// contributes up to its weight per visit, cycling until the batch is
+  /// full or every lane is empty. Under saturation each tenant's share of
+  /// dequeued requests converges to weight / sum(weights). An empty result
+  /// means closed-and-drained: the reader loop should exit. Safe for many
+  /// concurrent poppers (the replicated readers).
   std::vector<PredictRequest> pop_batch(std::size_t max_batch);
 
   /// Move out everything queued right now without blocking (watchdog
   /// flush, drain-time rejection). Never returns requests to the queue.
   std::vector<PredictRequest> drain_all();
 
-  /// Wakes the popper; subsequent pushes fail, already-queued requests
-  /// still drain (the exec loop rejects them promptly while draining).
+  /// Wakes every popper; subsequent pushes fail, already-queued requests
+  /// still drain (readers reject them promptly while draining).
   void close();
   /// Re-arm after close() so the server can be start()ed again.
   void reopen();
 
   std::size_t depth() const;
   std::size_t max_depth() const;
+  std::size_t lane_depth(std::size_t lane) const;
 
  private:
-  const std::size_t capacity_;
+  struct Lane {
+    explicit Lane(TenantLane s) : spec(s) {}
+    TenantLane spec;
+    std::deque<PredictRequest> q;
+  };
+
+  std::vector<Lane> lanes_;  // layout fixed after construction
   mutable Mutex mu_;
   ConditionVariable cv_;
-  std::deque<PredictRequest> queue_ STG_GUARDED_BY(mu_);
+  std::size_t total_ STG_GUARDED_BY(mu_) = 0;
   std::size_t max_depth_ STG_GUARDED_BY(mu_) = 0;
+  std::size_t cursor_ STG_GUARDED_BY(mu_) = 0;
   bool closed_ STG_GUARDED_BY(mu_) = false;
 };
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
+#include <future>
 #include <limits>
+#include <unordered_set>
 #include <utility>
 
 #include "tensor/ops.hpp"
@@ -37,17 +39,36 @@ std::exception_ptr make_shed(ShedReason reason, const std::string& what) {
 
 }  // namespace
 
+std::vector<TenantLane> Server::make_lanes(const ServeConfig& cfg) {
+  std::vector<TenantLane> lanes = cfg.tenants;
+  if (lanes.empty()) lanes.push_back(TenantLane{});
+  std::unordered_set<uint16_t> seen;
+  for (const TenantLane& l : lanes)
+    STG_CHECK(seen.insert(l.id).second, "serve: duplicate tenant id ", l.id,
+              " in ServeConfig::tenants");
+  return lanes;
+}
+
 Server::Server(STGraphBase& graph, nn::TemporalModel& model, ServeConfig cfg)
     : graph_(graph),
       model_(model),
       cfg_(std::move(cfg)),
       executor_(graph),
-      queue_(cfg_.queue_capacity),
+      queue_(make_lanes(cfg_), cfg_.queue_capacity),
       admission_(cfg_.max_inflight_ingests) {
   STG_CHECK(cfg_.max_batch > 0, "serve: max_batch must be positive");
   STG_CHECK(cfg_.queue_capacity > 0, "serve: queue_capacity must be positive");
+  STG_CHECK(cfg_.num_readers > 0, "serve: num_readers must be positive");
   STG_CHECK(cfg_.circuit_failure_threshold > 0,
             "serve: circuit_failure_threshold must be positive");
+  std::vector<uint16_t> tenant_ids;
+  tenant_ids.reserve(queue_.num_lanes());
+  for (std::size_t i = 0; i < queue_.num_lanes(); ++i)
+    tenant_ids.push_back(queue_.lane_id(i));
+  stats_.configure(std::move(tenant_ids), cfg_.num_readers);
+  readers_.reserve(cfg_.num_readers);
+  for (std::size_t i = 0; i < cfg_.num_readers; ++i)
+    readers_.push_back(std::make_unique<ReaderContext>(graph_));
 }
 
 Server::~Server() { stop(); }
@@ -63,8 +84,9 @@ void Server::install(std::shared_ptr<const ModelSnapshot> snap) {
   snapshot_ = std::move(snap);
   stats_.record_swap();
   if (version_ != 0) {
-    // Live swap: bump the version so the cached step (computed with the
-    // old weights) can never serve another batch.
+    // Live swap: bump the version so the cached/published step (computed
+    // with the old weights) can never serve another batch — readers see
+    // the live_version_ move and take the refresh path.
     ++version_;
     publish_view_locked();
   }
@@ -112,6 +134,11 @@ void Server::start(Tensor features) {
 
   version_ = 1;
   step_version_ = 0;
+  {
+    // No step has been published for this run yet; readers must refresh.
+    MutexLock plk(pub_mu_);
+    published_.reset();
+  }
 
   // Arm the WAL on a fresh start: journal the exact (features, hidden) we
   // begin from so recovery reseeds bit-identically. recover() opens the
@@ -136,7 +163,7 @@ void Server::start(Tensor features) {
   consecutive_failures_.store(0, std::memory_order_relaxed);
   circuit_open_.store(false, std::memory_order_relaxed);
   circuit_open_until_ns_.store(0, std::memory_order_relaxed);
-  exec_busy_.store(false, std::memory_order_relaxed);
+  busy_readers_.store(0, std::memory_order_relaxed);
   touch_heartbeat();
   draining_.store(false, std::memory_order_release);
 
@@ -148,12 +175,16 @@ void Server::start(Tensor features) {
   }
   running_.store(true, std::memory_order_release);
   health_.store(HealthState::kHealthy, std::memory_order_release);
-  exec_thread_ = std::thread(&Server::exec_loop, this);
+  stats_.mark_serving_started(now_ns());
+  reader_threads_.reserve(readers_.size());
+  for (std::size_t i = 0; i < readers_.size(); ++i)
+    reader_threads_.emplace_back(&Server::reader_loop, this, i);
   if (cfg_.watchdog_interval_ms > 0.0)
     watchdog_thread_ = std::thread(&Server::watchdog_loop, this);
   STG_LOG_INFO << "serve: started at t=" << time_ << " ("
                << graph_.format_name() << ", " << view.num_edges
-               << " edges, max_batch=" << cfg_.max_batch
+               << " edges, max_batch=" << cfg_.max_batch << ", readers="
+               << readers_.size() << ", tenants=" << queue_.num_lanes()
                << (wal_ ? ", wal=" + cfg_.wal_path : std::string()) << ")";
 }
 
@@ -161,22 +192,26 @@ void Server::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   health_.store(HealthState::kDraining, std::memory_order_release);
   draining_.store(true, std::memory_order_release);
-  queue_.close();  // pushes fail; the exec loop promptly rejects the backlog
+  queue_.close();  // pushes fail; the reader loops promptly reject the backlog
   {
     MutexLock lk(wd_mu_);
     wd_stop_ = true;
   }
   wd_cv_.notify_all();
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
-  if (exec_thread_.joinable()) exec_thread_.join();
-  // Belt and braces: nothing should remain after the loop exits, but a
+  for (std::thread& t : reader_threads_)
+    if (t.joinable()) t.join();
+  reader_threads_.clear();
+  // Belt and braces: nothing should remain after the loops exit, but a
   // parked waiter is the one failure mode drain must never produce.
   std::vector<PredictRequest> leftovers = queue_.drain_all();
   if (!leftovers.empty()) {
-    stats_.record_shed(ShedReason::kDraining, leftovers.size());
     const std::exception_ptr ep =
         make_shed(ShedReason::kDraining, "serve: server draining");
-    for (auto& req : leftovers) req.promise.set_exception(ep);
+    for (auto& req : leftovers) {
+      stats_.record_shed(ShedReason::kDraining, 1, req.tenant_slot);
+      fail_request(req, ep);
+    }
   }
   {
     MutexLock lk(exec_mu_);
@@ -249,88 +284,143 @@ void Server::recover(const std::string& checkpoint_path,
 }
 
 PredictResult Server::predict(std::vector<uint32_t> nodes) {
-  return predict_with_deadline(std::move(nodes), default_deadline_ns());
+  return predict_blocking(std::move(nodes), /*tenant=*/0,
+                          default_deadline_ns());
 }
 
 PredictResult Server::predict(std::vector<uint32_t> nodes,
                               std::chrono::nanoseconds deadline) {
-  return predict_with_deadline(std::move(nodes), deadline.count());
+  return predict_blocking(std::move(nodes), /*tenant=*/0, deadline.count());
 }
 
-PredictResult Server::predict_with_deadline(std::vector<uint32_t> nodes,
-                                            int64_t budget_ns) {
+PredictResult Server::predict(std::vector<uint32_t> nodes,
+                              const PredictOptions& opts) {
+  const int64_t budget = opts.deadline_ms < 0
+                             ? default_deadline_ns()
+                             : static_cast<int64_t>(opts.deadline_ms * 1e6);
+  return predict_blocking(std::move(nodes), opts.tenant, budget);
+}
+
+PredictResult Server::predict_blocking(std::vector<uint32_t> nodes,
+                                       uint16_t tenant, int64_t budget_ns) {
+  // The blocking API is the async one with a promise behind the callback.
+  // The callback fires exactly once (possibly on this thread, on an
+  // admission shed) before fut.get() returns, so the stack storage is safe.
+  std::promise<PredictResult> prom;
+  std::future<PredictResult> fut = prom.get_future();
+  submit_predict(std::move(nodes), tenant, budget_ns,
+                 [&prom](std::exception_ptr ep, PredictResult&& res) {
+                   if (ep)
+                     prom.set_exception(ep);
+                   else
+                     prom.set_value(std::move(res));
+                 });
+  return fut.get();  // rethrows the batch's failure or shed, if any
+}
+
+void Server::predict_async(std::vector<uint32_t> nodes,
+                           const PredictOptions& opts, PredictCallback done) {
+  const int64_t budget = opts.deadline_ms < 0
+                             ? default_deadline_ns()
+                             : static_cast<int64_t>(opts.deadline_ms * 1e6);
+  submit_predict(std::move(nodes), opts.tenant, budget, std::move(done));
+}
+
+void Server::submit_predict(std::vector<uint32_t> nodes, uint16_t tenant,
+                            int64_t budget_ns, PredictCallback done) {
+  PredictRequest req;
+  req.nodes = std::move(nodes);
+  req.tenant = tenant;
+  req.tenant_slot = queue_.lane_of(tenant);
+  req.done = std::move(done);
+  req.enqueued = clock::now();
+  if (budget_ns > 0)
+    req.deadline = req.enqueued + std::chrono::nanoseconds(budget_ns);
+  // Every submission is `issued` exactly once, and every exit below —
+  // fulfil, stale, fail, shed — records exactly once against the same
+  // tenant slot: the accounting identity the chaos harness asserts.
+  stats_.record_issued(req.tenant_slot);
+
   if (!running()) {
-    stats_.record_shed(ShedReason::kDraining);
-    throw ShedError(ShedReason::kDraining,
-                    "serve: predict() on a stopped server");
+    stats_.record_shed(ShedReason::kDraining, 1, req.tenant_slot);
+    fail_request(req, make_shed(ShedReason::kDraining,
+                                "serve: predict() on a stopped server"));
+    return;
   }
-  const auto enqueued = clock::now();
 
   // Circuit open: answer from the last-good step (version-tagged stale)
   // without queueing behind the failing execution path.
-  if (circuit_blocks_now()) return serve_stale(nodes, enqueued);
+  if (circuit_blocks_now()) {
+    serve_stale(req);
+    return;
+  }
 
   ShedReason reason = ShedReason::kQueueFull;
   if (admission_.admit_predict(budget_ns, &reason) ==
       AdmissionController::Decision::kShed) {
-    stats_.record_shed(reason);
-    throw ShedError(reason,
-                    "serve: admission shed — expected queue delay " +
-                        std::to_string(admission_.expected_queue_delay_ns() /
-                                       1000) +
-                        "us exceeds the deadline budget " +
-                        std::to_string(budget_ns / 1000) + "us");
+    stats_.record_shed(reason, 1, req.tenant_slot);
+    fail_request(
+        req,
+        make_shed(reason,
+                  "serve: admission shed — expected queue delay " +
+                      std::to_string(admission_.expected_queue_delay_ns() /
+                                     1000) +
+                      "us exceeds the deadline budget " +
+                      std::to_string(budget_ns / 1000) + "us"));
+    return;
   }
 
-  PredictRequest req;
-  req.nodes = std::move(nodes);
-  req.enqueued = enqueued;
-  if (budget_ns > 0) req.deadline = enqueued + std::chrono::nanoseconds(budget_ns);
-  std::future<PredictResult> fut = req.promise.get_future();
   switch (queue_.push(std::move(req))) {
-    case RequestQueue::PushResult::kOk:
-      break;
-    case RequestQueue::PushResult::kFull:
-      stats_.record_shed(ShedReason::kQueueFull);
-      throw ShedError(ShedReason::kQueueFull,
-                      "serve: request queue full (capacity " +
-                          std::to_string(cfg_.queue_capacity) +
-                          ") — request shed");
-    case RequestQueue::PushResult::kClosed:
-      stats_.record_shed(ShedReason::kDraining);
-      throw ShedError(ShedReason::kDraining,
-                      "serve: server draining — request rejected");
+    case TenantQueueSet::PushResult::kOk:
+      return;
+    case TenantQueueSet::PushResult::kFull:
+      stats_.record_shed(ShedReason::kQueueFull, 1, req.tenant_slot);
+      fail_request(req,
+                   make_shed(ShedReason::kQueueFull,
+                             "serve: tenant " + std::to_string(tenant) +
+                                 " queue full — request shed"));
+      return;
+    case TenantQueueSet::PushResult::kClosed:
+      stats_.record_shed(ShedReason::kDraining, 1, req.tenant_slot);
+      fail_request(req, make_shed(ShedReason::kDraining,
+                                  "serve: server draining — request rejected"));
+      return;
   }
-  return fut.get();  // rethrows the batch's failure or shed, if any
 }
 
-PredictResult Server::serve_stale(const std::vector<uint32_t>& nodes,
-                                  clock::time_point enqueued) {
+void Server::serve_stale(PredictRequest& req) {
   MutexLock lk(stale_mu_);
   if (!last_good_out_.defined()) {
-    stats_.record_shed(ShedReason::kCircuitOpen);
-    throw ShedError(ShedReason::kCircuitOpen,
-                    "serve: circuit open and no last-good step to serve");
+    stats_.record_shed(ShedReason::kCircuitOpen, 1, req.tenant_slot);
+    fail_request(req,
+                 make_shed(ShedReason::kCircuitOpen,
+                           "serve: circuit open and no last-good step to "
+                           "serve"));
+    return;
   }
   const auto n = static_cast<uint32_t>(last_good_out_.rows());
-  for (uint32_t node : nodes) {
+  for (uint32_t node : req.nodes) {
     if (node >= n) {
-      stats_.record_failed(1);
-      throw StgError("serve: predict node " + std::to_string(node) +
-                     " outside the " + std::to_string(n) + "-node graph");
+      stats_.record_failed(1, req.tenant_slot);
+      fail_request(req, std::make_exception_ptr(StgError(
+                            "serve: predict node " + std::to_string(node) +
+                            " outside the " + std::to_string(n) +
+                            "-node graph")));
+      return;
     }
   }
   PredictResult res;
   res.timestamp = last_good_time_;
   res.version = last_good_version_;
   res.stale = true;
-  res.outputs =
-      nodes.empty() ? last_good_out_ : ops::gather_rows(last_good_out_, nodes);
+  res.outputs = req.nodes.empty() ? last_good_out_
+                                  : ops::gather_rows(last_good_out_, req.nodes);
   res.queue_micros = 0.0;
-  res.total_micros = micros_between(enqueued, clock::now());
+  res.total_micros = micros_between(req.enqueued, clock::now());
   stats_.record_stale_served(res.total_micros,
-                             static_cast<uint64_t>(res.outputs.rows()));
-  return res;
+                             static_cast<uint64_t>(res.outputs.rows()),
+                             req.tenant_slot);
+  complete_request(req, std::move(res));
 }
 
 void Server::ingest(const EdgeDelta& delta, Tensor next_features) {
@@ -438,9 +528,10 @@ void Server::ingest_locked(const EdgeDelta& delta, Tensor next_features,
 
   // h_{t+1} is a function of (x_t, h_t) on snapshot t — compute it before
   // the graph moves. Reuses the cached step when a batch already ran here.
-  // A failed forward counts against the circuit like a failed batch.
+  // A failed forward counts against the circuit like a failed batch. The
+  // writer path runs on its own executor_ — never a reader's.
   try {
-    if (ensure_step_locked()) stats_.record_cache_hit();
+    if (ensure_step_locked(executor_)) stats_.record_cache_hit();
   } catch (...) {
     executor_.abort_sequence();
     step_version_ = 0;
@@ -489,22 +580,28 @@ ReadView Server::read_view() const {
 
 StatsReport Server::stats() const {
   return stats_.report(queue_.max_depth(),
-                       health_.load(std::memory_order_acquire));
+                       health_.load(std::memory_order_acquire), now_ns());
 }
 
 void Server::publish_view_locked() {
-  MutexLock lk(view_mu_);
-  view_ = {time_, version_, static_cast<uint32_t>(edges_.size())};
+  {
+    MutexLock lk(view_mu_);
+    view_ = {time_, version_, static_cast<uint32_t>(edges_.size())};
+  }
+  // Readers compare their published step against this mirror without
+  // taking exec_mu_; store AFTER the view so a reader that refreshes on a
+  // version bump finds the committed state.
+  live_version_.store(version_, std::memory_order_release);
 }
 
-bool Server::ensure_step_locked() {
+bool Server::ensure_step_locked(core::TemporalExecutor& exec) {
   if (step_version_ == version_) return true;
   NoGradGuard ng;  // covers whichever thread runs the step (thread-local)
   Timer timer;
-  executor_.begin_forward_step(time_);
+  exec.begin_forward_step(time_);
   const float* weights =
       cfg_.edge_weights.empty() ? nullptr : cfg_.edge_weights.data();
-  auto [out, h_next] = model_.step(executor_, features_, hidden_, weights);
+  auto [out, h_next] = model_.step(exec, features_, hidden_, weights);
   STG_FAILPOINT("serve.step.poison",
                 out.data()[0] = std::numeric_limits<float>::quiet_NaN());
   if (cfg_.check_outputs) {
@@ -526,6 +623,36 @@ bool Server::ensure_step_locked() {
     last_good_version_ = version_;
   }
   return false;
+}
+
+std::shared_ptr<const PublishedStep> Server::published_step() const {
+  MutexLock lk(pub_mu_);
+  return published_;
+}
+
+std::shared_ptr<const PublishedStep> Server::refresh_step(
+    std::size_t reader_idx) {
+  MutexLock lk(exec_mu_);
+  core::TemporalExecutor& exec = readers_[reader_idx]->executor;
+  try {
+    if (ensure_step_locked(exec)) stats_.record_cache_hit();
+  } catch (...) {
+    exec.abort_sequence();
+    step_version_ = 0;
+    throw;
+  }
+  auto step = std::make_shared<PublishedStep>();
+  step->out = step_out_;
+  step->time = time_;
+  step->version = version_;  // == step_version_ here
+  {
+    // Published versions are monotone: we hold exec_mu_, and every other
+    // publisher does too, so version_ can only have grown since the last
+    // publication.
+    MutexLock plk(pub_mu_);
+    published_ = step;
+  }
+  return step;
 }
 
 bool Server::circuit_blocks_now() const {
@@ -565,29 +692,35 @@ void Server::note_batch_success() {
   }
 }
 
-void Server::exec_loop() {
+void Server::reader_loop(std::size_t reader_idx) {
   NoGradGuard ng;
   while (true) {
     std::vector<PredictRequest> batch = queue_.pop_batch(cfg_.max_batch);
     if (batch.empty()) return;  // queue closed and drained
     touch_heartbeat();
-    exec_busy_.store(true, std::memory_order_release);
-    process_batch(std::move(batch));
-    exec_busy_.store(false, std::memory_order_release);
+    busy_readers_.fetch_add(1, std::memory_order_acq_rel);
+    const int64_t t0 = now_ns();
+    process_batch(reader_idx, std::move(batch));
+    stats_.add_reader_busy(reader_idx,
+                           static_cast<uint64_t>(now_ns() - t0));
+    busy_readers_.fetch_sub(1, std::memory_order_acq_rel);
     touch_heartbeat();
   }
 }
 
-void Server::process_batch(std::vector<PredictRequest> batch) {
+void Server::process_batch(std::size_t reader_idx,
+                           std::vector<PredictRequest> batch) {
   const auto dequeued = clock::now();
 
   // Draining: reject promptly with a typed error — never execute, never
   // leave a waiter parked behind a shutdown.
   if (draining_.load(std::memory_order_acquire)) {
-    stats_.record_shed(ShedReason::kDraining, batch.size());
     const std::exception_ptr ep =
         make_shed(ShedReason::kDraining, "serve: server draining");
-    for (auto& req : batch) req.promise.set_exception(ep);
+    for (auto& req : batch) {
+      stats_.record_shed(ShedReason::kDraining, 1, req.tenant_slot);
+      fail_request(req, ep);
+    }
     return;
   }
 
@@ -599,8 +732,8 @@ void Server::process_batch(std::vector<PredictRequest> batch) {
   for (auto& req : batch) {
     admission_.observe_queue_delay(ns_between(req.enqueued, dequeued));
     if (dequeued > req.deadline) {
-      stats_.record_shed(ShedReason::kDeadlineExpired);
-      req.promise.set_exception(make_shed(
+      stats_.record_shed(ShedReason::kDeadlineExpired, 1, req.tenant_slot);
+      fail_request(req, make_shed(
           ShedReason::kDeadlineExpired,
           "serve: deadline expired after " +
               std::to_string(static_cast<int64_t>(
@@ -613,55 +746,70 @@ void Server::process_batch(std::vector<PredictRequest> batch) {
   if (live.empty()) return;
   stats_.record_batch(live.size());
 
-  MutexLock lk(exec_mu_);
   std::size_t done = 0;
   try {
+    // The per-batch failpoints fire OUTSIDE the exec lock: injected batch
+    // latency models per-batch service time, and with N readers sleeping
+    // concurrently the injected floor overlaps — which is exactly the
+    // scaling the reader-replication bench measures.
     STG_FAILPOINT("serve.batch.delay",
                   std::this_thread::sleep_for(std::chrono::milliseconds(50)));
     touch_heartbeat();
     STG_FAILPOINT("serve.batch.dispatch",
                   throw StgError("failpoint serve.batch.dispatch fired"));
-    if (ensure_step_locked()) stats_.record_cache_hit();
+
+    // Fast path: the published step matches the live version — serve row
+    // gathers without the exec lock. Slow path: whichever reader gets to
+    // exec_mu_ first computes-or-reuses the step and publishes it.
+    std::shared_ptr<const PublishedStep> step = published_step();
+    if (step && step->version ==
+                    live_version_.load(std::memory_order_acquire)) {
+      stats_.record_cache_hit();
+    } else {
+      step = refresh_step(reader_idx);
+    }
     note_batch_success();
+
     const auto fulfilled = clock::now();
+    const auto num_nodes = static_cast<uint32_t>(step->out.rows());
     for (; done < live.size(); ++done) {
       PredictRequest& req = live[done];
       // Deadline enforcement at completion: the pass ran, but a client
       // whose budget elapsed mid-batch still gets the typed shed (it may
       // already have moved on).
       if (fulfilled > req.deadline) {
-        stats_.record_shed(ShedReason::kDeadlineExpired);
-        req.promise.set_exception(make_shed(
+        stats_.record_shed(ShedReason::kDeadlineExpired, 1, req.tenant_slot);
+        fail_request(req, make_shed(
             ShedReason::kDeadlineExpired,
             "serve: request completed past its deadline"));
         continue;
       }
       PredictResult res;
-      res.timestamp = time_;
-      res.version = version_;
+      res.timestamp = step->time;
+      res.version = step->version;
       for (uint32_t node : req.nodes)
-        STG_CHECK(node < graph_.num_nodes(), "serve: predict node ", node,
-                  " outside the ", graph_.num_nodes(), "-node graph");
-      res.outputs = req.nodes.empty()
-                        ? step_out_
-                        : ops::gather_rows(step_out_, req.nodes);
+        STG_CHECK(node < num_nodes, "serve: predict node ", node,
+                  " outside the ", num_nodes, "-node graph");
+      res.outputs = req.nodes.empty() ? step->out
+                                      : ops::gather_rows(step->out, req.nodes);
       res.queue_micros = micros_between(req.enqueued, dequeued);
       res.total_micros = micros_between(req.enqueued, clock::now());
       stats_.record_request(res.total_micros,
-                            static_cast<uint64_t>(res.outputs.rows()));
-      req.promise.set_value(std::move(res));
+                            static_cast<uint64_t>(res.outputs.rows()),
+                            req.tenant_slot, reader_idx);
+      complete_request(req, std::move(res));
     }
   } catch (...) {
     // A failed dispatch fails this batch's outstanding requests but the
-    // server keeps serving; a throw mid-forward may have left the
-    // executor mid-step, so unwind it and drop the step cache. Repeated
-    // failures trip the circuit into stale-serving mode.
-    executor_.abort_sequence();
-    step_version_ = 0;
+    // server keeps serving (refresh_step already unwound the executor if
+    // the throw came mid-forward). Repeated failures trip the circuit
+    // into stale-serving mode.
     note_batch_failure();
-    stats_.record_failed(live.size() - done);
     const std::exception_ptr ep = std::current_exception();
-    for (; done < live.size(); ++done) live[done].promise.set_exception(ep);
+    for (; done < live.size(); ++done) {
+      stats_.record_failed(1, live[done].tenant_slot);
+      fail_request(live[done], ep);
+    }
   }
 }
 
@@ -674,24 +822,27 @@ void Server::watchdog_loop() {
   while (!wd_stop_) {
     wd_cv_.wait_for(lk, interval);
     if (wd_stop_) break;
-    if (!exec_busy_.load(std::memory_order_acquire)) continue;
+    if (busy_readers_.load(std::memory_order_acquire) == 0) continue;
     const int64_t hb = heartbeat_ns_.load(std::memory_order_acquire);
     if (now_ns() - hb < stall_ns) continue;
-    // The execution thread has been inside one batch past the stall
-    // budget. We cannot rescue the requests it already holds, but we can
-    // stop new ones from piling up behind it: fail the circuit (predicts
-    // divert to the stale path) and flush everything still queued.
+    // At least one reader has been inside one batch past the stall budget
+    // with no liveness signal from any of them. We cannot rescue the
+    // requests already in flight, but we can stop new ones from piling up
+    // behind the stall: fail the circuit (predicts divert to the stale
+    // path) and flush everything still queued.
     stats_.record_watchdog_stall();
-    STG_LOG_WARN << "serve: watchdog — execution loop stalled for "
+    STG_LOG_WARN << "serve: watchdog — reader loop stalled for "
                  << (now_ns() - hb) / 1000000 << "ms; tripping circuit";
     trip_circuit();
     std::vector<PredictRequest> waiting = queue_.drain_all();
     if (!waiting.empty()) {
-      stats_.record_shed(ShedReason::kCircuitOpen, waiting.size());
       const std::exception_ptr ep = make_shed(
           ShedReason::kCircuitOpen,
-          "serve: execution thread stalled — request flushed by watchdog");
-      for (auto& req : waiting) req.promise.set_exception(ep);
+          "serve: reader thread stalled — request flushed by watchdog");
+      for (auto& req : waiting) {
+        stats_.record_shed(ShedReason::kCircuitOpen, 1, req.tenant_slot);
+        fail_request(req, ep);
+      }
     }
   }
 }

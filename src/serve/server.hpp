@@ -1,51 +1,63 @@
-// Streaming inference server (the serve subsystem's core): owns a
-// forward-only TemporalExecutor over a live graph object and a frozen
-// TemporalModel, and exposes two concurrent entry points —
+// Streaming inference server (the serve subsystem's core): owns a frozen
+// TemporalModel over a live graph object and exposes two concurrent entry
+// points —
 //
-//   predict(nodes)  — blocking micro-batched inference. Requests from any
-//                     number of client threads land in a bounded queue; a
-//                     dedicated execution thread pops them in batches of
-//                     up to ServeConfig::max_batch and serves an entire
-//                     batch from at most ONE forward pass (the step output
-//                     for the current server version is cached; per-request
-//                     node subsets are row gathers on it).
+//   predict(nodes)  — micro-batched inference, sync (blocking) or async
+//                     (predict_async, completion callback — what the
+//                     network front-end uses). Requests land in bounded
+//                     per-tenant queues; N replicated READER threads pop
+//                     them in weighted-round-robin micro-batches of up to
+//                     ServeConfig::max_batch and serve an entire batch
+//                     from at most ONE forward pass. The step output for
+//                     the current server version is computed once (by
+//                     whichever reader gets there first, on its own
+//                     inference-mode TemporalExecutor under the exec
+//                     lock), then PUBLISHED as an immutable snapshot —
+//                     every other reader serves row gathers from the
+//                     published step without touching the exec lock, so
+//                     predict() throughput scales with reader count while
+//                     outputs stay bit-identical to the single-executor
+//                     path (the pass runs once per version either way).
 //
-//   ingest(delta, x) — advance the timeline by one step: validate the edge
-//                      delta against the live edge set, compute h_{t+1}
-//                      from (x_t, h_t) on the OLD snapshot, journal the
-//                      step to the WAL (when armed), append the delta to
-//                      the graph, commit the new (time, features, hidden)
-//                      and bump the version. Validation happens before any
-//                      mutation, so a rejected or fault-injected delta
-//                      leaves the published read view on the previous
-//                      consistent snapshot.
+//   ingest(delta, x) — the single WRITER path: advance the timeline by one
+//                      step: validate the edge delta against the live edge
+//                      set, compute h_{t+1} from (x_t, h_t) on the OLD
+//                      snapshot, journal the step to the WAL (when armed),
+//                      append the delta to the graph, commit the new
+//                      (time, features, hidden) and bump the version.
+//                      Validation happens before any mutation, so a
+//                      rejected or fault-injected delta leaves the
+//                      published read view on the previous consistent
+//                      snapshot.
 //
 // Overload & failure posture (docs/serving.md "Failure semantics"):
 //   * every request carries a deadline (ServeConfig::default_deadline_ms,
 //     per-call override) enforced at admission (queue-delay early shed),
 //     at dequeue (expired requests never execute) and at completion;
-//   * an AdmissionController sheds with a typed ShedReason taxonomy
-//     (queue_full / deadline_expired / draining / circuit_open) counted
-//     per reason in ServerStats — no request is ever silently dropped;
+//   * per-tenant bounded lanes + an AdmissionController shed with a typed
+//     ShedReason taxonomy (queue_full / deadline_expired / draining /
+//     circuit_open) counted per reason AND per tenant in ServerStats — no
+//     request is ever silently dropped;
 //   * a circuit breaker trips after consecutive batch failures or
 //     non-finite outputs; while open, predict() serves the last-good
 //     cached step (version-tagged stale) instead of erroring, and a
 //     cooldown admits a probe batch that closes the circuit on success;
-//   * a watchdog thread detects a stalled execution loop, fails the
-//     circuit, and flushes parked requests rather than hanging clients;
+//   * a watchdog thread detects stalled reader loops, fails the circuit,
+//     and flushes parked requests rather than hanging clients;
 //   * with ServeConfig::wal_path set, every committed step is journaled
 //     (CRC-framed, fsync'd) and recover(checkpoint, wal) replays the log
 //     on top of an STGT snapshot to republish a bit-identical read view
 //     after kill -9, truncating any torn tail first.
 //
-// Consistency model: exec_mu_ serializes all model/graph access (one model
-// instance, one executor — the paper's execution model is single-stream).
-// The published ReadView, the ModelSnapshot handle and the last-good stale
-// step are the only state clients observe without that lock; all swap
-// atomically under it. Failpoints: serve.checkpoint.load (in
-// ModelSnapshot::load), serve.delta.apply, serve.batch.dispatch,
-// serve.batch.delay (injected latency), serve.step.poison (NaN output),
-// serve.wal.append.
+// Consistency model: exec_mu_ serializes all model/graph/executor access
+// (one model instance; graph positioning mutates shared state, so the
+// forward pass itself is single-stream, per the paper's execution model).
+// What clients observe without that lock: the published ReadView, the
+// ModelSnapshot handle, the last-good stale step, and the published
+// current-version step (pub_mu_, a pointer copy) — all swap atomically.
+// Failpoints: serve.checkpoint.load (in ModelSnapshot::load),
+// serve.delta.apply, serve.batch.dispatch, serve.batch.delay (injected
+// latency), serve.step.poison (NaN output), serve.wal.append.
 #pragma once
 
 #include <atomic>
@@ -74,11 +86,23 @@ namespace stgraph::serve {
 
 struct ServeConfig {
   std::size_t max_batch = 16;       ///< micro-batch ceiling per dispatch
-  std::size_t queue_capacity = 1024;///< bound before load shedding kicks in
+  std::size_t queue_capacity = 1024;///< per-lane bound before load shedding
   uint32_t start_time = 0;          ///< timestamp start() positions at
   bool resume_hidden = false;       ///< seed h from the snapshot's carried
                                     ///< hidden state instead of initial_state
   std::vector<float> edge_weights;  ///< optional per-edge weights (by eid)
+
+  // ---- replicated readers ------------------------------------------------
+  /// Reader threads serving predict() concurrently. Each has its own
+  /// inference-mode TemporalExecutor and latency histogram; all serve the
+  /// same published step, so outputs are reader-count-invariant.
+  std::size_t num_readers = 1;
+
+  // ---- tenants -----------------------------------------------------------
+  /// Tenant lanes (id, WRR weight, per-lane capacity). Empty = a single
+  /// default tenant {id 0, weight 1, queue_capacity}. Requests carrying an
+  /// unknown tenant id share the first lane.
+  std::vector<TenantLane> tenants;
 
   // ---- deadlines & admission control ------------------------------------
   /// Default per-request deadline for predict() and ingest(); 0 = none.
@@ -102,7 +126,7 @@ struct ServeConfig {
   /// Watchdog poll period; 0 disables the watchdog thread.
   double watchdog_interval_ms = 100.0;
   /// A batch older than this without a heartbeat counts as a stalled
-  /// execution loop: the circuit fails and parked requests are flushed.
+  /// reader loop: the circuit fails and parked requests are flushed.
   double watchdog_stall_ms = 2000.0;
 
   // ---- durability --------------------------------------------------------
@@ -122,10 +146,27 @@ struct ReadView {
   uint32_t num_edges = 0;
 };
 
+/// Immutable forward-pass output for one server version, shared by every
+/// reader thread as shared_ptr<const PublishedStep> — the lock-free read
+/// path of the replicated-reader design.
+struct PublishedStep {
+  Tensor out;            ///< full [num_nodes, out_features] step output
+  uint32_t time = 0;
+  uint64_t version = 0;
+};
+
+/// Per-call options for the async predict path.
+struct PredictOptions {
+  uint16_t tenant = 0;
+  /// < 0: use ServeConfig::default_deadline_ms; 0: no deadline; > 0: this
+  /// many milliseconds of budget.
+  double deadline_ms = -1.0;
+};
+
 class Server {
  public:
   /// The graph and model outlive the server; the server owns its own
-  /// executor (inference mode) so a trainer's executor is never shared.
+  /// executors (inference mode) so a trainer's executor is never shared.
   Server(STGraphBase& graph, nn::TemporalModel& model, ServeConfig cfg = {});
   ~Server();
   Server(const Server&) = delete;
@@ -142,13 +183,13 @@ class Server {
   std::shared_ptr<const ModelSnapshot> snapshot() const;
 
   /// Begin serving at cfg.start_time with the given node features
-  /// ([num_nodes, F]). Spawns the execution thread (and the watchdog, when
+  /// ([num_nodes, F]). Spawns the reader threads (and the watchdog, when
   /// enabled); arms the WAL when cfg.wal_path is set.
   void start(Tensor features);
-  /// Graceful shutdown: close the queue, promptly reject everything still
+  /// Graceful shutdown: close the queues, promptly reject everything still
   /// queued with a `draining` shed (never execute it, never leave a client
-  /// parked), sync the WAL, join the threads. Idempotent; the destructor
-  /// calls it.
+  /// parked), drain the readers, sync the WAL, join the threads.
+  /// Idempotent; the destructor calls it.
   void stop();
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -170,6 +211,17 @@ class Server {
   /// predict() with a per-call deadline override (<= 0 disables).
   PredictResult predict(std::vector<uint32_t> nodes,
                         std::chrono::nanoseconds deadline);
+  /// Blocking predict with full per-call options (tenant + deadline).
+  PredictResult predict(std::vector<uint32_t> nodes,
+                        const PredictOptions& opts);
+
+  /// Non-blocking submission: `done` is invoked exactly once — with the
+  /// result, or with the typed exception a blocking predict() would have
+  /// thrown — from whichever thread completes the request (possibly the
+  /// calling thread, on an admission shed). The network front-end's
+  /// request path; never parks a thread per in-flight request.
+  void predict_async(std::vector<uint32_t> nodes, const PredictOptions& opts,
+                     PredictCallback done);
 
   /// Advance the served timeline by one timestep (synchronous, called from
   /// any thread) under the config's default deadline. For appendable
@@ -186,27 +238,50 @@ class Server {
     return health_.load(std::memory_order_acquire);
   }
   StatsReport stats() const;
+  std::size_t num_readers() const { return readers_.size(); }
 
  private:
   using clock = std::chrono::steady_clock;
 
-  void exec_loop();
-  void process_batch(std::vector<PredictRequest> batch);
+  /// One replicated reader: a private inference-mode executor (used only
+  /// when this reader is the one refreshing the step, under exec_mu_).
+  /// Latency histograms and busy-time counters live in ServerStats, keyed
+  /// by reader index.
+  struct ReaderContext {
+    explicit ReaderContext(STGraphBase& graph) : executor(graph) {
+      executor.set_inference_mode(true);
+    }
+    core::TemporalExecutor executor;
+  };
+
+  static std::vector<TenantLane> make_lanes(const ServeConfig& cfg);
+
+  void reader_loop(std::size_t reader_idx);
+  void process_batch(std::size_t reader_idx,
+                     std::vector<PredictRequest> batch);
   void watchdog_loop();
-  PredictResult predict_with_deadline(std::vector<uint32_t> nodes,
-                                      int64_t budget_ns);
-  PredictResult serve_stale(const std::vector<uint32_t>& nodes,
-                            clock::time_point enqueued)
-      STG_EXCLUDES(stale_mu_);
+  void submit_predict(std::vector<uint32_t> nodes, uint16_t tenant,
+                      int64_t budget_ns, PredictCallback done);
+  PredictResult predict_blocking(std::vector<uint32_t> nodes, uint16_t tenant,
+                                 int64_t budget_ns);
+  void serve_stale(PredictRequest& req) STG_EXCLUDES(stale_mu_);
   void ingest_with_deadline(const EdgeDelta& delta, Tensor next_features,
                             int64_t budget_ns);
   void ingest_locked(const EdgeDelta& delta, Tensor next_features,
                      const Timer& timer) STG_REQUIRES(exec_mu_);
-  /// Run (or reuse) the forward pass for the current version. Returns true
-  /// when the cached step was reused. Fresh outputs are NaN-checked and
-  /// become the last-good stale fallback.
-  bool ensure_step_locked() STG_REQUIRES(exec_mu_) STG_EXCLUDES(stale_mu_);
+  /// Run (or reuse) the forward pass for the current version on `exec`.
+  /// Returns true when the cached step was reused. Fresh outputs are
+  /// NaN-checked and become the last-good stale fallback.
+  bool ensure_step_locked(core::TemporalExecutor& exec)
+      STG_REQUIRES(exec_mu_) STG_EXCLUDES(stale_mu_);
   void publish_view_locked() STG_REQUIRES(exec_mu_) STG_EXCLUDES(view_mu_);
+  /// Lock-free copy of the published step (pub_mu_ pointer copy only).
+  std::shared_ptr<const PublishedStep> published_step() const
+      STG_EXCLUDES(pub_mu_);
+  /// Slow path: compute (or reuse) the step for the current version under
+  /// exec_mu_ on this reader's executor, publish it, return it.
+  std::shared_ptr<const PublishedStep> refresh_step(std::size_t reader_idx)
+      STG_EXCLUDES(exec_mu_, pub_mu_);
 
   // ---- circuit breaker ----------------------------------------------------
   /// True while the circuit is open and the cooldown has not elapsed
@@ -234,11 +309,14 @@ class Server {
   STGraphBase& graph_;
   nn::TemporalModel& model_;
   ServeConfig cfg_;
+  /// Writer-path executor (ingest/recover compute h_{t+1} on it).
   core::TemporalExecutor executor_ STG_GUARDED_BY(exec_mu_);
-  RequestQueue queue_;
+  TenantQueueSet queue_;
   AdmissionController admission_;
   ServerStats stats_;
-  std::thread exec_thread_;
+  /// Replicated reader contexts — sized at construction, immutable after.
+  std::vector<std::unique_ptr<ReaderContext>> readers_;
+  std::vector<std::thread> reader_threads_;
   std::thread watchdog_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
@@ -248,19 +326,19 @@ class Server {
   std::atomic<uint32_t> consecutive_failures_{0};
   std::atomic<bool> circuit_open_{false};
   std::atomic<int64_t> circuit_open_until_ns_{0};
-  /// Last liveness signal from the execution thread (steady-clock ns).
+  /// Last liveness signal from any reader thread (steady-clock ns).
   std::atomic<int64_t> heartbeat_ns_{0};
-  /// True while the execution thread is inside a batch.
-  std::atomic<bool> exec_busy_{false};
+  /// Readers currently inside a batch.
+  std::atomic<uint32_t> busy_readers_{0};
 
   // ---- watchdog signalling ------------------------------------------------
   Mutex wd_mu_;
   ConditionVariable wd_cv_;
   bool wd_stop_ STG_GUARDED_BY(wd_mu_) = false;
 
-  /// Serializes all model/graph/executor access; acquired before view_mu_
-  /// and stale_mu_.
-  mutable Mutex exec_mu_ STG_ACQUIRED_BEFORE(view_mu_, stale_mu_);
+  /// Serializes all model/graph/executor access; acquired before view_mu_,
+  /// pub_mu_ and stale_mu_.
+  mutable Mutex exec_mu_ STG_ACQUIRED_BEFORE(view_mu_, stale_mu_, pub_mu_);
   std::shared_ptr<const ModelSnapshot> snapshot_ STG_GUARDED_BY(exec_mu_);
   /// Live edge set (delta validation).
   std::unordered_set<uint64_t> edges_ STG_GUARDED_BY(exec_mu_);
@@ -287,6 +365,13 @@ class Server {
 
   mutable Mutex view_mu_;
   ReadView view_ STG_GUARDED_BY(view_mu_);
+  /// Mirror of version_ readable without exec_mu_ (readers' staleness
+  /// check); written only inside publish_view_locked().
+  std::atomic<uint64_t> live_version_{0};
+
+  /// Published current-version step (readers' lock-free serve path).
+  mutable Mutex pub_mu_;
+  std::shared_ptr<const PublishedStep> published_ STG_GUARDED_BY(pub_mu_);
 
   /// Last-good step for stale-but-bounded reads while the circuit is open.
   mutable Mutex stale_mu_;

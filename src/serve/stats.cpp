@@ -34,6 +34,18 @@ void LatencyHistogram::record(double micros) {
   atomic_max(max_us_, static_cast<uint64_t>(micros));
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_us_.fetch_add(other.sum_us_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  atomic_max(max_us_, other.max_us_.load(std::memory_order_relaxed));
+}
+
 double LatencyHistogram::mean_micros() const {
   const uint64_t n = count_.load(std::memory_order_relaxed);
   if (n == 0) return 0.0;
@@ -66,10 +78,29 @@ void LatencyHistogram::reset() {
   max_us_.store(0, std::memory_order_relaxed);
 }
 
-void ServerStats::record_request(double total_micros, uint64_t output_rows) {
-  latency_.record(total_micros);
+void ServerStats::configure(std::vector<uint16_t> tenant_ids,
+                            std::size_t num_readers) {
+  if (tenant_ids.empty()) tenant_ids.push_back(0);
+  if (num_readers == 0) num_readers = 1;
+  tenant_ids_ = std::move(tenant_ids);
+  tenant_ = std::vector<TenantCounters>(tenant_ids_.size());
+  reader_hist_ = std::vector<LatencyHistogram>(num_readers);
+  reader_ = std::vector<ReaderCounters>(num_readers);
+}
+
+void ServerStats::record_issued(std::size_t tenant_slot) {
+  tenant_[tenant_slot].issued.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerStats::record_request(double total_micros, uint64_t output_rows,
+                                 std::size_t tenant_slot, std::size_t reader) {
+  if (reader == kNoReader)
+    latency_.record(total_micros);
+  else
+    reader_hist_[reader].record(total_micros);
   requests_.fetch_add(1, std::memory_order_relaxed);
   rows_.fetch_add(output_rows, std::memory_order_relaxed);
+  tenant_[tenant_slot].requests.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServerStats::record_batch(std::size_t occupancy) {
@@ -87,20 +118,28 @@ void ServerStats::record_cache_hit() {
   cache_hits_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ServerStats::record_failed(uint64_t n) {
+void ServerStats::record_failed(uint64_t n, std::size_t tenant_slot) {
   failed_.fetch_add(n, std::memory_order_relaxed);
+  if (tenant_slot != kNoTenant)
+    tenant_[tenant_slot].failed.fetch_add(n, std::memory_order_relaxed);
 }
 
-void ServerStats::record_shed(ShedReason reason, uint64_t n) {
+void ServerStats::record_shed(ShedReason reason, uint64_t n,
+                              std::size_t tenant_slot) {
   shed_[static_cast<std::size_t>(reason)].fetch_add(n,
                                                     std::memory_order_relaxed);
+  if (tenant_slot != kNoTenant)
+    tenant_[tenant_slot].shed[static_cast<std::size_t>(reason)].fetch_add(
+        n, std::memory_order_relaxed);
 }
 
 void ServerStats::record_stale_served(double total_micros,
-                                      uint64_t output_rows) {
+                                      uint64_t output_rows,
+                                      std::size_t tenant_slot) {
   latency_.record(total_micros);
   stale_served_.fetch_add(1, std::memory_order_relaxed);
   rows_.fetch_add(output_rows, std::memory_order_relaxed);
+  tenant_[tenant_slot].stale.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServerStats::record_circuit_trip() {
@@ -133,8 +172,18 @@ void ServerStats::record_swap() {
   snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServerStats::mark_serving_started(int64_t steady_ns) {
+  serving_started_ns_.store(steady_ns, std::memory_order_relaxed);
+  for (auto& r : reader_) r.busy_ns.store(0, std::memory_order_relaxed);
+}
+
+void ServerStats::add_reader_busy(std::size_t reader, uint64_t busy_ns) {
+  reader_[reader].busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
+}
+
 StatsReport ServerStats::report(std::size_t max_queue_depth,
-                                HealthState health) const {
+                                HealthState health,
+                                int64_t steady_now_ns) const {
   StatsReport r;
   r.requests = requests_.load(std::memory_order_relaxed);
   r.rows = rows_.load(std::memory_order_relaxed);
@@ -150,12 +199,52 @@ StatsReport ServerStats::report(std::size_t max_queue_depth,
   r.circuit_trips = circuit_trips_.load(std::memory_order_relaxed);
   r.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
   r.health = to_string(health);
-  r.p50_us = latency_.percentile(50.0);
-  r.p95_us = latency_.percentile(95.0);
-  r.p99_us = latency_.percentile(99.0);
-  r.p999_us = latency_.percentile(99.9);
-  r.mean_us = latency_.mean_micros();
-  r.max_us = latency_.max_micros();
+
+  // Aggregate latency: the shared histogram (stale reads, legacy callers)
+  // plus every reader's private histogram. merge() is associative, so this
+  // is the same distribution a single shared histogram would have seen.
+  LatencyHistogram merged;
+  merged.merge(latency_);
+  for (const auto& h : reader_hist_) merged.merge(h);
+  r.p50_us = merged.percentile(50.0);
+  r.p95_us = merged.percentile(95.0);
+  r.p99_us = merged.percentile(99.0);
+  r.p999_us = merged.percentile(99.9);
+  r.mean_us = merged.mean_micros();
+  r.max_us = merged.max_micros();
+
+  r.tenants.reserve(tenant_ids_.size());
+  for (std::size_t s = 0; s < tenant_ids_.size(); ++s) {
+    const TenantCounters& c = tenant_[s];
+    TenantReport t;
+    t.id = tenant_ids_[s];
+    t.issued = c.issued.load(std::memory_order_relaxed);
+    t.requests = c.requests.load(std::memory_order_relaxed);
+    t.stale_served = c.stale.load(std::memory_order_relaxed);
+    t.failed = c.failed.load(std::memory_order_relaxed);
+    t.shed_queue_full = c.shed[0].load(std::memory_order_relaxed);
+    t.shed_deadline_expired = c.shed[1].load(std::memory_order_relaxed);
+    t.shed_draining = c.shed[2].load(std::memory_order_relaxed);
+    t.shed_circuit_open = c.shed[3].load(std::memory_order_relaxed);
+    t.shed_total = t.shed_queue_full + t.shed_deadline_expired +
+                   t.shed_draining + t.shed_circuit_open;
+    r.tenants.push_back(t);
+  }
+
+  r.reader_threads = reader_.size();
+  const int64_t started = serving_started_ns_.load(std::memory_order_relaxed);
+  const double wall_ns =
+      (started > 0 && steady_now_ns > started)
+          ? static_cast<double>(steady_now_ns - started)
+          : 0.0;
+  r.reader_utilization.reserve(reader_.size());
+  for (const auto& rc : reader_) {
+    const double busy =
+        static_cast<double>(rc.busy_ns.load(std::memory_order_relaxed));
+    r.reader_utilization.push_back(
+        wall_ns > 0.0 ? std::min(1.0, busy / wall_ns) : 0.0);
+  }
+
   r.batches = batches_.load(std::memory_order_relaxed);
   const uint64_t br = batch_requests_.load(std::memory_order_relaxed);
   r.batch_occupancy =
@@ -195,6 +284,21 @@ std::string StatsReport::to_json() const {
      << ", \"draining\": " << shed_draining
      << ", \"circuit_open\": " << shed_circuit_open
      << ", \"total\": " << shed_total << "},\n";
+  os << "  \"tenants\": [";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantReport& t = tenants[i];
+    if (i) os << ", ";
+    os << "{\"id\": " << t.id << ", \"issued\": " << t.issued
+       << ", \"requests\": " << t.requests
+       << ", \"stale_served\": " << t.stale_served
+       << ", \"failed\": " << t.failed
+       << ", \"shed\": {\"queue_full\": " << t.shed_queue_full
+       << ", \"deadline_expired\": " << t.shed_deadline_expired
+       << ", \"draining\": " << t.shed_draining
+       << ", \"circuit_open\": " << t.shed_circuit_open
+       << ", \"total\": " << t.shed_total << "}}";
+  }
+  os << "],\n";
   os << "  \"stale_served\": " << stale_served << ",\n";
   os << "  \"circuit_trips\": " << circuit_trips << ",\n";
   os << "  \"watchdog_stalls\": " << watchdog_stalls << ",\n";
@@ -205,6 +309,11 @@ std::string StatsReport::to_json() const {
   os << "  \"batches\": " << batches << ",\n";
   os << "  \"batch_occupancy\": " << batch_occupancy << ",\n";
   os << "  \"max_queue_depth\": " << max_queue_depth << ",\n";
+  os << "  \"reader_threads\": " << reader_threads << ",\n";
+  os << "  \"reader_utilization\": [";
+  for (std::size_t i = 0; i < reader_utilization.size(); ++i)
+    os << (i ? ", " : "") << reader_utilization[i];
+  os << "],\n";
   os << "  \"forward_passes\": " << forward_passes << ",\n";
   os << "  \"cache_hits\": " << cache_hits << ",\n";
   os << "  \"forward_seconds\": " << forward_seconds << ",\n";

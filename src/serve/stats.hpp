@@ -6,11 +6,20 @@
 // (atomic counters and buckets) so the hot predict path never takes a
 // lock to record a sample, and report() can be called from any thread
 // while the server runs. The JSON form of a report is what
-// `run_all.sh serve-smoke` writes to BENCH_serve.json and what
-// bench_serve_robust writes to BENCH_serve_robust.json.
+// `run_all.sh serve-smoke` writes to BENCH_serve.json, what
+// bench_serve_robust writes to BENCH_serve_robust.json, and what the
+// network front-end's STATS verb returns on the wire.
 //
-// Accounting invariant (asserted by the chaos harness): every request the
-// server ever accepted a call for lands in exactly one of
+// Reader replication: each replicated reader thread records request
+// latency into its OWN LatencyHistogram (no shared cache line on the hot
+// path); report() merges the per-reader histograms with the shared one
+// (stale reads recorded from client threads) via LatencyHistogram::merge.
+// Merge is associative and order-independent — bucket-wise addition — so
+// the aggregate percentiles are independent of reader count.
+//
+// Accounting invariant (asserted by the chaos harness, per tenant AND in
+// aggregate): every predict the server ever accepted a call for lands in
+// exactly one of
 //   requests (fulfilled) | stale_served | failed | shed[reason],
 // so `issued == requests + stale_served + failed + shed_total` — nothing
 // is silently dropped.
@@ -20,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/health.hpp"
 #include "util/thread_annotations.hpp"
@@ -54,11 +64,41 @@ class LatencyHistogram {
   double percentile(double p) const;
   void reset();
 
+  /// Fold `other`'s samples into this histogram: bucket-wise addition plus
+  /// count/sum/max. Associative and commutative (each field merges through
+  /// + or max), so per-reader-thread histograms aggregate into one report
+  /// in any order with identical percentiles — the property the reader
+  /// replication design relies on. `other` may be concurrently recording;
+  /// the merge reads each cell once (relaxed), which can lag in-flight
+  /// samples but never tears.
+  void merge(const LatencyHistogram& other);
+
+  /// Raw bucket occupancy (tests: merge associativity, quantile checks).
+  uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
  private:
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_us_{0};
   std::atomic<uint64_t> max_us_{0};
+};
+
+/// Per-tenant slice of the request accounting, reported per tenant id so
+/// the identity `issued == requests + stale_served + failed + shed_total`
+/// can be asserted for every tenant independently.
+struct TenantReport {
+  uint16_t id = 0;
+  uint64_t issued = 0;        ///< predicts submitted under this tenant
+  uint64_t requests = 0;      ///< fulfilled from a fresh step
+  uint64_t stale_served = 0;  ///< answered from the last-good step
+  uint64_t failed = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline_expired = 0;
+  uint64_t shed_draining = 0;
+  uint64_t shed_circuit_open = 0;
+  uint64_t shed_total = 0;
 };
 
 /// One coherent read of the counters (values are sampled independently —
@@ -77,6 +117,8 @@ struct StatsReport {
   uint64_t shed_draining = 0;         ///< rejected during stop()
   uint64_t shed_circuit_open = 0;     ///< circuit open, no stale step
   uint64_t shed_total = 0;
+  // ---- per-tenant breakdown --------------------------------------------
+  std::vector<TenantReport> tenants;
   // ---- degraded mode ---------------------------------------------------
   uint64_t stale_served = 0;    ///< predicts answered from the last-good step
   uint64_t circuit_trips = 0;   ///< circuit open transitions
@@ -86,6 +128,12 @@ struct StatsReport {
   uint64_t batches = 0;         ///< micro-batches dispatched
   double batch_occupancy = 0.0; ///< mean requests per dispatched batch
   std::size_t max_queue_depth = 0;
+  // ---- replicated readers ----------------------------------------------
+  uint64_t reader_threads = 0;
+  /// Fraction of wall time (since start()) each reader spent inside a
+  /// batch; the headroom signal the load generator reports alongside
+  /// throughput.
+  std::vector<double> reader_utilization;
   // ---- execution -------------------------------------------------------
   uint64_t forward_passes = 0;  ///< fresh forward executions
   uint64_t cache_hits = 0;      ///< batches/ingests served from the cached step
@@ -107,15 +155,40 @@ struct StatsReport {
 };
 
 /// Thread-safe counter bundle owned by serve::Server.
+///
+/// Tenant slots and reader histograms are sized once by configure()
+/// (called from the Server constructor, before any thread can record) and
+/// never resized, so every record_* stays lock-free. `tenant_slot` is the
+/// dense index the server resolves from a tenant id at admission; slot 0
+/// is the default tenant. `reader` selects the per-reader histogram;
+/// kNoReader records into the shared histogram (stale reads, which are
+/// served from client threads).
 class ServerStats {
  public:
-  void record_request(double total_micros, uint64_t output_rows);
+  static constexpr std::size_t kNoReader = ~std::size_t{0};
+  /// record_shed / record_failed with kNoTenant update only the global
+  /// counters — used by the ingest path, whose sheds are not part of any
+  /// tenant's predict accounting identity.
+  static constexpr std::size_t kNoTenant = ~std::size_t{0};
+
+  ServerStats() { configure({0}, 1); }
+
+  /// Size the per-tenant and per-reader slots. Must be called before any
+  /// recording thread exists (Server constructor).
+  void configure(std::vector<uint16_t> tenant_ids, std::size_t num_readers);
+
+  void record_issued(std::size_t tenant_slot);
+  void record_request(double total_micros, uint64_t output_rows,
+                      std::size_t tenant_slot = 0,
+                      std::size_t reader = kNoReader);
   void record_batch(std::size_t occupancy);
   void record_forward(double seconds);
   void record_cache_hit();
-  void record_failed(uint64_t n);
-  void record_shed(ShedReason reason, uint64_t n = 1);
-  void record_stale_served(double total_micros, uint64_t output_rows);
+  void record_failed(uint64_t n, std::size_t tenant_slot = kNoTenant);
+  void record_shed(ShedReason reason, uint64_t n = 1,
+                   std::size_t tenant_slot = kNoTenant);
+  void record_stale_served(double total_micros, uint64_t output_rows,
+                           std::size_t tenant_slot = 0);
   void record_circuit_trip();
   void record_watchdog_stall();
   void record_ingest(uint64_t edges, double seconds);
@@ -123,18 +196,44 @@ class ServerStats {
   void set_recovery(uint64_t records, double seconds);
   void record_swap();
 
+  /// Reader-thread liveness accounting: stamp the serving start (start()),
+  /// and add the wall time reader `r` spent processing a batch.
+  void mark_serving_started(int64_t steady_ns);
+  void add_reader_busy(std::size_t reader, uint64_t busy_ns);
+
   const LatencyHistogram& latency() const { return latency_; }
+  LatencyHistogram& reader_latency(std::size_t reader) {
+    return reader_hist_[reader];
+  }
   uint64_t shed(ShedReason reason) const {
     return shed_[static_cast<std::size_t>(reason)].load(
         std::memory_order_relaxed);
   }
   /// `max_queue_depth` comes from the request queue, which tracks it;
-  /// `health` from the server's state machine.
+  /// `health` from the server's state machine; `steady_now_ns` anchors the
+  /// reader-utilization denominators.
   StatsReport report(std::size_t max_queue_depth,
-                     HealthState health = HealthState::kStarting) const;
+                     HealthState health = HealthState::kStarting,
+                     int64_t steady_now_ns = 0) const;
 
  private:
+  struct TenantCounters {
+    std::atomic<uint64_t> issued{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> stale{0};
+    std::atomic<uint64_t> failed{0};
+    std::array<std::atomic<uint64_t>, 4> shed{};
+  };
+  struct ReaderCounters {
+    std::atomic<uint64_t> busy_ns{0};
+  };
+
   LatencyHistogram latency_;
+  std::vector<uint16_t> tenant_ids_;
+  std::vector<TenantCounters> tenant_;
+  std::vector<LatencyHistogram> reader_hist_;
+  std::vector<ReaderCounters> reader_;
+  std::atomic<int64_t> serving_started_ns_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> rows_{0};
   std::atomic<uint64_t> failed_{0};

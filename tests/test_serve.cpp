@@ -448,9 +448,10 @@ TEST_F(ServeTest, ShedsAreTypedCountedAndAccountedInTheReport) {
 
 // ---- building blocks ------------------------------------------------------
 
-TEST(RequestQueue, BoundedPushPopAndClose) {
-  using Push = serve::RequestQueue::PushResult;
-  serve::RequestQueue q(2);
+TEST(TenantQueueSet, BoundedPushPopAndClose) {
+  using Push = serve::TenantQueueSet::PushResult;
+  serve::TenantQueueSet q({}, 2);  // single default lane, capacity 2
+  EXPECT_EQ(q.num_lanes(), 1u);
   serve::PredictRequest a, b, c;
   EXPECT_EQ(q.push(std::move(a)), Push::kOk);
   EXPECT_EQ(q.push(std::move(b)), Push::kOk);
@@ -466,6 +467,109 @@ TEST(RequestQueue, BoundedPushPopAndClose) {
   q.reopen();
   serve::PredictRequest e;
   EXPECT_EQ(q.push(std::move(e)), Push::kOk);
+}
+
+TEST(TenantQueueSet, WeightedRoundRobinSharesDequeues) {
+  // Tenant 7 has 3× the weight of tenant 9: under saturation a batch
+  // alternates 3-from-7, 1-from-9.
+  serve::TenantQueueSet q(
+      {serve::TenantLane{7, 3, 0}, serve::TenantLane{9, 1, 0}}, 16);
+  EXPECT_EQ(q.num_lanes(), 2u);
+  EXPECT_EQ(q.lane_of(7), 0u);
+  EXPECT_EQ(q.lane_of(9), 1u);
+  EXPECT_EQ(q.lane_of(12345), 0u);  // unknown tenants share the first lane
+  for (int i = 0; i < 8; ++i) {
+    serve::PredictRequest r;
+    r.tenant = (i % 2) ? 9 : 7;
+    r.tenant_slot = q.lane_of(r.tenant);
+    ASSERT_EQ(q.push(std::move(r)), serve::TenantQueueSet::PushResult::kOk);
+  }
+  EXPECT_EQ(q.lane_depth(0), 4u);
+  EXPECT_EQ(q.lane_depth(1), 4u);
+  const std::vector<serve::PredictRequest> batch = q.pop_batch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  int from7 = 0, from9 = 0;
+  for (const auto& r : batch) (r.tenant == 7 ? from7 : from9)++;
+  EXPECT_EQ(from7, 3);
+  EXPECT_EQ(from9, 1);
+  // Second batch drains the remainder, still interleaving by weight: one
+  // leftover from tenant 7, then tenant 9's backlog — the low-weight lane
+  // is never starved once the heavy lane empties.
+  const std::vector<serve::PredictRequest> rest = q.pop_batch(16);
+  ASSERT_EQ(rest.size(), 4u);
+  from7 = from9 = 0;
+  for (const auto& r : rest) (r.tenant == 7 ? from7 : from9)++;
+  EXPECT_EQ(from7, 1);
+  EXPECT_EQ(from9, 3);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndQuantileStable) {
+  // The same 100 samples recorded whole vs sharded across three
+  // histograms (the per-reader layout) and merged in two different
+  // orders: counts, buckets and every percentile must agree.
+  serve::LatencyHistogram whole, a, b, c;
+  for (int i = 0; i < 50; ++i) { whole.record(100.0); a.record(100.0); }
+  for (int i = 0; i < 48; ++i) { whole.record(100.0); b.record(100.0); }
+  whole.record(5000.0);
+  b.record(5000.0);
+  whole.record(70000.0);
+  c.record(70000.0);
+
+  serve::LatencyHistogram ab_c;  // (a + b) + c
+  ab_c.merge(a);
+  ab_c.merge(b);
+  ab_c.merge(c);
+  serve::LatencyHistogram c_ba;  // c + (b + a)
+  c_ba.merge(c);
+  c_ba.merge(b);
+  c_ba.merge(a);
+
+  for (const auto* m : {&ab_c, &c_ba}) {
+    EXPECT_EQ(m->count(), whole.count());
+    EXPECT_EQ(m->percentile(50), whole.percentile(50));
+    EXPECT_EQ(m->percentile(99), whole.percentile(99));
+    EXPECT_EQ(m->percentile(100), whole.percentile(100));
+    EXPECT_EQ(m->max_micros(), whole.max_micros());
+    EXPECT_NEAR(m->mean_micros(), whole.mean_micros(), 1e-9);
+    for (std::size_t bkt = 0; bkt < serve::LatencyHistogram::kBuckets; ++bkt)
+      EXPECT_EQ(m->bucket_count(bkt), whole.bucket_count(bkt));
+  }
+}
+
+TEST(ServerStats, PerTenantAccountingIdentityHolds) {
+  serve::ServerStats stats;
+  stats.configure({1, 2}, 2);
+  // Tenant slot 0 (id 1): 3 issued = 1 fulfilled + 1 stale + 1 shed.
+  stats.record_issued(0);
+  stats.record_issued(0);
+  stats.record_issued(0);
+  stats.record_request(10.0, 1, 0, /*reader=*/0);
+  stats.record_stale_served(10.0, 1, 0);
+  stats.record_shed(serve::ShedReason::kQueueFull, 1, 0);
+  // Tenant slot 1 (id 2): 2 issued = 1 failed + 1 shed.
+  stats.record_issued(1);
+  stats.record_issued(1);
+  stats.record_failed(1, 1);
+  stats.record_shed(serve::ShedReason::kDeadlineExpired, 1, 1);
+  // Ingest-path sheds are global-only: no tenant identity is polluted.
+  stats.record_shed(serve::ShedReason::kQueueFull, 1,
+                    serve::ServerStats::kNoTenant);
+
+  const serve::StatsReport r = stats.report(0);
+  ASSERT_EQ(r.tenants.size(), 2u);
+  for (const auto& t : r.tenants)
+    EXPECT_EQ(t.issued, t.requests + t.stale_served + t.failed + t.shed_total)
+        << "tenant " << t.id;
+  EXPECT_EQ(r.tenants[0].id, 1u);
+  EXPECT_EQ(r.tenants[0].issued, 3u);
+  EXPECT_EQ(r.tenants[1].failed, 1u);
+  EXPECT_EQ(r.tenants[1].shed_deadline_expired, 1u);
+  EXPECT_EQ(r.shed_queue_full, 2u);  // tenant + ingest-path shed
+  EXPECT_EQ(r.reader_threads, 2u);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(json.find("\"reader_utilization\""), std::string::npos);
 }
 
 TEST(LatencyHistogram, PercentilesLandInPowerOfTwoBuckets) {

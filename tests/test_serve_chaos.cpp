@@ -31,6 +31,8 @@
 #include "datasets/synthetic.hpp"
 #include "gpma/gpma_graph.hpp"
 #include "io/train_state.hpp"
+#include "net/client.hpp"
+#include "net/frontend.hpp"
 #include "nn/models.hpp"
 #include "serve/server.hpp"
 #include "serve/wal.hpp"
@@ -229,6 +231,97 @@ TEST_F(ChaosTest, RandomFaultScheduleNeverHangsAndAccountsEveryRequest) {
   EXPECT_EQ(serve::wal::read(kWal).records.size(), 1u + kIngestSteps);
 }
 
+// ---- phase 1b: randomized socket faults ------------------------------------
+
+TEST_F(ChaosTest, NetFaultScheduleNeverWedgesTheFrontend) {
+  const uint64_t seed = chaos_seed();
+  SCOPED_TRACE("STGRAPH_CHAOS_SEED=" + std::to_string(seed));
+  constexpr uint32_t kClients = 3;
+  constexpr uint32_t kOpsPerClient = 25;
+  constexpr uint32_t kIngestSteps = 10;
+
+  GpmaGraph graph(chaos_base());
+  Rng rng(static_cast<uint64_t>(31));
+  nn::TGCNEncoder model(kFeat, kHidden, rng);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = 64;
+  serve::Server server(graph, model, cfg);
+  server.start(features_at(0));
+  net::Frontend frontend(server);
+  frontend.start();
+  const uint16_t port = frontend.port();
+
+  // Socket-layer faults on top of a (mild) serve-layer schedule: dropped
+  // accepts, single-byte reads, single-byte writes — reproducibly per seed.
+  failpoint::set_seed(seed);
+  failpoint::activate_from_spec(
+      "net.accept=p:0.25; net.read.torn=p:0.2; net.write.short=p:0.2; "
+      "serve.batch.delay=p:0.05");
+
+  std::atomic<uint64_t> ok{0}, shed{0}, reconnects{0};
+  auto worker = [&](uint32_t tid) {
+    std::unique_ptr<net::Client> c;
+    for (uint32_t k = 0; k < kOpsPerClient; ++k) {
+      try {
+        if (!c)
+          c = std::make_unique<net::Client>("127.0.0.1", port, 10000.0);
+        net::PredictWire w =
+            c->predict({static_cast<uint32_t>((tid + k) % kNodes)});
+        for (int64_t i = 0; i < w.outputs.numel(); ++i)
+          ASSERT_TRUE(std::isfinite(w.outputs.data()[i]));
+        ok.fetch_add(1);
+      } catch (const net::NetError&) {
+        shed.fetch_add(1);  // typed shed over the wire
+      } catch (const StgError&) {
+        // Dropped accept or mid-stream hangup: the op is lost, the client
+        // reconnects — it must never hang.
+        c.reset();
+        reconnects.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (uint32_t i = 0; i < kClients; ++i) threads.emplace_back(worker, i);
+
+  // The ingest stream also rides the faulty sockets; retry until each step
+  // commits so the timeline is deterministic in the committed count.
+  const std::vector<EdgeDelta> deltas = chaos_deltas(seed, kIngestSteps);
+  uint32_t committed = 0;
+  std::unique_ptr<net::Client> ingester;
+  for (int attempt = 0; committed < kIngestSteps && attempt < 400; ++attempt) {
+    try {
+      if (!ingester)
+        ingester = std::make_unique<net::Client>("127.0.0.1", port, 10000.0);
+      const net::IngestWire w =
+          ingester->ingest(deltas[committed], features_at(committed + 1));
+      EXPECT_EQ(w.time, committed + 1);
+      ++committed;
+    } catch (const net::NetError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    } catch (const StgError&) {
+      ingester.reset();
+    }
+  }
+  EXPECT_EQ(committed, kIngestSteps) << "ingest stream wedged";
+  for (auto& th : threads) th.join();
+
+  failpoint::disable_all();
+  frontend.stop();
+  const serve::ReadView view = server.read_view();
+  server.stop();
+  EXPECT_EQ(view.time, kIngestSteps);
+  EXPECT_GT(ok.load(), 0u);
+
+  // Every predict the server accepted resolved into exactly one bucket —
+  // connection chaos loses requests at the socket, never inside the server.
+  const serve::StatsReport rep = server.stats();
+  for (const auto& tr : rep.tenants)
+    EXPECT_EQ(tr.issued,
+              tr.requests + tr.stale_served + tr.failed + tr.shed_total)
+        << "tenant " << tr.id;
+}
+
 // ---- phase 2: forced kill + recovery parity --------------------------------
 
 /// Reference outputs after `steps` committed ingests of this seed's
@@ -303,6 +396,97 @@ TEST_F(ChaosTest, Kill9MidStreamRecoversBitIdenticalFromCheckpointPlusWal) {
                         static_cast<std::size_t>(got.numel()) * sizeof(float)),
             0)
       << "recovered read view is not bit-identical to the reference";
+  server.stop();
+}
+
+TEST_F(ChaosTest, Kill9UnderLiveConnectionsRecoversBitIdenticalFromWal) {
+  const uint64_t seed = chaos_seed();
+  SCOPED_TRACE("STGRAPH_CHAOS_SEED=" + std::to_string(seed));
+  constexpr uint32_t kSteps = 6;
+
+  {
+    GpmaGraph graph(chaos_base());
+    Rng rng(static_cast<uint64_t>(31));
+    nn::TGCNEncoder model(kFeat, kHidden, rng);
+    checkpoint_model(model);
+  }
+
+  int pipefd[2];
+  ASSERT_EQ(::pipe(pipefd), 0);
+
+  // Child: full network stack (server + frontend + WAL), reports its port,
+  // then just serves until SIGKILLed with the parent's connection open.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(pipefd[0]);
+    GpmaGraph graph(chaos_base());
+    Rng rng(static_cast<uint64_t>(31));
+    nn::TGCNEncoder model(kFeat, kHidden, rng);
+    serve::ServeConfig cfg;
+    cfg.wal_path = kWal;
+    serve::Server server(graph, model, cfg);
+    server.load(kCkpt);
+    server.start(features_at(0));
+    net::Frontend frontend(server);
+    frontend.start();
+    const uint16_t port = frontend.port();
+    if (::write(pipefd[1], &port, sizeof(port)) != sizeof(port))
+      std::_Exit(87);
+    ::close(pipefd[1]);
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+  ::close(pipefd[1]);
+  uint16_t port = 0;
+  ASSERT_EQ(::read(pipefd[0], &port, sizeof(port)),
+            static_cast<ssize_t>(sizeof(port)));
+  ::close(pipefd[0]);
+
+  // Parent drives the whole timeline over one live TCP connection, takes a
+  // predict off the wire, and kills the child while that connection (and
+  // any kernel-buffered state) is still open — no goodbye of any kind.
+  const std::vector<EdgeDelta> deltas = chaos_deltas(seed, kSteps);
+  Tensor live_out;
+  {
+    net::Client client("127.0.0.1", port, 10000.0);
+    for (uint32_t t = 0; t < kSteps; ++t) {
+      const net::IngestWire w =
+          client.ingest(deltas[t], features_at(t + 1));
+      ASSERT_EQ(w.time, t + 1);
+    }
+    const net::PredictWire live = client.predict();
+    EXPECT_EQ(live.time, kSteps);
+    live_out = live.outputs;
+    ::kill(pid, SIGKILL);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "child did not die by SIGKILL (status " << status << ")";
+
+  // Every ingest the wire acknowledged is durable (fsync-per-record), and
+  // the recovered view is bit-identical both to a fault-free reference and
+  // to what the dead server actually served over the network.
+  ASSERT_EQ(serve::wal::read(kWal).records.size(), 1u + kSteps);
+  const Tensor want = reference_output(seed, kSteps);
+
+  GpmaGraph graph(chaos_base());
+  Rng rng(static_cast<uint64_t>(99));  // junk init, overwritten by recover
+  nn::TGCNEncoder model(kFeat, kHidden, rng);
+  serve::Server server(graph, model);
+  server.recover(kCkpt, kWal);
+  EXPECT_EQ(server.read_view().time, kSteps);
+  const Tensor got = server.predict().outputs;
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        static_cast<std::size_t>(got.numel()) * sizeof(float)),
+            0)
+      << "recovered read view is not bit-identical to the reference";
+  EXPECT_EQ(std::memcmp(live_out.data(), want.data(),
+                        static_cast<std::size_t>(want.numel()) * sizeof(float)),
+            0)
+      << "network-served output diverged from the reference";
   server.stop();
 }
 
