@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
 namespace stgraph::net {
@@ -106,6 +107,12 @@ void Frontend::stop() {
   }
   ingest_cv_.notify_all();
   if (ingest_thread_.joinable()) ingest_thread_.join();
+
+  // Test hook: hold the stop sequence here — ingest worker joined, loop
+  // thread still serving — so tests can land an INGEST in the window and
+  // assert it gets the typed draining reject instead of a silent drop.
+  STG_FAILPOINT("net.stop.ingest_window",
+                std::this_thread::sleep_for(std::chrono::milliseconds(500)));
 
   // 3. Wait for in-flight predicts. The server guarantees completion
   //    delivery (fulfil, shed, or drain-reject on its own stop()), so
@@ -244,11 +251,40 @@ void Frontend::on_conn_event(uint64_t conn_id, uint32_t events) {
           }
         }
         return;
-      case FrameDecoder::Status::kFrame:
-        handle_frame(conn, std::move(frame));
+      case FrameDecoder::Status::kFrame: {
+        // Backstop: handlers answer expected errors (NetError, sheds)
+        // themselves, but anything that still escapes (bad_alloc on a huge
+        // tensor, a server-side invariant) must not unwind the loop thread
+        // — that would std::terminate the whole frontend. Answer kInternal
+        // and keep serving. Re-look-up the connection: the handler may
+        // have closed it before throwing.
+        const uint64_t rid = frame.request_id;
+        try {
+          handle_frame(conn, std::move(frame));
+        } catch (const std::exception& e) {
+          auto it2 = conns_.find(conn_id);
+          if (it2 != conns_.end())
+            send_error(*it2->second, rid, ErrorCode::kInternal, e.what());
+        }
         break;
+      }
       case FrameDecoder::Status::kJsonLine:
-        handle_json_line(conn, line);
+        try {
+          handle_json_line(conn, line);
+        } catch (const std::exception& e) {
+          auto it2 = conns_.find(conn_id);
+          if (it2 != conns_.end()) {
+            Connection& c = *it2->second;
+            c.queue_write(to_bytes(
+                error_json_line(ErrorCode::kInternal, e.what())));
+            frames_out_.fetch_add(1, std::memory_order_relaxed);
+            if (c.flush() == Connection::IoResult::kClosed) {
+              close_conn(conn_id);
+              return;
+            }
+            update_write_interest(c);
+          }
+        }
         break;
     }
   }
@@ -386,13 +422,23 @@ void Frontend::handle_frame(Connection& conn, Frame&& frame) {
         send_error(conn, frame.request_id, e.code(), e.what());
         return;
       }
-      bool full = false;
+      bool full = false, draining = false;
       {
         MutexLock lk(ingest_mu_);
-        if (ingest_q_.size() >= cfg_.max_pending_ingests)
+        // Once stop() has set ingest_stop_ the worker may already be
+        // joined; a push here would be queued forever and silently
+        // dropped. Reject with the typed draining error instead.
+        if (ingest_stop_)
+          draining = true;
+        else if (ingest_q_.size() >= cfg_.max_pending_ingests)
           full = true;
         else
           ingest_q_.push_back(std::move(job));
+      }
+      if (draining) {
+        send_error(conn, frame.request_id, ErrorCode::kDraining,
+                   "net: frontend draining — ingest rejected");
+        return;
       }
       if (full) {
         send_error(conn, frame.request_id, ErrorCode::kQueueFull,

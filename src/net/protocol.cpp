@@ -80,7 +80,12 @@ Tensor get_tensor(Reader& r, const char* what) {
   const uint32_t rows = r.get<uint32_t>();
   const uint32_t cols = r.get<uint32_t>();
   const std::size_t count = static_cast<std::size_t>(rows) * cols;
-  if (count * sizeof(float) > r.remaining())
+  // Payloads are capped at kMaxPayload, so an element count past that can
+  // never be backed by real bytes; checking it via division also keeps
+  // count * sizeof(float) from wrapping 2^64 (rows = cols = 2^31 would
+  // otherwise pass the bounds check and attempt a 2^62-element alloc).
+  if (count > kMaxPayload / sizeof(float) ||
+      count * sizeof(float) > r.remaining())
     throw NetError(ErrorCode::kBadRequest,
                    std::string("net: ") + what + " claims a " +
                        std::to_string(rows) + "x" + std::to_string(cols) +
@@ -404,11 +409,16 @@ JsonRequest parse_json_request(const std::string& line) {
         throw NetError(ErrorCode::kBadRequest,
                        "net: unterminated \"nodes\" array");
       if (line[i] == ']') break;
+      // strtoul happily wraps negatives ("-1" parses as ULONG_MAX), so
+      // reject a leading '-' explicitly, then range-check the result the
+      // same way the tenant field does.
       char* parse_end = nullptr;
       const unsigned long v = std::strtoul(line.c_str() + i, &parse_end, 10);
-      if (parse_end == line.c_str() + i)
+      if (parse_end == line.c_str() + i || line[i] == '-' ||
+          v > 0xFFFFFFFFul)
         throw NetError(ErrorCode::kBadRequest,
-                       "net: \"nodes\" must contain only integers");
+                       "net: \"nodes\" must contain only integers in "
+                       "[0, 4294967295]");
       req.nodes.push_back(static_cast<uint32_t>(v));
       i = static_cast<std::size_t>(parse_end - line.c_str());
       while (i < line.size() &&

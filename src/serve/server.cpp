@@ -784,12 +784,26 @@ void Server::process_batch(std::size_t reader_idx,
             "serve: request completed past its deadline"));
         continue;
       }
+      // A bad node id is that client's problem, not an execution fault:
+      // fail only this request, like serve_stale does. Throwing here would
+      // fail the rest of the batch (other tenants included) and tick the
+      // circuit breaker toward stale-serving for everyone.
+      bool bad_node = false;
+      for (uint32_t node : req.nodes) {
+        if (node >= num_nodes) {
+          stats_.record_failed(1, req.tenant_slot);
+          fail_request(req, std::make_exception_ptr(StgError(
+                                "serve: predict node " +
+                                std::to_string(node) + " outside the " +
+                                std::to_string(num_nodes) + "-node graph")));
+          bad_node = true;
+          break;
+        }
+      }
+      if (bad_node) continue;
       PredictResult res;
       res.timestamp = step->time;
       res.version = step->version;
-      for (uint32_t node : req.nodes)
-        STG_CHECK(node < num_nodes, "serve: predict node ", node,
-                  " outside the ", num_nodes, "-node graph");
       res.outputs = req.nodes.empty() ? step->out
                                       : ops::gather_rows(step->out, req.nodes);
       res.queue_micros = micros_between(req.enqueued, dequeued);

@@ -161,6 +161,34 @@ TEST(NetProtocol, PayloadParsersRejectTruncationAndTrailingBytes) {
   EXPECT_THROW(net::parse_predict_response(resp), NetError);
 }
 
+TEST(NetProtocol, TensorDimsThatOverflowTheByteCountAreRejected) {
+  // rows = cols = 2^31: the element count is 2^62, and * sizeof(float)
+  // wraps to 0 mod 2^64 — a naive bounds check would pass and attempt a
+  // 2^62-element allocation. The parser must reject it as a bad request.
+  auto put_u32 = [](std::vector<uint8_t>& out, uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  };
+  std::vector<uint8_t> p;
+  put_u32(p, 0);            // no additions
+  put_u32(p, 0);            // no deletions
+  put_u32(p, 0x80000000u);  // rows
+  put_u32(p, 0x80000000u);  // cols
+  p.resize(p.size() + 16);  // a little fake "matrix data"
+  EdgeDelta delta;
+  Tensor feat;
+  EXPECT_THROW(net::parse_ingest_request(p, &delta, &feat), NetError);
+
+  // Same header at the front of a predict response.
+  std::vector<uint8_t> resp;
+  put_u32(resp, 0);                       // time
+  resp.resize(resp.size() + 8);           // version
+  resp.push_back(0);                      // stale flag
+  put_u32(resp, 0x80000000u);
+  put_u32(resp, 0x80000000u);
+  EXPECT_THROW(net::parse_predict_response(resp), NetError);
+}
+
 TEST(NetProtocol, IngestPayloadRoundTrips) {
   EdgeDelta delta;
   delta.additions = {{0, 5}, {3, 4}};
@@ -230,6 +258,19 @@ TEST(NetProtocol, JsonRequestScannerExtractsTheSupportedKeys) {
   EXPECT_THROW(
       net::parse_json_request("{\"op\": \"predict\", \"nodes\": [1,"),
       NetError);
+
+  // Node ids must land in uint32 exactly: negatives (which strtoul would
+  // wrap) and values past 2^32-1 (which a bare cast would truncate to a
+  // DIFFERENT node) are rejected, not silently remapped.
+  EXPECT_THROW(
+      net::parse_json_request("{\"op\": \"predict\", \"nodes\": [-1]}"),
+      NetError);
+  EXPECT_THROW(net::parse_json_request(
+                   "{\"op\": \"predict\", \"nodes\": [4294967296]}"),
+               NetError);
+  net::JsonRequest max_ok = net::parse_json_request(
+      "{\"op\": \"predict\", \"nodes\": [4294967295]}");
+  EXPECT_EQ(max_ok.nodes, (std::vector<uint32_t>{4294967295u}));
 }
 
 }  // namespace

@@ -300,11 +300,25 @@ TEST_F(ServeTest, OutOfRangePredictNodeFailsTheRequestNotTheServer) {
   GpmaGraph graph(base_only(events));
   Rng rng(5);
   nn::TGCNEncoder model(kFeat, kHidden, rng);
-  serve::Server server(graph, model);
+  serve::ServeConfig cfg;
+  cfg.circuit_failure_threshold = 2;
+  cfg.circuit_cooldown_ms = 60000;
+  serve::Server server(graph, model, cfg);
   server.start(sig.features[0]);
+  // Bad node ids are a client error, not an execution fault: repeated
+  // offenders must not accumulate circuit-breaker failures and push the
+  // server into stale-serving for everyone else.
   EXPECT_THROW(server.predict({12345}), StgError);
-  EXPECT_EQ(server.predict({3}).outputs.rows(), 1);
+  EXPECT_THROW(server.predict({12345}), StgError);
+  EXPECT_THROW(server.predict({12345}), StgError);
+  EXPECT_EQ(server.health(), serve::HealthState::kHealthy);
+  const serve::PredictResult ok = server.predict({3});
+  EXPECT_EQ(ok.outputs.rows(), 1);
+  EXPECT_FALSE(ok.stale);
   server.stop();
+  const serve::StatsReport report = server.stats();
+  EXPECT_EQ(report.circuit_trips, 0u);
+  EXPECT_EQ(report.failed, 3u);
 }
 
 TEST_F(ServeTest, StoppedServerRejectsPredictAndIngest) {

@@ -427,6 +427,37 @@ TEST_F(ServeNetTest, ServerStopRejectsParkedRequestsWithDrainingErrors) {
   rig.stop();
 }
 
+TEST_F(ServeNetTest, IngestDuringStopGetsTheTypedDrainingError) {
+  NetRig rig;
+  rig.start();
+  net::Client client = rig.connect(/*timeout_ms=*/5000.0);
+  client.ingest(rig.events.deltas[0], rig.sig.features[1]);
+
+  // Hold stop() in the window where the ingest worker is already joined
+  // but the loop thread still serves frames: an INGEST landing there must
+  // get the typed draining reject, not sit forever in a queue nobody
+  // drains.
+  failpoint::enable("net.stop.ingest_window", failpoint::Spec::always());
+  std::thread stopper([&] { rig.frontend->stop(); });
+  bool drained = false;
+  for (int i = 0; i < 500 && !drained; ++i) {
+    try {
+      // Empty deltas keep the timeline appendable no matter how many land
+      // before stop() flips the flag.
+      client.ingest(EdgeDelta{}, rig.sig.features[1]);
+    } catch (const net::NetError& e) {
+      EXPECT_EQ(e.code(), net::ErrorCode::kDraining);
+      drained = true;
+    } catch (const StgError&) {
+      break;  // frontend finished stopping before we hit the window
+    }
+  }
+  stopper.join();
+  EXPECT_TRUE(drained) << "INGEST in the stop window was not rejected";
+  failpoint::disable_all();
+  rig.stop();
+}
+
 TEST_F(ServeNetTest, FullCycleLeaksNoFileDescriptors) {
   const std::size_t before = open_fd_count();
   {
