@@ -40,6 +40,10 @@ struct ViewAblation {
 void roll_views(GpmaGraph& g, uint32_t passes, ViewAblation& out,
                 bool incremental) {
   const uint32_t T = g.num_timestamps();
+  // Serial schedule: without prefetch hints the pipeline would prepare
+  // (and publish-copy) inline on every call, charging the copy to the
+  // view timer and diluting the incremental-vs-full comparison.
+  g.set_pipeline_enabled(false);
   g.set_incremental_views(incremental);
   // Warm pass (first rebuilds allocate the view buffers).
   for (uint32_t t = 0; t < T; ++t) g.get_graph(t);
@@ -83,8 +87,9 @@ int main(int argc, char** argv) {
   dyo.scale = opts.scale_dynamic;
 
   CsvWriter csv({"dataset", "feature_size", "update_s", "position_s",
-                 "view_s", "gnn_s", "update_pct", "gnn_pct", "incr_updates",
-                 "full_rebuilds"});
+                 "view_s", "gnn_s", "forward_s", "backward_s", "stall_s",
+                 "pf_hits", "pf_misses", "update_pct", "gnn_pct",
+                 "incr_updates", "full_rebuilds"});
   std::ostringstream rows_json;
 
   bool first_row = true;
@@ -102,6 +107,11 @@ int main(int argc, char** argv) {
                    CsvWriter::fmt(gpma.position_seconds, 4),
                    CsvWriter::fmt(gpma.view_seconds, 4),
                    CsvWriter::fmt(gpma.gnn_seconds, 4),
+                   CsvWriter::fmt(gpma.forward_seconds, 4),
+                   CsvWriter::fmt(gpma.backward_seconds, 4),
+                   CsvWriter::fmt(gpma.stall_seconds, 4),
+                   std::to_string(gpma.prefetch_hits),
+                   std::to_string(gpma.prefetch_misses),
                    CsvWriter::fmt(100.0 * gpma.graph_update_seconds /
                                       std::max(total, 1e-9),
                                   1),
@@ -116,6 +126,11 @@ int main(int argc, char** argv) {
                 << ", \"position_s\": " << gpma.position_seconds
                 << ", \"view_s\": " << gpma.view_seconds
                 << ", \"gnn_s\": " << gpma.gnn_seconds
+                << ", \"forward_s\": " << gpma.forward_seconds
+                << ", \"backward_s\": " << gpma.backward_seconds
+                << ", \"stall_s\": " << gpma.stall_seconds
+                << ", \"prefetch_hits\": " << gpma.prefetch_hits
+                << ", \"prefetch_misses\": " << gpma.prefetch_misses
                 << ", \"incremental_view_updates\": "
                 << gpma.incremental_view_updates
                 << ", \"full_view_rebuilds\": " << gpma.full_view_rebuilds

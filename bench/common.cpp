@@ -70,6 +70,11 @@ RunResult measure_epochs(const std::function<core::EpochStats()>& epoch_fn,
     r.view_seconds += s.view_seconds;
     r.incremental_view_updates += s.incremental_view_updates;
     r.full_view_rebuilds += s.full_view_rebuilds;
+    r.forward_seconds += s.forward_seconds;
+    r.backward_seconds += s.backward_seconds;
+    r.stall_seconds += s.stall_seconds;
+    r.prefetch_hits += s.prefetch_hits;
+    r.prefetch_misses += s.prefetch_misses;
     r.final_loss = s.loss;
   }
   r.per_epoch_seconds /= opts.epochs;
@@ -77,6 +82,9 @@ RunResult measure_epochs(const std::function<core::EpochStats()>& epoch_fn,
   r.gnn_seconds /= opts.epochs;
   r.position_seconds /= opts.epochs;
   r.view_seconds /= opts.epochs;
+  r.forward_seconds /= opts.epochs;
+  r.backward_seconds /= opts.epochs;
+  r.stall_seconds /= opts.epochs;
   return r;
 }
 }  // namespace

@@ -51,6 +51,15 @@ struct RunResult {
   double view_seconds = 0.0;          // per epoch
   uint64_t incremental_view_updates = 0;
   uint64_t full_view_rebuilds = 0;
+  // Pipeline phase split (zero for non-GPMA systems or pipeline off):
+  // model compute per direction, time Get-Graph spent blocked on an
+  // in-flight background prepare, and the prefetch hit/miss counters
+  // (counters summed over the measured epochs).
+  double forward_seconds = 0.0;       // per epoch
+  double backward_seconds = 0.0;      // per epoch
+  double stall_seconds = 0.0;         // per epoch
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_misses = 0;
 };
 
 enum class System { kStgraphStatic, kStgraphNaive, kStgraphGpma, kPygt };

@@ -9,8 +9,11 @@
 #                           error/rollback paths)
 #   ./run_all.sh tsan       the multi-threaded suites under ThreadSanitizer:
 #                           thread pool barrier protocol, serve request
-#                           queue / double-buffered views, and the socket
-#                           front-end (concurrent clients over loopback)
+#                           queue / double-buffered views, the socket
+#                           front-end (concurrent clients over loopback),
+#                           and the shard/pipeline training path
+#                           (test_scaling: background view preparation +
+#                           shard-parallel aggregation parity)
 #   ./run_all.sh lint       clang-tidy over src/ + a clang compile of the
 #                           concurrency layer with -Wthread-safety -Werror
 #                           (the annotations in util/thread_annotations.hpp
@@ -35,6 +38,15 @@
 #                           accounting identity, reader-scaling and
 #                           no-late-accepts contracts, emit
 #                           BENCH_serve_net.json
+#   ./run_all.sh scaling-smoke
+#                           multi-core scaling smoke test: shard/pipeline
+#                           parity + pipeline-overlap tests (test_scaling,
+#                           plus the STGRAPH_NUM_THREADS=1 and
+#                           STGRAPH_PIPELINE=off ctest variants), then a
+#                           reduced bench_scaling sweep on one dataset that
+#                           asserts bit-identical losses across the grid
+#                           and a best-point speedup floor vs the serial
+#                           schedule
 #   ./run_all.sh bench      graph-update benches only: bench_fig9 (GNN/
 #                           update time split with the per-phase counters
 #                           and the incremental-vs-full view-maintenance
@@ -54,11 +66,31 @@
 #                           a freshly recovered WAL
 cd /root/repo
 
+if [ "$1" = "scaling-smoke" ]; then
+  cmake -B build -S . || exit 1
+  cmake --build build -j "$(nproc)" --target test_scaling bench_scaling \
+    || exit 1
+  ctest --test-dir build --output-on-failure \
+    -R '^(test_scaling|scaling_serial|scaling_pipeline_off)$' || exit 1
+  # One small dataset, two lanes. The floor is a regression guard, not a
+  # parallelism proof: on single-core hosts the grid is oversubscribed and
+  # the best point hovers around 1x, so assert only that no configuration
+  # family collapses (e.g. pipeline suddenly costing 25%+). Parity (bit-
+  # identical losses across the grid) is the hard gate and has no slack.
+  ./build/bench/bench_scaling --datasets=1 --max-threads=2 \
+    --assert-speedup=0.75 --json-out=/root/repo/BENCH_scaling.json || exit 1
+  cat /root/repo/BENCH_scaling.json
+  exit 0
+fi
+
 if [ "$1" = "bench" ]; then
   cmake -B build -S . || exit 1
   cmake --build build -j "$(nproc)" --target bench_fig9 bench_micro_gpma \
-    bench_micro_kernels bench_serve_robust bench_serve_net || exit 1
+    bench_micro_kernels bench_serve_robust bench_serve_net bench_scaling \
+    || exit 1
   ./build/bench/bench_fig9 --json-out=/root/repo/BENCH_fig9.json || exit 1
+  ./build/bench/bench_scaling \
+    --json-out=/root/repo/BENCH_scaling.json || exit 1
   ./build/bench/bench_micro_gpma || exit 1
   ./build/bench/bench_micro_kernels \
     --json-out=/root/repo/BENCH_kernels.json || exit 1
@@ -131,8 +163,9 @@ if [ "$1" = "tsan" ]; then
     -DSTGRAPH_BUILD_BENCH=OFF \
     -DSTGRAPH_BUILD_EXAMPLES=OFF || exit 1
   cmake --build build-tsan -j "$(nproc)" \
-    --target test_threadpool_mt test_serve_mt test_serve_net || exit 1
-  for t in test_threadpool_mt test_serve_mt test_serve_net; do
+    --target test_threadpool_mt test_serve_mt test_serve_net test_scaling \
+    || exit 1
+  for t in test_threadpool_mt test_serve_mt test_serve_net test_scaling; do
     echo "===== $t (tsan) ====="
     TSAN_OPTIONS="halt_on_error=1 suppressions=$(pwd)/tsan.supp" \
       ./build-tsan/tests/$t || exit 1
@@ -159,7 +192,8 @@ if [ "$1" = "lint" ]; then
              src/util/failpoint.cpp src/net/protocol.cpp \
              src/net/event_loop.cpp src/net/connection.cpp \
              src/net/listener.cpp src/net/frontend.cpp \
-             src/net/client.cpp; do
+             src/net/client.cpp src/gpma/gpma_graph.cpp \
+             src/graph/shard.cpp; do
       echo "thread-safety: $f"
       clang++ -std=c++17 -Isrc -fsyntax-only \
         -Wthread-safety -Werror "$f" || status=1

@@ -80,6 +80,12 @@ const SnapshotView& TemporalExecutor::backward_view(uint32_t t) {
   }
   bwd_timestamp_ = t;
   fwd_timestamp_.reset();
+  // Pipeline hint: the next backward step will pop the timestamp now on
+  // top of the Graph Stack, so the graph object can replay deltas toward
+  // it while this step's gradient kernels run. Advisory — correctness
+  // never depends on it (see STGraphBase::prefetch).
+  if (graph_.is_dynamic() && !graph_stack_.empty())
+    graph_.prefetch(graph_stack_.top());
   return current_view_;
 }
 

@@ -156,6 +156,8 @@ EpochStats STGraphTrainer::run_epoch(bool training) {
   double loss_total = 0.0;
   uint64_t steps = 0;
   uint32_t first_seq = 0;
+  PhaseTimer forward_timer;
+  PhaseTimer backward_timer;
   // Evaluation carries its own hidden state so an interleaved evaluate()
   // never disturbs a resumed training position.
   Tensor eval_h;
@@ -189,24 +191,32 @@ EpochStats STGraphTrainer::run_epoch(bool training) {
 
     Tensor loss_acc;
     try {
-      for (uint32_t t = seq_start; t < seq_end; ++t) {
-        executor_.begin_forward_step(t);
-        const Tensor& x = signal_.features[t];
-        if (!h.defined()) h = model_.initial_state(x.rows());
-        auto [out, h_next] = model_.step(executor_, x, h, edge_weights);
-        h = h_next;
+      {
+        PhaseScope fwd_scope(forward_timer);
+        for (uint32_t t = seq_start; t < seq_end; ++t) {
+          executor_.begin_forward_step(t);
+          // Pipeline hint: while this step's layers compute on the view
+          // just positioned, the graph object may replay t+1's deltas and
+          // publish its view in the background (bounded staleness of 1).
+          if (t + 1 < seq_end) graph_.prefetch(t + 1);
+          const Tensor& x = signal_.features[t];
+          if (!h.defined()) h = model_.initial_state(x.rows());
+          auto [out, h_next] = model_.step(executor_, x, h, edge_weights);
+          h = h_next;
 
-        Tensor loss_t;
-        if (config_.task == Task::kNodeRegression) {
-          loss_t = ops::mse_loss(out, signal_.targets[t]);
-        } else {
-          const datasets::LinkSamples& ls = signal_.links[t];
-          Tensor logits = nn::link_logits(out, ls.src, ls.dst);
-          loss_t = ops::bce_with_logits_loss(logits, ls.labels);
+          Tensor loss_t;
+          if (config_.task == Task::kNodeRegression) {
+            loss_t = ops::mse_loss(out, signal_.targets[t]);
+          } else {
+            const datasets::LinkSamples& ls = signal_.links[t];
+            Tensor logits = nn::link_logits(out, ls.src, ls.dst);
+            loss_t = ops::bce_with_logits_loss(logits, ls.labels);
+          }
+          loss_acc = loss_acc.defined() ? ops::add(loss_acc, loss_t) : loss_t;
         }
-        loss_acc = loss_acc.defined() ? ops::add(loss_acc, loss_t) : loss_t;
       }
       if (training) {
+        PhaseScope bwd_scope(backward_timer);
         optimizer_.zero_grad();
         loss_acc.backward();
       }
@@ -312,7 +322,12 @@ EpochStats STGraphTrainer::run_epoch(bool training) {
     stats.view_seconds = gpma->view_timer().total_seconds();
     stats.incremental_view_updates = gpma->incremental_view_updates();
     stats.full_view_rebuilds = gpma->full_view_rebuilds();
+    stats.stall_seconds = gpma->stall_timer().total_seconds();
+    stats.prefetch_hits = gpma->prefetch_hits();
+    stats.prefetch_misses = gpma->prefetch_misses();
   }
+  stats.forward_seconds = forward_timer.total_seconds();
+  stats.backward_seconds = backward_timer.total_seconds();
   stats.failures = failures_;
   return stats;
 }

@@ -84,6 +84,16 @@ struct EpochStats {
   double view_seconds = 0.0;
   uint64_t incremental_view_updates = 0;
   uint64_t full_view_rebuilds = 0;
+  // Pipeline phase split (PR 8): model compute time per direction, plus
+  // how the bounded-staleness prefetch behaved — `stall_seconds` is time
+  // Get-Graph spent blocked on an in-flight background prepare, and
+  // hits/misses count timestamps served from a published snapshot vs
+  // prepared inline on the critical path.
+  double forward_seconds = 0.0;
+  double backward_seconds = 0.0;
+  double stall_seconds = 0.0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_misses = 0;
   FailureStats failures;              // cumulative guard counters
 };
 

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "graph/csr.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/scan.hpp"
 #include "runtime/sort.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 #include "verify/invariants.hpp"
 #include "verify/validate.hpp"
 
@@ -25,6 +28,29 @@ double rebuild_threshold_from_env() {
   const double v = std::strtod(s, &end);
   if (end == s || v < 0.0) return 0.25;
   return std::min(v, 1.0);
+}
+
+bool pipeline_enabled_from_env() {
+  const char* s = std::getenv("STGRAPH_PIPELINE");
+  if (!s || !*s) return true;
+  return !(std::string_view(s) == "off" || std::string_view(s) == "0" ||
+           std::string_view(s) == "false");
+}
+
+// Full rebuilds at which the one-shot "incremental path never fires"
+// warning triggers (enough refreshes to rule out warmup effects).
+constexpr uint64_t kFullRebuildWarnAt = 64;
+
+void copy_buf(DeviceBuffer<uint32_t>& dst, const DeviceBuffer<uint32_t>& src) {
+  dst.resize(src.size());
+  if (src.size())
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(uint32_t));
+}
+
+void copy_buf(DeviceBuffer<float>& dst, const DeviceBuffer<float>& src) {
+  dst.resize(src.size());
+  if (src.size())
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
 }
 
 }  // namespace
@@ -182,10 +208,26 @@ GpmaGraph::GpmaGraph(const DtdgEvents& events)
                         static_cast<uint32_t>(del.size()));
     deltas_.push_back(std::move(dd));
   }
+  num_shards_cfg_ = resolve_shard_count(num_nodes_);
+  pipeline_enabled_ = pipeline_enabled_from_env();
   refresh_views();
 }
 
+GpmaGraph::~GpmaGraph() {
+  if (!worker_.joinable()) return;
+  {
+    MutexLock lock(pmu_);
+    // Let an in-flight prepare() finish: it holds pointers into live
+    // members that must outlive it, and join() below only returns after
+    // the loop observes pf_stop_.
+    pf_stop_ = true;
+    pcv_.notify_all();
+  }
+  worker_.join();
+}
+
 void GpmaGraph::append_delta(const EdgeDelta& delta) {
+  sync();  // the worker reads deltas_/edges_at_ while positioning
   // Validate everything before mutating: after the push_backs below the
   // new timestamp is committed and the PMA will replay it on demand.
   for (const auto& [s, d] : delta.additions)
@@ -274,6 +316,7 @@ void GpmaGraph::position(uint32_t target) {
   STG_CHECK(target < num_timestamps(), "timestamp ", target, " out of range ",
             num_timestamps());
   if (target == curr_time_) return;
+  ++live_epoch_;  // any movement ends published snapshots' byte-equality
   if (target < curr_time_) {
     // First backward roll of a sequence: cache the furthest-forward state
     // so the next sequence's forward pass resumes from it instead of
@@ -315,6 +358,23 @@ void GpmaGraph::refresh_views() {
   pma_.clear_dirty();
   views_force_full_ = false;
   views_fresh_ = true;
+  rebuild_shard_plan();
+
+  // The PR-3 incremental machinery is pure overhead if every refresh takes
+  // the rebuild path (the per-graph churn blows past the threshold). Say so
+  // once, with the knob to turn.
+  if (!warned_full_rebuilds_ && incremental_views_enabled_ &&
+      incremental_view_updates_ == 0 &&
+      full_view_rebuilds_ >= kFullRebuildWarnAt) {
+    warned_full_rebuilds_ = true;
+    STG_LOG_WARN << "gpma: all " << full_view_rebuilds_
+                 << " view refreshes took the full-rebuild path; per-step "
+                    "churn exceeds the incremental threshold ("
+                 << rebuild_threshold_
+                 << ") — raise it via set_rebuild_threshold() / "
+                    "STGRAPH_VIEW_REBUILD_THRESHOLD or expect no benefit "
+                    "from incremental views on this graph";
+  }
 
   // STGRAPH_VALIDATE: audit the freshly patched (or rebuilt) views against
   // the PMA before any kernel consumes them, so a bad incremental patch
@@ -469,6 +529,7 @@ void GpmaGraph::rebuild_coef_cache() {
 }
 
 void GpmaGraph::set_coef_cache_enabled(bool enabled) {
+  sync();
   coef_cache_enabled_ = enabled;
   if (!enabled) {
     gcn_coef_.resize(0);
@@ -476,6 +537,35 @@ void GpmaGraph::set_coef_cache_enabled(bool enabled) {
   } else if (views_fresh_) {
     rebuild_coef_cache();
   }
+  // Published copies carry the old cache setting; drop them.
+  pub_[0].valid = false;
+  pub_[1].valid = false;
+}
+
+void GpmaGraph::set_rebuild_threshold(double threshold) {
+  sync();
+  rebuild_threshold_ = std::clamp(threshold, 0.0, 1.0);
+  warned_full_rebuilds_ = false;
+}
+
+void GpmaGraph::set_pipeline_enabled(bool enabled) {
+  sync();
+  pipeline_enabled_ = enabled;
+}
+
+void GpmaGraph::set_num_shards(uint32_t shards) {
+  sync();
+  num_shards_cfg_ = shards == 0 ? resolve_shard_count(num_nodes_)
+                                : std::min(shards, std::max(num_nodes_, 1u));
+  if (views_fresh_) rebuild_shard_plan();
+  pub_[0].valid = false;
+  pub_[1].valid = false;
+}
+
+void GpmaGraph::rebuild_shard_plan() {
+  live_shards_ =
+      build_shard_plan(num_nodes_, in_deg_.data(), out_deg_.data(),
+                       fwd_order_.data(), bwd_order_.data(), num_shards_cfg_);
 }
 
 void GpmaGraph::repair_order(DeviceBuffer<uint32_t>& order, const uint32_t* deg,
@@ -977,7 +1067,9 @@ bool GpmaGraph::incremental_update() {
 }
 
 SnapshotView GpmaGraph::get_graph(uint32_t t) {
-  {
+  if (!pipeline_enabled_) {
+    // Serial schedule: replay + refresh inline, views point at the live
+    // arrays (zero copies — exactly the pre-pipeline behavior).
     PhaseScope scope(update_timer_);
     {
       PhaseScope pos(position_timer_);
@@ -987,54 +1079,233 @@ SnapshotView GpmaGraph::get_graph(uint32_t t) {
       PhaseScope view(view_timer_);
       refresh_views();
     }
+    return make_view();
   }
-  return make_view();
+
+  // Pipelined schedule. First reclaim ownership of the live state: wait
+  // out any in-flight prefetch (the stall is the un-overlapped remainder
+  // of the update phase) and surface a worker error here, where the
+  // trainer's failure handling expects graph errors to appear.
+  bool worker_delivered = false;
+  if (worker_.joinable()) {
+    MutexLock lock(pmu_);
+    if (pf_state_ == PfState::kPending) {
+      PhaseScope stall(stall_timer_);
+      while (pf_state_ == PfState::kPending) pcv_.wait(lock);
+    }
+    if (pf_state_ == PfState::kDone) {
+      pf_state_ = PfState::kIdle;
+      worker_delivered = true;
+    }
+    if (pf_error_) {
+      std::exception_ptr e = pf_error_;
+      pf_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+  // A published snapshot of timestamp t may serve the request only while
+  // the live PMA has not been repositioned since it was published: the
+  // snapshot's *edge content* at t is immutable, but the serving contract
+  // also promises byte-agreement with the live slot layout, which is
+  // path-dependent. An epoch match implies the live PMA is still at t.
+  for (int i : {active_pub_, 1 - active_pub_}) {
+    if (pub_[i].valid && pub_[i].timestamp == t &&
+        pub_[i].live_epoch == live_epoch_) {
+      if (worker_delivered && i != active_pub_) ++prefetch_hits_;
+      active_pub_ = i;
+      return make_view(pub_[active_pub_]);
+    }
+  }
+
+  // Miss: do the work inline into the standby buffer (the hint was wrong,
+  // absent, or this is the first request).
+  ++prefetch_misses_;
+  prepare(t);
+  active_pub_ = 1 - active_pub_;
+  return make_view(pub_[active_pub_]);
 }
 
-SnapshotView GpmaGraph::make_view() const {
+void GpmaGraph::prepare(uint32_t target) {
+  PhaseScope scope(update_timer_);
+  {
+    PhaseScope pos(position_timer_);
+    position(target);
+  }
+  if (!views_fresh_) {
+    PhaseScope view(view_timer_);
+    refresh_views();
+  }
+  {
+    PhaseScope view(view_timer_);
+    publish(pub_[1 - active_pub_]);
+  }
+}
+
+void GpmaGraph::publish(PublishedView& pub) {
+  pub.valid = false;
+  copy_buf(pub.col, col_);
+  copy_buf(pub.eids, eids_);
+  copy_buf(pub.row_offset, row_offset_);
+  copy_buf(pub.in_deg, in_deg_);
+  copy_buf(pub.out_deg, out_deg_);
+  copy_buf(pub.fwd_order, fwd_order_);
+  copy_buf(pub.bwd_order, bwd_order_);
+  copy_buf(pub.r_row_offset, r_row_offset_);
+  copy_buf(pub.r_col, r_col_);
+  copy_buf(pub.r_eids, r_eids_);
+  copy_buf(pub.gcn_coef, gcn_coef_);
+  pub.shards = live_shards_.clone();
+  pub.num_edges = static_cast<uint32_t>(pma_.size());
+  pub.timestamp = curr_time_;
+  pub.live_epoch = live_epoch_;
+  pub.valid = true;
+}
+
+void GpmaGraph::prefetch(uint32_t t) {
+  if (!pipeline_enabled_ || t >= num_timestamps()) return;
+  ensure_worker();
+  MutexLock lock(pmu_);
+  // Staleness bound 1: at most one prefetch in flight, and an unconsumed
+  // result keeps its buffer until a get_* claims it.
+  if (pf_state_ != PfState::kIdle || pf_error_) return;
+  // Already have a servable t (current-epoch snapshot in either buffer)?
+  // Nothing to do. Safe to read here: the worker is provably idle while
+  // we hold the lock at kIdle.
+  if ((pub_[0].valid && pub_[0].timestamp == t &&
+       pub_[0].live_epoch == live_epoch_) ||
+      (pub_[1].valid && pub_[1].timestamp == t &&
+       pub_[1].live_epoch == live_epoch_))
+    return;
+  pf_target_ = t;
+  pf_state_ = PfState::kPending;
+  pcv_.notify_all();
+}
+
+void GpmaGraph::sync() const {
+  if (!worker_.joinable()) return;
+  MutexLock lock(pmu_);
+  while (pf_state_ == PfState::kPending) pcv_.wait(lock);
+  // Leave a completed result published (a later get_* may still hit it)
+  // and any error stored for the next get_* to rethrow.
+  if (pf_state_ == PfState::kDone) pf_state_ = PfState::kIdle;
+}
+
+void GpmaGraph::ensure_worker() {
+  if (worker_.joinable()) return;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void GpmaGraph::worker_loop() {
+  // The worker is an auxiliary thread running concurrently with compute on
+  // the main thread: it must never launch on the (single-launcher)
+  // ThreadPool. ScopedInline makes every parallel primitive it reaches run
+  // serially inline — bit-identical views by the any-lane-count contract.
+  ThreadPool::ScopedInline inline_guard;
+  for (;;) {
+    uint32_t target = 0;
+    {
+      MutexLock lock(pmu_);
+      while (pf_state_ != PfState::kPending && !pf_stop_) pcv_.wait(lock);
+      if (pf_stop_) return;
+      target = pf_target_;
+    }
+    std::exception_ptr err;
+    try {
+      prepare(target);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      MutexLock lock(pmu_);
+      pf_error_ = err;
+      pf_state_ = PfState::kDone;
+      pcv_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+/// Pointer-pack a SnapshotView from one source of snapshot arrays; shared
+/// by the live (serial) and published (pipelined) assembly so the two
+/// schedules hand kernels structurally identical views.
+SnapshotView assemble_view(
+    uint32_t num_nodes, uint32_t num_edges, const DeviceBuffer<uint32_t>& ro,
+    const DeviceBuffer<uint32_t>& col, const DeviceBuffer<uint32_t>& eids,
+    const DeviceBuffer<uint32_t>& rro, const DeviceBuffer<uint32_t>& rcol,
+    const DeviceBuffer<uint32_t>& reids, const DeviceBuffer<uint32_t>& fwd,
+    const DeviceBuffer<uint32_t>& bwd, const DeviceBuffer<uint32_t>& ind,
+    const DeviceBuffer<uint32_t>& outd, const DeviceBuffer<float>& coef,
+    const ShardPlan& shards) {
   SnapshotView v;
-  v.num_nodes = num_nodes_;
-  v.num_edges = static_cast<uint32_t>(pma_.size());
+  v.num_nodes = num_nodes;
+  v.num_edges = num_edges;
   // Forward pass: compacted reverse CSR (in-neighbors).
-  v.in_view.num_nodes = num_nodes_;
-  v.in_view.num_edges = v.num_edges;
-  v.in_view.row_offset = r_row_offset_.data();
-  v.in_view.col_indices = r_col_.data();
-  v.in_view.eids = r_eids_.data();
-  v.in_view.node_ids = fwd_order_.data();
+  v.in_view.num_nodes = num_nodes;
+  v.in_view.num_edges = num_edges;
+  v.in_view.row_offset = rro.data();
+  v.in_view.col_indices = rcol.data();
+  v.in_view.eids = reids.data();
+  v.in_view.node_ids = fwd.data();
   v.in_view.has_gaps = false;
   // Backward pass: gapped PMA arrays consumed in place.
-  v.out_view.num_nodes = num_nodes_;
-  v.out_view.num_edges = v.num_edges;
-  v.out_view.row_offset = row_offset_.data();
-  v.out_view.col_indices = col_.data();
-  v.out_view.eids = eids_.data();
-  v.out_view.node_ids = bwd_order_.data();
+  v.out_view.num_nodes = num_nodes;
+  v.out_view.num_edges = num_edges;
+  v.out_view.row_offset = ro.data();
+  v.out_view.col_indices = col.data();
+  v.out_view.eids = eids.data();
+  v.out_view.node_ids = bwd.data();
   v.out_view.has_gaps = true;
-  v.in_degrees = in_deg_.data();
-  v.out_degrees = out_deg_.data();
-  v.gcn_coef = gcn_coef_.empty() ? nullptr : gcn_coef_.data();
+  v.in_degrees = ind.data();
+  v.out_degrees = outd.data();
+  v.gcn_coef = coef.empty() ? nullptr : coef.data();
+  shards.annotate(v.in_view, /*forward=*/true);
+  shards.annotate(v.out_view, /*forward=*/false);
   return v;
+}
+
+}  // namespace
+
+SnapshotView GpmaGraph::make_view() const {
+  return assemble_view(num_nodes_, static_cast<uint32_t>(pma_.size()),
+                       row_offset_, col_, eids_, r_row_offset_, r_col_,
+                       r_eids_, fwd_order_, bwd_order_, in_deg_, out_deg_,
+                       gcn_coef_, live_shards_);
+}
+
+SnapshotView GpmaGraph::make_view(const PublishedView& pub) const {
+  return assemble_view(num_nodes_, pub.num_edges, pub.row_offset, pub.col,
+                       pub.eids, pub.r_row_offset, pub.r_col, pub.r_eids,
+                       pub.fwd_order, pub.bwd_order, pub.in_deg, pub.out_deg,
+                       pub.gcn_coef, pub.shards);
 }
 
 SnapshotView GpmaGraph::get_backward_graph(uint32_t t) { return get_graph(t); }
 
 void GpmaGraph::reset_update_stats() {
+  sync();
   update_timer_.reset();
   position_timer_.reset();
   view_timer_.reset();
+  stall_timer_.reset();
   incremental_view_updates_ = 0;
   full_view_rebuilds_ = 0;
+  prefetch_hits_ = 0;
+  prefetch_misses_ = 0;
 }
 
 std::size_t GpmaGraph::device_bytes() const {
+  sync();
   std::size_t total = pma_.device_bytes() + col_.bytes() + eids_.bytes() +
                       row_offset_.bytes() + in_deg_.bytes() + out_deg_.bytes() +
                       fwd_order_.bytes() + bwd_order_.bytes() +
                       r_row_offset_.bytes() + r_col_.bytes() + r_eids_.bytes() +
                       gcn_coef_.bytes() + gcn_coef_scratch_.bytes() +
                       r_row_offset_scratch_.bytes() + r_col_scratch_.bytes() +
-                      r_eids_scratch_.bytes() + order_scratch_.bytes();
+                      r_eids_scratch_.bytes() + order_scratch_.bytes() +
+                      live_shards_.device_bytes() + pub_[0].device_bytes() +
+                      pub_[1].device_bytes();
   for (const DeviceDelta& d : deltas_)
     total += d.additions.bytes() + d.deletions.bytes();
   if (cache_pma_) {

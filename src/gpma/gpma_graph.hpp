@@ -26,16 +26,40 @@
 //
 // The backward pass consumes the gapped PMA arrays directly (kernels skip
 // SPACE slots), so no out-CSR is ever materialized.
+//
+// Bounded-staleness pipeline (STGRAPH_PIPELINE, default on): get_graph
+// returns views over a *published copy* of the snapshot arrays, double-
+// buffered, so a background worker can roll the live PMA to the next hinted
+// timestamp (prefetch(), called by the trainer/executor) and publish its
+// views into the standby buffer while kernels read the active one. The
+// staleness bound is 1 — at most one prefetch in flight, into the one
+// standby buffer — and the worker runs every pool-using builder under
+// ThreadPool::ScopedInline (serially), both because run_on_lanes is a
+// single-launcher protocol and because views are bit-identical at any lane
+// count, so overlap changes nothing downstream. A published snapshot of
+// timestamp t is immutable and stays valid across epochs (the DTDG's state
+// at t is a pure function of t). With the pipeline off, get_graph points
+// views directly at the live arrays exactly as before — zero copies.
+//
+// Vertex sharding (STGRAPH_SHARDS, default auto): each refresh also builds
+// a ShardPlan (range partition + per-shard processing orders) and stamps it
+// into the kernel-facing views, so the kernel engine runs edge aggregation
+// shard-parallel with bit-identical outputs (see graph/shard.hpp).
 #pragma once
 
 #include <cstdlib>
+#include <exception>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "gpma/pma.hpp"
 #include "graph/dtdg.hpp"
+#include "graph/shard.hpp"
 #include "graph/stgraph_base.hpp"
+#include "runtime/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace stgraph {
@@ -43,6 +67,7 @@ namespace stgraph {
 class GpmaGraph final : public STGraphBase {
  public:
   explicit GpmaGraph(const DtdgEvents& events);
+  ~GpmaGraph() override;
 
   uint32_t num_nodes() const override { return num_nodes_; }
   uint32_t num_edges_at(uint32_t t) const override;
@@ -54,6 +79,11 @@ class GpmaGraph final : public STGraphBase {
 
   SnapshotView get_graph(uint32_t t) override;
   SnapshotView get_backward_graph(uint32_t t) override;
+  /// Hand timestamp t to the pipeline worker: it rolls the live PMA there
+  /// and publishes t's views into the standby buffer while the caller keeps
+  /// computing on the active one. No-op when the pipeline is off or a
+  /// prefetch is already in flight (staleness bound 1).
+  void prefetch(uint32_t t) override;
 
   std::size_t device_bytes() const override;
 
@@ -71,10 +101,20 @@ class GpmaGraph final : public STGraphBase {
   PhaseTimer& update_timer() { return update_timer_; }
   PhaseTimer& position_timer() { return position_timer_; }
   PhaseTimer& view_timer() { return view_timer_; }
+  /// Time get_graph/get_backward_graph spent blocked on an in-flight
+  /// prefetch (pipeline stall — the un-overlapped remainder of the update
+  /// phase).
+  PhaseTimer& stall_timer() { return stall_timer_; }
 
   /// Current PMA position (exposed for tests).
-  uint32_t current_timestamp() const { return curr_time_; }
-  const Pma& pma() const { return pma_; }
+  uint32_t current_timestamp() const {
+    sync();
+    return curr_time_;
+  }
+  const Pma& pma() const {
+    sync();
+    return pma_;
+  }
   /// Disable the Algorithm-2 snapshot cache (ablation bench).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
   /// Disable the delta-bounded incremental view path (ablation bench /
@@ -85,11 +125,28 @@ class GpmaGraph final : public STGraphBase {
   /// Disable the per-snapshot GCN-norm edge-coefficient cache (ablation
   /// bench / parity tests); kernels then recompute the factor per edge.
   void set_coef_cache_enabled(bool enabled);
+  /// Per-graph override of the incremental-view decision threshold (dirty
+  /// slot fraction beyond which a refresh takes the full rebuild). The
+  /// STGRAPH_VIEW_REBUILD_THRESHOLD env sets the process default; graphs
+  /// with known churn profiles can tune their own cutoff.
+  void set_rebuild_threshold(double threshold);
+  double rebuild_threshold() const { return rebuild_threshold_; }
+  /// Toggle the bounded-staleness pipeline (STGRAPH_PIPELINE sets the
+  /// default). Off degrades to the serial schedule: get_graph does the
+  /// replay + refresh inline and views point at the live arrays.
+  void set_pipeline_enabled(bool enabled);
+  bool pipeline_enabled() const { return pipeline_enabled_; }
+  /// Override the shard count (0 = re-resolve via STGRAPH_SHARDS/auto,
+  /// 1 = sharding off). Takes effect on the current views immediately.
+  void set_num_shards(uint32_t shards);
+  uint32_t num_shards() const { return live_shards_.num_shards; }
   uint64_t delta_replays() const { return delta_replays_; }
   uint64_t incremental_view_updates() const {
     return incremental_view_updates_;
   }
   uint64_t full_view_rebuilds() const { return full_view_rebuilds_; }
+  uint64_t prefetch_hits() const { return prefetch_hits_; }
+  uint64_t prefetch_misses() const { return prefetch_misses_; }
   /// Reset per-run instrumentation (timers + view counters).
   void reset_update_stats();
 
@@ -98,6 +155,39 @@ class GpmaGraph final : public STGraphBase {
     DeviceBuffer<uint64_t> additions;
     DeviceBuffer<uint64_t> deletions;
   };
+
+  /// One immutable published copy of the snapshot arrays for a timestamp —
+  /// what kernels read while the pipeline worker mutates the live state.
+  /// Two of these double-buffer the handoff: compute holds the active one,
+  /// the worker overwrites the standby one (whose previous contents were
+  /// invalidated by the last get_* call, per the view-lifetime contract).
+  struct PublishedView {
+    DeviceBuffer<uint32_t> col, eids, row_offset;
+    DeviceBuffer<uint32_t> in_deg, out_deg;
+    DeviceBuffer<uint32_t> fwd_order, bwd_order;
+    DeviceBuffer<uint32_t> r_row_offset, r_col, r_eids;
+    DeviceBuffer<float> gcn_coef;
+    ShardPlan shards;
+    uint32_t num_edges = 0;
+    uint32_t timestamp = 0;
+    /// live_epoch_ at publish time. A snapshot may only be served while
+    /// this still matches: the PMA's physical slot layout at a timestamp
+    /// is path-dependent (backward replay re-inserts deleted edges into
+    /// possibly different gaps), and the serving contract promises the
+    /// returned view agrees byte-for-byte with the live PMA positioned at
+    /// t (see verify::check_pma_view_agreement).
+    uint64_t live_epoch = 0;
+    bool valid = false;
+
+    std::size_t device_bytes() const {
+      return col.bytes() + eids.bytes() + row_offset.bytes() +
+             in_deg.bytes() + out_deg.bytes() + fwd_order.bytes() +
+             bwd_order.bytes() + r_row_offset.bytes() + r_col.bytes() +
+             r_eids.bytes() + gcn_coef.bytes() + shards.device_bytes();
+    }
+  };
+
+  enum class PfState { kIdle, kPending, kDone };
 
   /// Roll the PMA to timestamp `target` (Algorithm 2 core).
   void position(uint32_t target);
@@ -120,9 +210,26 @@ class GpmaGraph final : public STGraphBase {
                     std::vector<uint32_t>& affected);
   void save_cache();
   void restore_cache();
+  /// Rebuild the live shard plan from the (fresh) degree orders.
+  void rebuild_shard_plan();
   /// Assemble the kernel-facing view of the current position from the
   /// derived arrays (pointer packing only; requires fresh views).
   SnapshotView make_view() const;
+  /// Assemble the kernel-facing view of a published copy.
+  SnapshotView make_view(const PublishedView& pub) const;
+  /// Position + refresh + publish timestamp `target` into the standby
+  /// buffer. Runs on the caller's thread (prefetch miss / serial fill) or
+  /// on the worker under ScopedInline.
+  void prepare(uint32_t target);
+  /// Copy the live view arrays + shard plan into `pub` and stamp it.
+  void publish(PublishedView& pub);
+  /// Wait until the worker is idle (observers and mutators call this
+  /// before touching live state). Keeps any worker error stored for the
+  /// next get_* to rethrow, and keeps a completed result published.
+  void sync() const;
+  /// Spawn the worker thread on first use.
+  void ensure_worker();
+  void worker_loop();
 
   uint32_t num_nodes_ = 0;
   Pma pma_;
@@ -157,6 +264,10 @@ class GpmaGraph final : public STGraphBase {
   std::vector<uint32_t> eid_remap_;
 
   uint32_t curr_time_ = 0;
+  // Bumped by every repositioning; published snapshots stamped with an
+  // older epoch are no longer guaranteed byte-equal to the live PMA at
+  // their timestamp and are treated as misses.
+  uint64_t live_epoch_ = 0;
   bool views_fresh_ = false;
 
   // Delta bookkeeping between refreshes: every key actually applied to the
@@ -176,9 +287,39 @@ class GpmaGraph final : public STGraphBase {
   PhaseTimer update_timer_;
   PhaseTimer position_timer_;
   PhaseTimer view_timer_;
+  PhaseTimer stall_timer_;
   uint64_t delta_replays_ = 0;
   uint64_t incremental_view_updates_ = 0;
   uint64_t full_view_rebuilds_ = 0;
+  uint64_t prefetch_hits_ = 0;
+  uint64_t prefetch_misses_ = 0;
+  bool warned_full_rebuilds_ = false;
+
+  // ---- sharding ----------------------------------------------------------
+  // Plan over the live degree orders, rebuilt with them; published copies
+  // clone it so their views stay self-contained.
+  ShardPlan live_shards_;
+  uint32_t num_shards_cfg_ = 0;  // resolved in the constructor
+
+  // ---- bounded-staleness pipeline ---------------------------------------
+  // Protocol: pf_state_ is the single-slot job queue. Main thread moves
+  // kIdle -> kPending (prefetch) and kDone -> kIdle (consume/sync); the
+  // worker moves kPending -> kDone after running prepare(). All live
+  // mutable state (pma_, degrees, view arrays, timers) is owned by whoever
+  // the state machine says runs: the worker only between kPending and
+  // kDone, the main thread only at kIdle/kDone — every transition passes
+  // through pmu_, which carries the happens-before edge. Compute kernels
+  // read only the active PublishedView, which nobody writes while active.
+  bool pipeline_enabled_ = true;
+  PublishedView pub_[2];
+  int active_pub_ = 0;
+  std::thread worker_;
+  mutable Mutex pmu_;
+  mutable ConditionVariable pcv_;
+  mutable PfState pf_state_ STG_GUARDED_BY(pmu_) = PfState::kIdle;
+  uint32_t pf_target_ STG_GUARDED_BY(pmu_) = 0;
+  bool pf_stop_ STG_GUARDED_BY(pmu_) = false;
+  std::exception_ptr pf_error_ STG_GUARDED_BY(pmu_);
 };
 
 /// Algorithm 3, exposed standalone for unit tests and the ablation bench:

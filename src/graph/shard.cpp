@@ -1,0 +1,120 @@
+#include "graph/shard.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "graph/reorder.hpp"
+#include "runtime/parallel.hpp"
+#include "util/check.hpp"
+
+namespace stgraph {
+
+ShardPlan ShardPlan::clone() const {
+  ShardPlan out;
+  out.num_shards = num_shards;
+  out.vertex_bounds = vertex_bounds;
+  out.bounds = bounds.clone();
+  out.in_order = in_order.clone();
+  out.out_order = out_order.clone();
+  return out;
+}
+
+uint32_t ShardPlan::shard_of(uint32_t v) const {
+  STG_DCHECK(active(), "shard_of on an inactive plan");
+  for (uint32_t s = 0; s + 1 < static_cast<uint32_t>(vertex_bounds.size()); ++s)
+    if (v < vertex_bounds[s + 1]) return s;
+  return num_shards - 1;
+}
+
+void ShardPlan::annotate(CsrView& view, bool forward) const {
+  if (!active() || view.num_nodes != in_order.size()) return;
+  view.shard_order = forward ? in_order.data() : out_order.data();
+  view.shard_bounds = bounds.data();
+  view.num_shards = num_shards;
+}
+
+uint32_t resolve_shard_count(uint32_t num_nodes) {
+  if (num_nodes == 0) return 1;
+  uint32_t requested = 0;
+  if (const char* env = std::getenv("STGRAPH_SHARDS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env) requested = static_cast<uint32_t>(v);
+  }
+  if (requested == 0) {
+    // Auto: two shards per lane gives the strided shard loop slack against
+    // degree skew; shards below ~256 vertices cost more in launch + bounds
+    // overhead than they win.
+    const uint32_t lanes = ThreadPool::instance().lanes();
+    const uint32_t cap = std::max(1u, num_nodes / 256);
+    return std::clamp(2 * lanes, 1u, cap);
+  }
+  return std::min(requested, num_nodes);
+}
+
+ShardPlan build_shard_plan(uint32_t num_nodes, const uint32_t* in_deg,
+                           const uint32_t* out_deg, const uint32_t* fwd_order,
+                           const uint32_t* bwd_order, uint32_t num_shards) {
+  ShardPlan plan;
+  if (num_shards <= 1 || num_nodes == 0) return plan;
+  STG_CHECK(num_shards <= num_nodes, "more shards than vertices");
+  plan.num_shards = num_shards;
+
+  std::vector<uint64_t> weights(num_nodes);
+  for (uint32_t v = 0; v < num_nodes; ++v)
+    weights[v] = static_cast<uint64_t>(in_deg[v]) + out_deg[v] + 2;
+  plan.vertex_bounds = balanced_ranges(weights, num_shards);
+
+  // Contiguous id ranges mean shard s holds exactly vertex_bounds[s+1] -
+  // vertex_bounds[s] vertices, so the order-space bounds coincide with the
+  // id-space bounds — one array serves both directions.
+  plan.bounds = DeviceBuffer<uint32_t>(plan.vertex_bounds, MemCategory::kGraph);
+  plan.in_order = DeviceBuffer<uint32_t>(num_nodes, MemCategory::kGraph);
+  plan.out_order = DeviceBuffer<uint32_t>(num_nodes, MemCategory::kGraph);
+
+  // Stable partition of each global degree order by shard: shard s keeps
+  // its rows in global (descending-degree) relative order. Each shard's
+  // slice is written by its own lane (O(n) scan per shard), so the writer
+  // lane matches the kernel-time reader lane and the slice stays warm in
+  // that lane's cache hierarchy; DeviceAllocator keeps large order arrays
+  // on 2 MiB-aligned huge pages so a shard slice spans few pages.
+  const auto& vb = plan.vertex_bounds;
+  device::parallel_for(
+      num_shards,
+      [&](std::size_t s) {
+        const uint32_t lo = vb[s];
+        const uint32_t hi = vb[s + 1];
+        uint32_t in_cur = vb[s];   // order-space == id-space bounds
+        uint32_t out_cur = vb[s];
+        for (uint32_t i = 0; i < num_nodes; ++i) {
+          const uint32_t fv = fwd_order[i];
+          if (fv >= lo && fv < hi) plan.in_order[in_cur++] = fv;
+          const uint32_t bv = bwd_order[i];
+          if (bv >= lo && bv < hi) plan.out_order[out_cur++] = bv;
+        }
+        STG_CHECK(in_cur == hi && out_cur == hi,
+                  "shard order partition lost vertices");
+      },
+      /*grain=*/1);
+  return plan;
+}
+
+uint64_t count_cut_edges(const CsrView& view, const ShardPlan& plan) {
+  if (!plan.active()) return 0;
+  // Dense shard-of map so the edge scan is O(E) not O(E·S).
+  std::vector<uint32_t> shard_of(view.num_nodes);
+  for (uint32_t s = 0; s < plan.num_shards; ++s)
+    for (uint32_t v = plan.vertex_bounds[s]; v < plan.vertex_bounds[s + 1]; ++v)
+      shard_of[v] = s;
+  uint64_t cut = 0;
+  for (uint32_t v = 0; v < view.num_nodes; ++v) {
+    for (uint32_t i = view.row_offset[v]; i < view.row_offset[v + 1]; ++i) {
+      const uint32_t u = view.col_indices[i];
+      if (u == kSpace) continue;
+      if (shard_of[u] != shard_of[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace stgraph

@@ -1,0 +1,87 @@
+// Vertex sharding for multi-core edge aggregation (the partitioned-training
+// lever from TGL, scaled down to one node: shards ≈ GPU partitions).
+//
+// A ShardPlan splits the vertex id space into `num_shards` contiguous
+// ranges of near-equal edge weight (reorder::balanced_ranges over
+// w(v) = in_deg(v) + out_deg(v) + 2 — the +2 keeps ranges balanced on
+// sparse graphs where most vertices have degree 0 but still cost a row
+// visit in every kernel). For each adjacency direction the plan carries a
+// *sharded processing order*: the global descending-degree order, stably
+// partitioned by shard, concatenated shard-by-shard. The kernel engine
+// walks shard s's slice of that order on one lane — so STGraph's
+// high-degree-first load-balancing argument survives inside each shard,
+// and rows stay disjoint across lanes.
+//
+// Halo exchange: with row-disjoint shards over shared (read-only) column /
+// feature arrays, a cross-shard edge u→v needs no explicit communication —
+// shard(v) simply reads u's feature row, exactly as the unsharded kernel
+// would. The "exchange" degenerates to coherent read-only loads, which is
+// why sharded outputs are bit-identical to the serial reference at any S:
+// each output row is reduced by exactly one lane, in the same CSR index
+// order as the unsharded loop. cut_edges still measures the cross-shard
+// traffic a distributed deployment would pay; bench_scaling reports it.
+//
+// NUMA: each shard's slice of the order arrays is written by the lane that
+// owns the shard, so the writer lane matches the kernel-time reader lane;
+// DeviceAllocator places large arrays on 2 MiB-aligned huge pages, keeping
+// a shard's slice on few pages local to its lane's recent accesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "runtime/device_buffer.hpp"
+
+namespace stgraph {
+
+/// A range partition of the vertex set plus per-direction sharded
+/// processing orders. Rebuilt whenever the owning graph's degree orders
+/// change (cheap: O(n + S) given the global orders).
+struct ShardPlan {
+  uint32_t num_shards = 1;
+  /// Vertex-id-space ranges: shard s owns ids [vertex_bounds[s],
+  /// vertex_bounds[s+1]). Size num_shards + 1.
+  std::vector<uint32_t> vertex_bounds;
+  /// Offsets into the order arrays below; shard s's rows are
+  /// order[bounds[s] .. bounds[s+1]). Identical for both directions (every
+  /// vertex appears once in each order). Size num_shards + 1.
+  DeviceBuffer<uint32_t> bounds;
+  /// Per-shard concatenation of the forward (in-degree-descending) and
+  /// backward (out-degree-descending) global orders. Size num_nodes each.
+  DeviceBuffer<uint32_t> in_order;
+  DeviceBuffer<uint32_t> out_order;
+
+  bool active() const { return num_shards > 1; }
+  /// Deep copy (DeviceBuffers are move-only; published snapshot views keep
+  /// their own plan so they stay self-contained).
+  ShardPlan clone() const;
+  std::size_t device_bytes() const {
+    return bounds.bytes() + in_order.bytes() + out_order.bytes();
+  }
+  /// Shard owning vertex v (linear scan: S is a handful).
+  uint32_t shard_of(uint32_t v) const;
+  /// Stamp the shard fields of a kernel-facing view.
+  void annotate(CsrView& view, bool forward) const;
+};
+
+/// Resolve the shard count for an n-vertex graph from STGRAPH_SHARDS:
+/// unset or 0 → auto (2 shards per ThreadPool lane for slack against
+/// degree skew, capped so shards keep ≥256 vertices); 1 → sharding off;
+/// k → exactly min(k, n) shards. Read once per call (tests re-set the env).
+uint32_t resolve_shard_count(uint32_t num_nodes);
+
+/// Build a plan: balanced_ranges over w(v) = in_deg + out_deg + 2, then a
+/// stable partition of each global degree order by shard. `fwd_order` /
+/// `bwd_order` list all n vertices (descending in/out degree). Passing
+/// num_shards <= 1 yields an inactive plan with empty arrays.
+ShardPlan build_shard_plan(uint32_t num_nodes, const uint32_t* in_deg,
+                           const uint32_t* out_deg, const uint32_t* fwd_order,
+                           const uint32_t* bwd_order, uint32_t num_shards);
+
+/// Cross-shard edges of a (possibly gapped) CSR view under `plan` — the
+/// halo traffic a distributed deployment would pay. Stats only; not on any
+/// hot path.
+uint64_t count_cut_edges(const CsrView& view, const ShardPlan& plan);
+
+}  // namespace stgraph

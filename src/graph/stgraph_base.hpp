@@ -83,6 +83,14 @@ class STGraphBase {
     (void)delta;
     throw StgError(format_name() + " does not support streaming append");
   }
+
+  // ---- pipelining hint ---------------------------------------------------
+  /// Advisory: the caller expects its next get_graph()/get_backward_graph()
+  /// to ask for timestamp t. Implementations that maintain views lazily may
+  /// start preparing t's views on a background worker (GPMAGraph's
+  /// bounded-staleness pipeline); the default is a no-op. Correctness never
+  /// depends on the hint — a wrong or missing hint only costs overlap.
+  virtual void prefetch(uint32_t t) { (void)t; }
 };
 
 }  // namespace stgraph

@@ -9,7 +9,9 @@ KernelStats& KernelStats::instance() {
   return stats;
 }
 
-unsigned lane_count() { return ThreadPool::instance().lanes(); }
+unsigned lane_count() {
+  return detail::effective_lanes(ThreadPool::instance());
+}
 
 void parallel_for_ranges(std::size_t n,
                          const std::function<void(std::size_t, std::size_t)>& fn,
@@ -36,7 +38,7 @@ double parallel_reduce_sum(std::size_t n,
                            std::size_t grain) {
   if (n == 0) return 0.0;
   auto& pool = ThreadPool::instance();
-  const unsigned lanes = pool.lanes();
+  const unsigned lanes = detail::effective_lanes(pool);
   if (lanes == 1 || n <= grain) {
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) acc += fn(i);

@@ -35,6 +35,18 @@ inline void count_launch(std::size_t n) {
   stats.launches.fetch_add(1, std::memory_order_relaxed);
   stats.total_threads.fetch_add(n, std::memory_order_relaxed);
 }
+
+/// Lane count a launch may actually use from the current thread. On a pool
+/// lane (i.e. inside another launch) ThreadPool::run_on_lanes_raw executes
+/// the job inline on ONE lane only, so grid math sized with the full
+/// pool.lanes() would silently drop every chunk but the first. Nested
+/// launches therefore see exactly 1 effective lane: they run serially,
+/// inline, over their FULL index range. This is the enforced contract for
+/// nesting (shard workers launching per-shard kernels rely on it); see
+/// test_runtime NestedParallel* for the regression tests.
+inline unsigned effective_lanes(const ThreadPool& pool) {
+  return ThreadPool::on_pool_lane() ? 1u : pool.lanes();
+}
 }  // namespace detail
 
 /// Launch `fn(begin, end)` over contiguous index ranges — the analogue of a
@@ -46,7 +58,7 @@ void parallel_for_ranges(std::size_t n, Fn&& fn, std::size_t grain = 1024) {
   if (n == 0) return;
   detail::count_launch(n);
   auto& pool = ThreadPool::instance();
-  const unsigned lanes = pool.lanes();
+  const unsigned lanes = detail::effective_lanes(pool);
   if (lanes == 1 || n <= grain) {
     fn(std::size_t{0}, n);
     return;
@@ -87,7 +99,7 @@ void parallel_for_strided(std::size_t n, Fn&& fn, std::size_t grain = 512) {
   if (n == 0) return;
   detail::count_launch(n);
   auto& pool = ThreadPool::instance();
-  const unsigned lanes = pool.lanes();
+  const unsigned lanes = detail::effective_lanes(pool);
   if (lanes == 1 || n <= grain) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -118,7 +130,7 @@ void parallel_for_2d_strided(std::size_t rows, std::size_t tiles, Fn&& fn,
   if (n == 0) return;
   detail::count_launch(n);
   auto& pool = ThreadPool::instance();
-  const unsigned lanes = pool.lanes();
+  const unsigned lanes = detail::effective_lanes(pool);
   if (lanes == 1 || n <= grain) {
     for (std::size_t r = 0; r < rows; ++r)
       for (std::size_t t = 0; t < tiles; ++t) fn(r, t);
@@ -166,7 +178,10 @@ double parallel_reduce_sum(std::size_t n,
                            const std::function<double(std::size_t)>& fn,
                            std::size_t grain = 4096);
 
-/// Number of parallel lanes available (threads in the device).
+/// Number of parallel lanes available to a launch issued from the current
+/// thread. Inside a pool job (nested use) this is 1 — nested launches run
+/// serially inline over their full range; sizing per-lane scratch with this
+/// value is therefore always consistent with how the launch executes.
 unsigned lane_count();
 
 /// No-op on the CPU substrate (kernels are synchronous) but kept so call

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "runtime/thread_pool.hpp"
+#include "runtime/parallel.hpp"
 
 namespace stgraph::device {
 namespace {
@@ -13,7 +13,10 @@ template <typename T>
 void inclusive_scan_impl(const T* in, T* out, std::size_t n) {
   if (n == 0) return;
   auto& pool = ThreadPool::instance();
-  const unsigned lanes = pool.lanes();
+  // Effective lanes: on a pool lane (nested use) the launch below would run
+  // inline on one lane only, so sizing chunks with pool.lanes() would scan
+  // just the first chunk. See detail::effective_lanes.
+  const unsigned lanes = detail::effective_lanes(pool);
   constexpr std::size_t kSerialCutoff = 1 << 14;
   if (lanes == 1 || n <= kSerialCutoff) {
     T acc = 0;

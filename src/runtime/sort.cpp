@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <array>
 
-#include "runtime/thread_pool.hpp"
+#include "runtime/parallel.hpp"
 
 namespace stgraph::device {
 namespace {
@@ -81,7 +81,9 @@ std::vector<uint32_t> sort_indices(
   std::vector<uint32_t> idx(n);
   for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
   auto& pool = ThreadPool::instance();
-  const unsigned lanes = pool.lanes();
+  // Effective lanes so nested use (a pool lane or a ScopedInline worker)
+  // sorts the whole range serially instead of only the first chunk.
+  const unsigned lanes = detail::effective_lanes(pool);
   if (lanes == 1 || n < (1u << 14)) {
     std::stable_sort(idx.begin(), idx.end(), less);
     return idx;

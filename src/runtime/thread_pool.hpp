@@ -31,6 +31,33 @@ class ThreadPool {
   /// Total parallel lanes = workers + the calling thread.
   unsigned lanes() const { return static_cast<unsigned>(workers_.size()) + 1; }
 
+  /// True on a thread currently executing inside a pool launch (any lane,
+  /// including lane 0 on the launching thread). Nested launches from such a
+  /// thread run inline on one lane only, so grid math (chunk sizing, stride
+  /// counts) MUST use an effective lane count of 1 — see
+  /// device::lane_count() and the parallel_for* primitives, which all check
+  /// this flag. Using lanes() directly for chunk sizing inside a pool job
+  /// silently drops work.
+  static bool on_pool_lane() { return in_pool_job_; }
+
+  /// Marks the current thread as a pool lane for the guard's lifetime, so
+  /// every parallel_for* it issues runs serially inline (1 effective lane)
+  /// and never touches the pool's launch protocol. run_on_lanes_raw is a
+  /// single-launcher protocol (generation_/pending_ handshake): two threads
+  /// launching concurrently corrupt the rendezvous. Auxiliary threads that
+  /// must run pool-using code concurrently with the main thread (the GPMA
+  /// pipeline prefetch worker) wrap their work in a ScopedInline instead.
+  class ScopedInline {
+   public:
+    ScopedInline() : prev_(in_pool_job_) { in_pool_job_ = true; }
+    ~ScopedInline() { in_pool_job_ = prev_; }
+    ScopedInline(const ScopedInline&) = delete;
+    ScopedInline& operator=(const ScopedInline&) = delete;
+
+   private:
+    bool prev_;
+  };
+
   /// Run fn(lane) on every lane (0..lanes-1) and wait for completion.
   /// The calling thread executes lane 0. Reentrant calls (fn itself calling
   /// run_on_lanes) execute inline on the calling lane to avoid deadlock.

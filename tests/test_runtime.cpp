@@ -63,6 +63,94 @@ TEST(Parallel, ReduceSumMatchesSerial) {
   EXPECT_DOUBLE_EQ(got, want);
 }
 
+// Nested-use contract (see detail::effective_lanes): a parallel primitive
+// launched from a ThreadPool lane — or from a thread under
+// ThreadPool::ScopedInline — must run serially inline over its FULL
+// range. Before the fix, nested launches sized their chunk grid with
+// pool.lanes() but executed only the calling lane's chunk, silently
+// dropping (lanes-1)/lanes of the work.
+TEST(NestedParallel, InnerForCoversFullRangeFromPoolLane) {
+  auto& pool = ThreadPool::instance();
+  const std::size_t n = 4096;
+  std::vector<std::atomic<uint32_t>> hits(n);
+  pool.run_on_lanes([&](unsigned) {
+    device::parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, 1);
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[i].load(), pool.lanes()) << "index " << i;
+}
+
+TEST(NestedParallel, InnerRangesCoverFullRangeFromPoolLane) {
+  auto& pool = ThreadPool::instance();
+  const std::size_t n = 10001;
+  std::vector<std::atomic<uint32_t>> hits(n);
+  pool.run_on_lanes([&](unsigned) {
+    device::parallel_for_ranges(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    }, 1);
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[i].load(), pool.lanes()) << "index " << i;
+}
+
+TEST(NestedParallel, LaneCountIsOneOnPoolLane) {
+  auto& pool = ThreadPool::instance();
+  std::vector<unsigned> seen(pool.lanes(), 0);
+  pool.run_on_lanes([&](unsigned lane) { seen[lane] = device::lane_count(); });
+  for (unsigned lane = 0; lane < pool.lanes(); ++lane)
+    EXPECT_EQ(seen[lane], 1u) << "lane " << lane;
+  EXPECT_EQ(device::lane_count(), pool.lanes());
+}
+
+TEST(NestedParallel, NestedReduceSumMatchesSerial) {
+  auto& pool = ThreadPool::instance();
+  const std::size_t n = 54321;
+  const double want = double(n - 1) * double(n) / 2.0;
+  std::vector<double> got(pool.lanes(), 0.0);
+  pool.run_on_lanes([&](unsigned lane) {
+    got[lane] = device::parallel_reduce_sum(
+        n, [](std::size_t i) { return double(i); }, 1);
+  });
+  for (unsigned lane = 0; lane < pool.lanes(); ++lane)
+    EXPECT_DOUBLE_EQ(got[lane], want) << "lane " << lane;
+}
+
+TEST(NestedParallel, ScopedInlineForcesSerialFullCoverage) {
+  // The pipeline worker thread runs under ScopedInline: primitives must
+  // behave exactly as on a pool lane (serial, full range) even though the
+  // thread is not owned by the pool.
+  ThreadPool::ScopedInline guard;
+  EXPECT_EQ(device::lane_count(), 1u);
+  const std::size_t n = 4096;
+  std::vector<uint32_t> hits(n, 0);  // serial: plain ints suffice
+  device::parallel_for(n, [&](std::size_t i) { hits[i]++; }, 1);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1u) << i;
+  const double got =
+      device::parallel_reduce_sum(n, [](std::size_t i) { return double(i); }, 1);
+  EXPECT_DOUBLE_EQ(got, double(n - 1) * double(n) / 2.0);
+}
+
+TEST(NestedParallel, SortIndicesFullySortedOnPoolLane) {
+  // sort_indices sizes merge chunks with the lane count; nested use must
+  // fall back to a full serial sort, not sort only the first chunk.
+  auto& pool = ThreadPool::instance();
+  const std::size_t n = 1u << 15;  // above the serial cutoff
+  std::vector<uint32_t> keys(n);
+  Rng rng(404);
+  for (auto& k : keys) k = static_cast<uint32_t>(rng.next_below(1u << 20));
+  std::vector<uint8_t> ok(pool.lanes(), 0);
+  pool.run_on_lanes([&](unsigned lane) {
+    auto idx = device::sort_indices(
+        n, [&](uint32_t a, uint32_t b) { return keys[a] < keys[b]; });
+    uint8_t sorted = idx.size() == n;
+    for (std::size_t i = 1; i < idx.size(); ++i)
+      if (keys[idx[i - 1]] > keys[idx[i]]) sorted = 0;
+    ok[lane] = sorted;
+  });
+  for (unsigned lane = 0; lane < pool.lanes(); ++lane)
+    EXPECT_TRUE(ok[lane]) << "lane " << lane;
+}
+
 TEST(Parallel, KernelStatsCountLaunches) {
   auto& stats = device::KernelStats::instance();
   stats.reset();
