@@ -89,7 +89,8 @@ int main(int argc, char** argv) {
   CsvWriter csv({"dataset", "feature_size", "update_s", "position_s",
                  "view_s", "gnn_s", "forward_s", "backward_s", "stall_s",
                  "pf_hits", "pf_misses", "update_pct", "gnn_pct",
-                 "incr_updates", "full_rebuilds"});
+                 "incr_updates", "full_rebuilds", "tape_ops", "tape_mib",
+                 "fused_ops", "fused_mib"});
   std::ostringstream rows_json;
 
   bool first_row = true;
@@ -119,7 +120,11 @@ int main(int argc, char** argv) {
                                       std::max(total, 1e-9),
                                   1),
                    std::to_string(gpma.incremental_view_updates),
-                   std::to_string(gpma.full_view_rebuilds)});
+                   std::to_string(gpma.full_view_rebuilds),
+                   std::to_string(gpma.tape_op_count),
+                   CsvWriter::fmt(gpma.tape_bytes / (1024.0 * 1024.0), 2),
+                   std::to_string(gpma.fused_op_count),
+                   CsvWriter::fmt(gpma.fused_bytes / (1024.0 * 1024.0), 2)});
       rows_json << (first_row ? "" : ",") << "\n    {\"dataset\": \""
                 << json_escape(ds.name) << "\", \"feature_size\": " << F
                 << ", \"update_s\": " << gpma.graph_update_seconds
@@ -134,7 +139,10 @@ int main(int argc, char** argv) {
                 << ", \"incremental_view_updates\": "
                 << gpma.incremental_view_updates
                 << ", \"full_view_rebuilds\": " << gpma.full_view_rebuilds
-                << "}";
+                << ", \"tape_ops\": " << gpma.tape_op_count
+                << ", \"tape_bytes\": " << gpma.tape_bytes
+                << ", \"fused_ops\": " << gpma.fused_op_count
+                << ", \"fused_bytes\": " << gpma.fused_bytes << "}";
       first_row = false;
       std::cout << "." << std::flush;
     }

@@ -11,22 +11,32 @@
 // runs instead, writing one JSON object for run_all.sh / CI trend lines.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "core/backend.hpp"
 #include "runtime/simd.hpp"
 
 #include "baseline/edge_ops.hpp"
+#include "compiler/fusion.hpp"
 #include "compiler/kernel.hpp"
 #include "compiler/trace.hpp"
+#include "core/trainer.hpp"
+#include "datasets/synthetic.hpp"
 #include "graph/reorder.hpp"
 #include "graph/static_graph.hpp"
+#include "nn/gconv_gru.hpp"
+#include "nn/models.hpp"
 #include "runtime/parallel.hpp"
+#include "tensor/op_profile.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
 
@@ -306,13 +316,214 @@ int run_json_ablation(const std::string& path) {
   return 0;
 }
 
+// ---- --fusion-json-out ablation --------------------------------------------
+
+// One model's fusion-on vs fusion-off epoch measurement.
+struct FusionModelResult {
+  std::string model, dataset;
+  double on_s = 0.0, off_s = 0.0;
+  double loss_on = 0.0, loss_off = 0.0;
+  uint64_t tape_ops_on = 0, tape_ops_off = 0;
+  uint64_t tape_bytes_on = 0, tape_bytes_off = 0;
+  uint64_t fused_ops_on = 0, fused_bytes_on = 0;
+  uint64_t steady_cache_misses = 0;  // must be 0: zero steady-state compiles
+  uint64_t cache_hits = 0;
+  double speedup() const { return on_s > 0.0 ? off_s / on_s : 0.0; }
+};
+
+// Train `epochs` measured epochs with fusion forced on vs off. The two
+// trainers run interleaved (one on-epoch, one off-epoch, back to back) and
+// each mode reports its BEST epoch — ambient machine load hits both modes
+// alike and the min sheds the noise spikes.
+template <typename MakeModel>
+FusionModelResult measure_fusion_model(
+    const char* model_name, const datasets::StaticTemporalDataset& ds,
+    const MakeModel& make_model, uint32_t epochs) {
+  FusionModelResult r;
+  r.model = model_name;
+  r.dataset = ds.name;
+  core::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.sequence_length = 8;
+  cfg.task = core::Task::kNodeRegression;
+
+  // Identical seeds: the two runs train the same model, so their losses
+  // must stay bitwise equal (the fusion parity contract, end to end).
+  Rng rng_on(0xBEEF), rng_off(0xBEEF);
+  StaticTemporalGraph graph_on(ds.num_nodes, ds.edges, ds.num_timestamps);
+  StaticTemporalGraph graph_off(ds.num_nodes, ds.edges, ds.num_timestamps);
+  auto model_on = make_model(rng_on);
+  auto model_off = make_model(rng_off);
+  core::STGraphTrainer tr_on(graph_on, *model_on, ds.signal, cfg);
+  core::STGraphTrainer tr_off(graph_off, *model_off, ds.signal, cfg);
+
+  auto on_epoch = [&] {
+    compiler::fusion::set_fusion_enabled(true);
+    return tr_on.train_epoch();
+  };
+  auto off_epoch = [&] {
+    compiler::fusion::set_fusion_enabled(false);
+    return tr_off.train_epoch();
+  };
+  on_epoch();  // warmup: compiles + caches every fused program
+  off_epoch();
+  compiler::fusion::reset_fusion_stats();
+  r.on_s = r.off_s = 1e100;
+  for (uint32_t e = 0; e < epochs; ++e) {
+    const core::EpochStats on = on_epoch();
+    const core::EpochStats off = off_epoch();
+    r.on_s = std::min(r.on_s, on.seconds);
+    r.off_s = std::min(r.off_s, off.seconds);
+    r.loss_on = on.loss;
+    r.loss_off = off.loss;
+    r.tape_ops_on = on.tape_op_count;
+    r.tape_bytes_on = on.tape_bytes;
+    r.fused_ops_on = on.fused_op_count;
+    r.fused_bytes_on = on.fused_bytes;
+    r.tape_ops_off = off.tape_op_count;
+    r.tape_bytes_off = off.tape_bytes;
+  }
+  const compiler::fusion::FusionStats fs = compiler::fusion::fusion_stats();
+  r.steady_cache_misses = fs.cache_misses;
+  r.cache_hits = fs.cache_hits;
+  compiler::fusion::set_fusion_enabled(true);
+  return r;
+}
+
+int run_fusion_ablation(const std::string& path) {
+  // ---- fused-epilogue micro: bias grafted onto the aggregation writeback
+  // vs a second read-modify-write pass over the output. Bitwise equality is
+  // part of the contract (the add sees the same two floats either way).
+  const int64_t F = 32;
+  Fixture fx(50000, 400000, F);
+  Rng brng(23);
+  std::vector<float> bias(F);
+  for (auto& v : bias) v = brng.normal();
+  std::vector<float> out_fused(fx.x.size()), out_unfused(fx.x.size());
+  compiler::KernelArgs args;
+  args.view = fx.view.in_view;
+  args.in_degrees = fx.view.in_degrees;
+  args.gcn_coef = fx.view.gcn_coef;
+  const float* inputs[1] = {fx.x.data()};
+  args.inputs = inputs;
+  args.self_features = fx.x.data();
+  args.num_feats = static_cast<uint32_t>(F);
+  args.producer_is_col = true;
+
+  auto run_unfused = [&] {
+    args.out = out_unfused.data();
+    args.epilogue_bias = nullptr;
+    compiler::run_kernel(fx.spec, args);
+    float* o = out_unfused.data();
+    for (uint32_t v = 0; v < fx.n; ++v)
+      for (int64_t f = 0; f < F; ++f) o[v * F + f] += bias[f];
+  };
+  auto run_fused = [&] {
+    args.out = out_fused.data();
+    args.epilogue_bias = bias.data();
+    compiler::run_kernel(fx.spec, args);
+  };
+  run_unfused();  // warm
+  run_fused();
+  const bool epilogue_bitwise_equal =
+      std::memcmp(out_fused.data(), out_unfused.data(),
+                  out_fused.size() * sizeof(float)) == 0;
+  const double epi_unfused_s = time_best(run_unfused);
+  const double epi_fused_s = time_best(run_fused);
+
+  // ---- end-to-end model epochs, fusion on vs off ---------------------------
+  datasets::StaticLoadOptions so;
+  so.scale = 0.25;
+  so.num_timestamps = 24;
+  const datasets::StaticTemporalDataset wiki = datasets::load_wikimath(so);
+  const datasets::StaticTemporalDataset pox = datasets::load_chickenpox(so);
+  const uint32_t epochs = 3;
+  const FusionModelResult tgcn = measure_fusion_model(
+      "TGCN", wiki,
+      [&](Rng& rng) {
+        return std::make_unique<nn::TGCNRegressor>(wiki.signal.feature_size(),
+                                                   16, rng);
+      },
+      epochs);
+  const FusionModelResult gru = measure_fusion_model(
+      "GConvGRU", pox,
+      [&](Rng& rng) {
+        return std::make_unique<nn::GConvGRURegressor>(
+            pox.signal.feature_size(), 16, 2, rng);
+      },
+      epochs);
+
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  auto model_json = [](const FusionModelResult& r) {
+    std::ostringstream os;
+    os << "    {\"model\": \"" << r.model << "\", \"dataset\": \"" << r.dataset
+       << "\", \"fusion_on_s\": " << r.on_s
+       << ", \"fusion_off_s\": " << r.off_s
+       << ", \"speedup\": " << r.speedup()
+       << ", \"loss_bitwise_equal\": "
+       << (r.loss_on == r.loss_off ? "true" : "false")
+       << ", \"tape_ops_on\": " << r.tape_ops_on
+       << ", \"tape_ops_off\": " << r.tape_ops_off
+       << ", \"tape_bytes_on\": " << r.tape_bytes_on
+       << ", \"tape_bytes_off\": " << r.tape_bytes_off
+       << ", \"fused_ops_on\": " << r.fused_ops_on
+       << ", \"fused_bytes_on\": " << r.fused_bytes_on
+       << ", \"steady_state_cache_misses\": " << r.steady_cache_misses
+       << ", \"cache_hits\": " << r.cache_hits << "}";
+    return os.str();
+  };
+  f << "{\n"
+    << "  \"bench\": \"fusion\",\n"
+    << "  \"device\": \"" << core::native_backend().device_info() << "\",\n"
+    << "  \"simd\": \"" << simd::active_arch() << "\",\n"
+    << "  \"epilogue\": {\"num_nodes\": " << fx.n
+    << ", \"feature_size\": " << F << ", \"fused_s\": " << epi_fused_s
+    << ", \"unfused_s\": " << epi_unfused_s
+    << ", \"speedup\": " << epi_unfused_s / epi_fused_s
+    << ", \"bitwise_equal\": " << (epilogue_bitwise_equal ? "true" : "false")
+    << "},\n"
+    << "  \"models\": [\n"
+    << model_json(tgcn) << ",\n"
+    << model_json(gru) << "\n  ]\n}\n";
+  std::cout << "fusion ablation:\n"
+            << "  epilogue fused " << epi_fused_s * 1e3 << " ms vs unfused "
+            << epi_unfused_s * 1e3 << " ms ("
+            << epi_unfused_s / epi_fused_s
+            << "x), bitwise equal: " << epilogue_bitwise_equal << "\n"
+            << "  TGCN epoch: on " << tgcn.on_s * 1e3 << " ms, off "
+            << tgcn.off_s * 1e3 << " ms (" << tgcn.speedup()
+            << "x), tape ops " << tgcn.tape_ops_off << " -> "
+            << tgcn.tape_ops_on << ", steady misses "
+            << tgcn.steady_cache_misses << "\n"
+            << "  GConvGRU epoch: on " << gru.on_s * 1e3 << " ms, off "
+            << gru.off_s * 1e3 << " ms (" << gru.speedup()
+            << "x), tape ops " << gru.tape_ops_off << " -> "
+            << gru.tape_ops_on << ", steady misses "
+            << gru.steady_cache_misses << "\n"
+            << "  wrote " << path << "\n";
+  return (epilogue_bitwise_equal && tgcn.steady_cache_misses == 0 &&
+          gru.steady_cache_misses == 0)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_out;
+  std::string json_out, fusion_json_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json-out=", 0) == 0) json_out = arg.substr(11);
+    if (arg.rfind("--fusion-json-out=", 0) == 0)
+      fusion_json_out = arg.substr(18);
+  }
+  if (!fusion_json_out.empty()) {
+    const int rc = run_fusion_ablation(fusion_json_out);
+    if (rc != 0 || json_out.empty()) return rc;
   }
   if (!json_out.empty()) return run_json_ablation(json_out);
   benchmark::Initialize(&argc, argv);

@@ -75,6 +75,10 @@ RunResult measure_epochs(const std::function<core::EpochStats()>& epoch_fn,
     r.stall_seconds += s.stall_seconds;
     r.prefetch_hits += s.prefetch_hits;
     r.prefetch_misses += s.prefetch_misses;
+    r.tape_op_count += s.tape_op_count;
+    r.tape_bytes += s.tape_bytes;
+    r.fused_op_count += s.fused_op_count;
+    r.fused_bytes += s.fused_bytes;
     r.final_loss = s.loss;
   }
   r.per_epoch_seconds /= opts.epochs;
@@ -85,6 +89,10 @@ RunResult measure_epochs(const std::function<core::EpochStats()>& epoch_fn,
   r.forward_seconds /= opts.epochs;
   r.backward_seconds /= opts.epochs;
   r.stall_seconds /= opts.epochs;
+  r.tape_op_count /= opts.epochs;
+  r.tape_bytes /= opts.epochs;
+  r.fused_op_count /= opts.epochs;
+  r.fused_bytes /= opts.epochs;
   return r;
 }
 }  // namespace

@@ -60,6 +60,15 @@ struct RunResult {
   double stall_seconds = 0.0;         // per epoch
   uint64_t prefetch_hits = 0;
   uint64_t prefetch_misses = 0;
+  // Fusing-compiler evidence (PR 9): unfused tape launches (elementwise +
+  // activation) and the intermediate bytes they materialized, vs fused
+  // region launches and their output bytes — per epoch, averaged over the
+  // measured epochs. With fusion on, tape_* shrinks and fused_* absorbs
+  // the collapsed regions.
+  uint64_t tape_op_count = 0;
+  uint64_t tape_bytes = 0;
+  uint64_t fused_op_count = 0;
+  uint64_t fused_bytes = 0;
 };
 
 enum class System { kStgraphStatic, kStgraphNaive, kStgraphGpma, kPygt };

@@ -47,6 +47,15 @@
 #                           asserts bit-identical losses across the grid
 #                           and a best-point speedup floor vs the serial
 #                           schedule
+#   ./run_all.sh fusion-smoke
+#                           fusing tape compiler smoke test: the fusion
+#                           bit-parity suite (test_fusion, plus the serial
+#                           variant, plus the whole training suite rerun
+#                           with STGRAPH_FUSION=off), then the fused-vs-
+#                           unfused ablation (epilogue micro + end-to-end
+#                           TGCN/GConvGRU epochs, bitwise loss equality and
+#                           zero steady-state compiles asserted, emitted as
+#                           BENCH_fusion.json)
 #   ./run_all.sh bench      graph-update benches only: bench_fig9 (GNN/
 #                           update time split with the per-phase counters
 #                           and the incremental-vs-full view-maintenance
@@ -83,6 +92,24 @@ if [ "$1" = "scaling-smoke" ]; then
   exit 0
 fi
 
+if [ "$1" = "fusion-smoke" ]; then
+  cmake -B build -S . || exit 1
+  cmake --build build -j "$(nproc)" --target test_fusion test_training \
+    bench_micro_kernels || exit 1
+  ctest --test-dir build --output-on-failure \
+    -R '^(FusionParity|FusionCache|FusionStats|TrainingParity|EwPasses|EwAutodiff)\.' \
+    || exit 1
+  ctest --test-dir build --output-on-failure \
+    -R '^(fusion_serial|training_fusion_off)$' || exit 1
+  # The ablation bench doubles as a contract check: it exits non-zero if
+  # the fused epilogue is not bitwise equal to kernel-then-add-bias or if
+  # any steady-state epoch compiled a program.
+  ./build/bench/bench_micro_kernels \
+    --fusion-json-out=/root/repo/BENCH_fusion.json || exit 1
+  cat /root/repo/BENCH_fusion.json
+  exit 0
+fi
+
 if [ "$1" = "bench" ]; then
   cmake -B build -S . || exit 1
   cmake --build build -j "$(nproc)" --target bench_fig9 bench_micro_gpma \
@@ -93,7 +120,8 @@ if [ "$1" = "bench" ]; then
     --json-out=/root/repo/BENCH_scaling.json || exit 1
   ./build/bench/bench_micro_gpma || exit 1
   ./build/bench/bench_micro_kernels \
-    --json-out=/root/repo/BENCH_kernels.json || exit 1
+    --json-out=/root/repo/BENCH_kernels.json \
+    --fusion-json-out=/root/repo/BENCH_fusion.json || exit 1
   ./build/bench/bench_serve_robust \
     --out=/root/repo/BENCH_serve_robust.json || exit 1
   ./build/bench/bench_serve_net \
@@ -164,8 +192,9 @@ if [ "$1" = "tsan" ]; then
     -DSTGRAPH_BUILD_EXAMPLES=OFF || exit 1
   cmake --build build-tsan -j "$(nproc)" \
     --target test_threadpool_mt test_serve_mt test_serve_net test_scaling \
-    || exit 1
-  for t in test_threadpool_mt test_serve_mt test_serve_net test_scaling; do
+    test_fusion || exit 1
+  for t in test_threadpool_mt test_serve_mt test_serve_net test_scaling \
+           test_fusion; do
     echo "===== $t (tsan) ====="
     TSAN_OPTIONS="halt_on_error=1 suppressions=$(pwd)/tsan.supp" \
       ./build-tsan/tests/$t || exit 1
@@ -193,7 +222,9 @@ if [ "$1" = "lint" ]; then
              src/net/event_loop.cpp src/net/connection.cpp \
              src/net/listener.cpp src/net/frontend.cpp \
              src/net/client.cpp src/gpma/gpma_graph.cpp \
-             src/graph/shard.cpp; do
+             src/graph/shard.cpp src/compiler/fusion.cpp \
+             src/compiler/autodiff.cpp src/compiler/passes.cpp \
+             src/compiler/trace.cpp src/compiler/ir.cpp; do
       echo "thread-safety: $f"
       clang++ -std=c++17 -Isrc -fsyntax-only \
         -Wthread-safety -Werror "$f" || status=1

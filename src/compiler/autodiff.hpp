@@ -42,4 +42,35 @@ Program differentiate(const Program& p, int input = 0);
 /// Static analysis of what `p`'s backward pass needs saved.
 BackwardNeeds backward_needs(const Program& p);
 
+// ---- elementwise-program autodiff ----------------------------------------
+
+/// Derived backward of an elementwise program. `prog` takes the forward
+/// inputs, the output gradient (one kMat slot), then one kMat slot per
+/// `saved` forward value; cheap forward intermediates are recomputed from
+/// the inputs, but transcendental nodes (sigmoid/tanh/exp) read the value
+/// the forward pass materialized instead — the fused analogue of the
+/// tape's saved-output VJPs (ops::sigmoid backward reads the saved y, it
+/// never re-evaluates the exponential). The saved value is bitwise the
+/// float the recompute would have produced, so this is purely a
+/// performance choice.
+struct EwBackward {
+  EwProgram prog;
+  /// Per forward input: node id in `prog` producing its gradient, or -1
+  /// when the input is unused (its gradient is identically zero).
+  /// Gradients of kBias inputs are pointwise [N, F] values the executor
+  /// column-reduces (serial over rows, matching ops::add_bias backward).
+  std::vector<int> input_grads;
+  /// Forward node ids whose values the backward reads as inputs, in slot
+  /// order: saved[j] is fed through input slot num_fwd_inputs + 1 + j.
+  /// The executor extends the forward program's outputs with these nodes.
+  std::vector<int> saved;
+};
+
+/// Derive the backward program of an elementwise region. The VJP formulas
+/// and the gradient-accumulation order (reverse node order; contributions
+/// folded left-associatively in arrival order) replicate exactly what
+/// autograd::run_backward does when the same program is replayed op-by-op
+/// through ops:: — the fused and unfused gradients are bit-identical.
+EwBackward differentiate_elementwise(const EwProgram& fwd);
+
 }  // namespace stgraph::compiler

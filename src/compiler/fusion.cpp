@@ -1,0 +1,600 @@
+#include "compiler/fusion.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "autograd/engine.hpp"
+#include "compiler/passes.hpp"
+#include "runtime/device_buffer.hpp"
+#include "runtime/mutex.hpp"
+#include "runtime/parallel.hpp"
+#include "tensor/ew_scalar.hpp"
+#include "tensor/op_profile.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/thread_annotations.hpp"
+#include "verify/validate.hpp"
+
+namespace stgraph::compiler::fusion {
+namespace {
+
+// ---- switch, stats --------------------------------------------------------
+
+std::atomic<int> g_enabled{-1};  // -1 = environment not read yet
+
+struct StatCounters {
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> fused_forward{0};
+  std::atomic<uint64_t> fused_backward{0};
+  std::atomic<uint64_t> unfused_replays{0};
+  std::atomic<uint64_t> scratch_acquires{0};
+  std::atomic<uint64_t> scratch_reuses{0};
+};
+
+StatCounters& stat_counters() {
+  static StatCounters s;
+  return s;
+}
+
+// ---- per-signature program cache -----------------------------------------
+
+/// A compiled program specialized to one (signature, rows, cols) shape.
+/// Holding the programs by value keeps a cached plan (and everything a
+/// pending backward needs) alive independently of the FusedOp that built
+/// it.
+struct ExecPlan {
+  uint64_t sig = 0;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  EwProgram fwd;
+  EwBackward bwd;
+};
+
+struct CacheKey {
+  uint64_t sig;
+  int64_t rows;
+  int64_t cols;
+  bool operator==(const CacheKey& o) const {
+    return sig == o.sig && rows == o.rows && cols == o.cols;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    uint64_t h = k.sig;
+    h ^= static_cast<uint64_t>(k.rows) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    h ^= static_cast<uint64_t>(k.cols) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct ProgramCache {
+  Mutex mu;
+  std::unordered_map<CacheKey, std::shared_ptr<ExecPlan>, CacheKeyHash> map
+      STG_GUARDED_BY(mu);
+};
+
+ProgramCache& program_cache() {
+  static ProgramCache c;
+  return c;
+}
+
+std::shared_ptr<const ExecPlan> lookup_or_compile(const std::string& name,
+                                                  uint64_t sig,
+                                                  const EwProgram& fwd,
+                                                  const EwBackward& bwd,
+                                                  int64_t rows, int64_t cols) {
+  ProgramCache& c = program_cache();
+  const CacheKey key{sig, rows, cols};
+  std::shared_ptr<ExecPlan> plan;
+  {
+    MutexLock lock(c.mu);
+    auto it = c.map.find(key);
+    if (it != c.map.end()) {
+      stat_counters().cache_hits.fetch_add(1, std::memory_order_relaxed);
+      plan = it->second;
+    } else {
+      stat_counters().cache_misses.fetch_add(1, std::memory_order_relaxed);
+      plan = std::make_shared<ExecPlan>();
+      plan->sig = sig;
+      plan->rows = rows;
+      plan->cols = cols;
+      plan->fwd = fwd;
+      plan->bwd = bwd;
+      c.map.emplace(key, plan);
+    }
+  }
+  // STGRAPH_VALIDATE audit: the plan a lookup returns must describe the
+  // live view shape. A healthy cache cannot fail this (the shape is part
+  // of the key); a stale or aliased entry fails here, at the step that
+  // would have used it.
+  if (verify::validation_enabled()) {
+    STG_CHECK(plan->sig == sig && plan->rows == rows && plan->cols == cols,
+              "fused program cache audit failed for ", name, ": cached (sig=",
+              plan->sig, ", ", plan->rows, "x", plan->cols, ") vs live (sig=",
+              sig, ", ", rows, "x", cols, ")");
+  }
+  return plan;
+}
+
+// ---- bias-grad scratch arena ---------------------------------------------
+
+/// Thread-local free list of DeviceAllocator-backed scratch buffers for the
+/// pointwise bias gradients the backward program materializes before the
+/// column reduction. Training backwards all run on the training thread, so
+/// the steady state is one acquire → one reuse per step, zero allocation.
+class ScratchArena {
+ public:
+  DeviceBuffer<float> acquire(std::size_t n) {
+    stat_counters().scratch_acquires.fetch_add(1, std::memory_order_relaxed);
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->size() >= n) {
+        stat_counters().scratch_reuses.fetch_add(1, std::memory_order_relaxed);
+        DeviceBuffer<float> b = std::move(*it);
+        free_.erase(it);
+        return b;
+      }
+    }
+    return DeviceBuffer<float>(n, MemCategory::kScratch);
+  }
+
+  void release(DeviceBuffer<float> b) {
+    if (free_.size() < kMaxRetained) free_.push_back(std::move(b));
+  }
+
+ private:
+  static constexpr std::size_t kMaxRetained = 8;
+  std::vector<DeviceBuffer<float>> free_;
+};
+
+ScratchArena& scratch_arena() {
+  thread_local ScratchArena a;
+  return a;
+}
+
+// ---- autograd attachment --------------------------------------------------
+
+template <typename Fn>
+void attach(Tensor& out, const std::string& name,
+            const std::vector<Tensor>& inputs, Fn&& fn) {
+  if (!NoGradGuard::grad_enabled()) return;
+  auto node =
+      std::make_shared<autograd::LambdaNode>(name, std::forward<Fn>(fn));
+  bool any = false;
+  for (const Tensor& t : inputs) any = node->add_input(t) || any;
+  if (any) node->set_output(out);
+}
+
+}  // namespace
+
+// ---- switch / stats API ---------------------------------------------------
+
+bool fusion_enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    bool on = true;
+    if (const char* e = std::getenv("STGRAPH_FUSION")) {
+      std::string s(e);
+      std::transform(s.begin(), s.end(), s.begin(),
+                     [](unsigned char ch) { return std::tolower(ch); });
+      on = !(s.empty() || s == "off" || s == "0" || s == "false");
+    }
+    v = on ? 1 : 0;
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void set_fusion_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+FusionStats fusion_stats() {
+  StatCounters& s = stat_counters();
+  FusionStats out;
+  out.cache_hits = s.cache_hits.load(std::memory_order_relaxed);
+  out.cache_misses = s.cache_misses.load(std::memory_order_relaxed);
+  out.fused_forward = s.fused_forward.load(std::memory_order_relaxed);
+  out.fused_backward = s.fused_backward.load(std::memory_order_relaxed);
+  out.unfused_replays = s.unfused_replays.load(std::memory_order_relaxed);
+  out.scratch_acquires = s.scratch_acquires.load(std::memory_order_relaxed);
+  out.scratch_reuses = s.scratch_reuses.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_fusion_stats() {
+  StatCounters& s = stat_counters();
+  s.cache_hits.store(0, std::memory_order_relaxed);
+  s.cache_misses.store(0, std::memory_order_relaxed);
+  s.fused_forward.store(0, std::memory_order_relaxed);
+  s.fused_backward.store(0, std::memory_order_relaxed);
+  s.unfused_replays.store(0, std::memory_order_relaxed);
+  s.scratch_acquires.store(0, std::memory_order_relaxed);
+  s.scratch_reuses.store(0, std::memory_order_relaxed);
+}
+
+std::size_t fusion_cache_size() {
+  ProgramCache& c = program_cache();
+  MutexLock lock(c.mu);
+  return c.map.size();
+}
+
+void clear_fusion_cache() {
+  ProgramCache& c = program_cache();
+  MutexLock lock(c.mu);
+  c.map.clear();
+}
+
+void debug_corrupt_cached_shapes(int64_t rows, int64_t cols) {
+  ProgramCache& c = program_cache();
+  MutexLock lock(c.mu);
+  for (auto& kv : c.map) {
+    kv.second->rows = rows;
+    kv.second->cols = cols;
+  }
+}
+
+// ---- blocked interpreter --------------------------------------------------
+
+void run_ew_program(const EwProgram& p, const float* const* inputs,
+                    int64_t rows, int64_t cols, float* const* outputs) {
+  const int nn = static_cast<int>(p.nodes.size());
+  STG_CHECK(nn <= kMaxEwNodes, "elementwise program too large: ", nn,
+            " nodes (max ", kMaxEwNodes, ")");
+  STG_CHECK(rows > 0 && cols > 0, "elementwise program on empty view");
+  const std::size_t total =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  const EwNode* nodes = p.nodes.data();
+  const EwInputKind* kinds = p.inputs.data();
+  device::parallel_for_ranges(total, [&](std::size_t lo, std::size_t hi) {
+    float reg[kMaxEwNodes][kEwBlock];
+    for (std::size_t base = lo; base < hi; base += kEwBlock) {
+      const int len =
+          static_cast<int>(std::min<std::size_t>(kEwBlock, hi - base));
+      for (int ni = 0; ni < nn; ++ni) {
+        const EwNode& n = nodes[ni];
+        float* r = reg[ni];
+        const float* ra = n.a >= 0 ? reg[n.a] : nullptr;
+        const float* rb = n.b >= 0 ? reg[n.b] : nullptr;
+        switch (n.op) {
+          case EwOp::kInput: {
+            const float* src = inputs[n.input];
+            if (kinds[n.input] == EwInputKind::kMat) {
+              const float* s = src + base;
+              for (int j = 0; j < len; ++j) r[j] = s[j];
+            } else {
+              // Bias broadcast: element (base+j) reads column (base+j)%F.
+              int64_t c = static_cast<int64_t>(
+                  base % static_cast<std::size_t>(cols));
+              for (int j = 0; j < len; ++j) {
+                r[j] = src[c];
+                if (++c == cols) c = 0;
+              }
+            }
+            break;
+          }
+          case EwOp::kAdd:
+            for (int j = 0; j < len; ++j) r[j] = ra[j] + rb[j];
+            break;
+          case EwOp::kSub:
+            for (int j = 0; j < len; ++j) r[j] = ra[j] - rb[j];
+            break;
+          case EwOp::kMul:
+            for (int j = 0; j < len; ++j) r[j] = ra[j] * rb[j];
+            break;
+          case EwOp::kDiv:
+            for (int j = 0; j < len; ++j) r[j] = ra[j] / rb[j];
+            break;
+          case EwOp::kAddS:
+            for (int j = 0; j < len; ++j) r[j] = ra[j] + n.imm;
+            break;
+          case EwOp::kMulS:
+            for (int j = 0; j < len; ++j) r[j] = ra[j] * n.imm;
+            break;
+          case EwOp::kNeg:
+            for (int j = 0; j < len; ++j) r[j] = -ra[j];
+            break;
+          case EwOp::kOneMinus:
+            for (int j = 0; j < len; ++j) r[j] = 1.0f - ra[j];
+            break;
+          case EwOp::kSigmoid:
+            for (int j = 0; j < len; ++j) r[j] = ewmath::sigmoid(ra[j]);
+            break;
+          case EwOp::kTanh:
+            for (int j = 0; j < len; ++j) r[j] = std::tanh(ra[j]);
+            break;
+          case EwOp::kRelu:
+            for (int j = 0; j < len; ++j) r[j] = ewmath::relu(ra[j]);
+            break;
+          case EwOp::kLeakyRelu:
+            for (int j = 0; j < len; ++j)
+              r[j] = ewmath::leaky_relu(ra[j], n.imm);
+            break;
+          case EwOp::kExp:
+            for (int j = 0; j < len; ++j) r[j] = std::exp(ra[j]);
+            break;
+          case EwOp::kAddBias:
+            // The bias operand is a kInput register already holding the
+            // broadcast row, so this is a plain register add.
+            for (int j = 0; j < len; ++j) r[j] = ra[j] + rb[j];
+            break;
+          case EwOp::kReluGrad:
+            // a = forward input x, b = incoming gradient.
+            for (int j = 0; j < len; ++j) r[j] = ra[j] > 0 ? rb[j] : 0.0f;
+            break;
+          case EwOp::kLeakyGrad:
+            for (int j = 0; j < len; ++j)
+              r[j] = ra[j] > 0 ? rb[j] : n.imm * rb[j];
+            break;
+        }
+      }
+      for (std::size_t oi = 0; oi < p.outputs.size(); ++oi) {
+        float* dst = outputs[oi] + base;
+        const float* src = reg[p.outputs[oi]];
+        for (int j = 0; j < len; ++j) dst[j] = src[j];
+      }
+    }
+  });
+}
+
+// ---- unfused replay (STGRAPH_FUSION=off) ----------------------------------
+
+Tensor replay_unfused(const EwProgram& p, const std::vector<Tensor>& inputs) {
+  STG_CHECK(p.outputs.size() == 1,
+            "replay_unfused expects a single-output forward program");
+  std::vector<Tensor> vals(p.nodes.size());
+  for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+    const EwNode& n = p.nodes[i];
+    const Tensor& a = n.a >= 0 ? vals[static_cast<std::size_t>(n.a)] : vals[0];
+    const Tensor& b = n.b >= 0 ? vals[static_cast<std::size_t>(n.b)] : vals[0];
+    switch (n.op) {
+      case EwOp::kInput:
+        vals[i] = inputs[static_cast<std::size_t>(n.input)];
+        break;
+      case EwOp::kAdd: vals[i] = ops::add(a, b); break;
+      case EwOp::kSub: vals[i] = ops::sub(a, b); break;
+      case EwOp::kMul: vals[i] = ops::mul(a, b); break;
+      case EwOp::kDiv: vals[i] = ops::div(a, b); break;
+      case EwOp::kAddS: vals[i] = ops::add_scalar(a, n.imm); break;
+      case EwOp::kMulS: vals[i] = ops::mul_scalar(a, n.imm); break;
+      case EwOp::kOneMinus: vals[i] = ops::one_minus(a); break;
+      case EwOp::kSigmoid: vals[i] = ops::sigmoid(a); break;
+      case EwOp::kTanh: vals[i] = ops::tanh_op(a); break;
+      case EwOp::kRelu: vals[i] = ops::relu(a); break;
+      case EwOp::kLeakyRelu: vals[i] = ops::leaky_relu(a, n.imm); break;
+      case EwOp::kExp: vals[i] = ops::exp_op(a); break;
+      case EwOp::kAddBias: vals[i] = ops::add_bias(a, b); break;
+      case EwOp::kNeg:
+      case EwOp::kReluGrad:
+      case EwOp::kLeakyGrad:
+        STG_CHECK(false, "gradient-only op in a forward replay");
+    }
+  }
+  return vals[static_cast<std::size_t>(p.outputs[0])];
+}
+
+// ---- FusedOp ---------------------------------------------------------------
+
+FusedOp::FusedOp(std::string name,
+                 const std::function<EwExpr(EwTracer&)>& build)
+    : name_(std::move(name)) {
+  fwd_ = optimize_elementwise(trace_elementwise(build));
+  bwd_ = differentiate_elementwise(fwd_);
+  sig_ = fwd_.hash();
+  // The executed forward additionally materializes every transcendental
+  // value the backward wants to read back (kEwBlock-sized register blocks
+  // spill to [N,F] buffers the backward takes as inputs). A saved node
+  // that IS the program output still gets its own buffer: capturing the
+  // output tensor inside its own grad node would create an ownership
+  // cycle (tensor → grad_fn → closure → tensor) and leak the pair.
+  fwd_exec_ = fwd_;
+  for (int sid : bwd_.saved) fwd_exec_.outputs.push_back(sid);
+  STG_CHECK(static_cast<int>(fwd_.nodes.size()) <= kMaxEwNodes &&
+                static_cast<int>(bwd_.prog.nodes.size()) <= kMaxEwNodes,
+            "fused region ", name_, " exceeds the interpreter node budget");
+}
+
+Tensor FusedOp::operator()(const std::vector<Tensor>& inputs) const {
+  STG_CHECK(inputs.size() == static_cast<std::size_t>(fwd_.num_inputs()),
+            "fused op ", name_, ": expected ", fwd_.num_inputs(),
+            " inputs, got ", inputs.size());
+  int64_t rows = -1, cols = -1;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Tensor& t = inputs[i];
+    STG_CHECK(t.defined(), "fused op ", name_, ": undefined input ", i);
+    if (fwd_.inputs[i] == EwInputKind::kMat) {
+      STG_CHECK(t.dim() == 2, "fused op ", name_, ": input ", i,
+                " must be rank-2");
+      if (rows < 0) {
+        rows = t.rows();
+        cols = t.cols();
+      } else {
+        STG_CHECK(t.rows() == rows && t.cols() == cols, "fused op ", name_,
+                  ": input ", i, " shape mismatch");
+      }
+    }
+  }
+  STG_CHECK(rows >= 0, "fused op ", name_,
+            ": program has no matrix input");
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    if (fwd_.inputs[i] == EwInputKind::kBias)
+      STG_CHECK(inputs[i].dim() == 1 && inputs[i].numel() == cols,
+                "fused op ", name_, ": bias input ", i, " must be [", cols,
+                "]");
+
+  if (!fusion_enabled()) {
+    stat_counters().unfused_replays.fetch_add(1, std::memory_order_relaxed);
+    return replay_unfused(fwd_, inputs);
+  }
+
+  std::shared_ptr<const ExecPlan> plan =
+      lookup_or_compile(name_, sig_, fwd_exec_, bwd_, rows, cols);
+
+  Tensor out = Tensor::empty({rows, cols});
+  // Saved transcendental values (the tape's saved-output VJP analogue):
+  // extra forward outputs the backward reads instead of re-evaluating the
+  // exponentials. Each lives in its own buffer — never the output tensor
+  // itself, which would cycle through its grad node and leak.
+  std::vector<Tensor> saved_vals;
+  saved_vals.reserve(plan->bwd.saved.size());
+  {
+    std::vector<float*> outps;
+    outps.reserve(plan->fwd.outputs.size());
+    outps.push_back(out.data());
+    uint64_t fwd_bytes = static_cast<uint64_t>(out.numel()) * sizeof(float);
+    for (std::size_t j = 0; j < plan->bwd.saved.size(); ++j) {
+      Tensor s = Tensor::empty({rows, cols});
+      outps.push_back(s.data());
+      saved_vals.push_back(std::move(s));
+      fwd_bytes += static_cast<uint64_t>(rows * cols) * sizeof(float);
+    }
+    ops::ProfileScope ps(ops::OpClass::kFused, fwd_bytes);
+    std::vector<const float*> ins(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) ins[i] = inputs[i].data();
+    run_ew_program(plan->fwd, ins.data(), rows, cols, outps.data());
+  }
+  stat_counters().fused_forward.fetch_add(1, std::memory_order_relaxed);
+
+  attach(out, name_, inputs,
+         [plan, inputs, saved_vals](const Tensor& g) {
+           stat_counters().fused_backward.fetch_add(1,
+                                                    std::memory_order_relaxed);
+           const int64_t rows = plan->rows, cols = plan->cols;
+           const std::size_t nin = inputs.size();
+           std::vector<const float*> ins(nin + 1 + saved_vals.size());
+           for (std::size_t i = 0; i < nin; ++i) ins[i] = inputs[i].data();
+           ins[nin] = g.data();
+           for (std::size_t j = 0; j < saved_vals.size(); ++j)
+             ins[nin + 1 + j] = saved_vals[j].data();
+
+           std::vector<Tensor> grads(nin);  // undefined = zero gradient
+           std::vector<float*> outs;
+           // kBias gradients come out pointwise [N,F]; park them in arena
+           // scratch, then column-reduce below.
+           std::vector<std::pair<std::size_t, DeviceBuffer<float>>> bias_tmp;
+           uint64_t out_bytes = 0;
+           for (std::size_t slot = 0; slot < nin; ++slot) {
+             if (plan->bwd.input_grads[slot] < 0) continue;
+             if (plan->fwd.inputs[slot] == EwInputKind::kMat) {
+               grads[slot] = Tensor::empty({rows, cols});
+               outs.push_back(grads[slot].data());
+               out_bytes +=
+                   static_cast<uint64_t>(rows * cols) * sizeof(float);
+             } else {
+               DeviceBuffer<float> buf = scratch_arena().acquire(
+                   static_cast<std::size_t>(rows) *
+                   static_cast<std::size_t>(cols));
+               outs.push_back(buf.data());
+               bias_tmp.emplace_back(slot, std::move(buf));
+               out_bytes += static_cast<uint64_t>(cols) * sizeof(float);
+             }
+           }
+           {
+             ops::ProfileScope ps(ops::OpClass::kFused, out_bytes);
+             run_ew_program(plan->bwd.prog, ins.data(), rows, cols,
+                            outs.data());
+             for (auto& [slot, buf] : bias_tmp) {
+               // Serial row-major column reduction — the exact loop (and
+               // accumulation order) of ops::add_bias's backward: one
+               // sequential pass over the pointwise grads.
+               grads[slot] = Tensor::zeros({cols});
+               float* gb = grads[slot].data();
+               const float* src = buf.data();
+               const std::size_t f = static_cast<std::size_t>(cols);
+               const std::size_t nrows = static_cast<std::size_t>(rows);
+               for (std::size_t r = 0; r < nrows; ++r)
+                 for (std::size_t c = 0; c < f; ++c) gb[c] += src[r * f + c];
+             }
+           }
+           for (auto& [slot, buf] : bias_tmp)
+             scratch_arena().release(std::move(buf));
+           return grads;
+         });
+  return out;
+}
+
+// ---- cell regions ----------------------------------------------------------
+// in() calls are sequenced as statements: C++ does not order function
+// argument evaluation, and input slots must be assigned left-to-right.
+
+Tensor sigmoid_add(const Tensor& a, const Tensor& b) {
+  static const FusedOp op("fused_sigmoid_add", [](EwTracer& t) {
+    EwExpr x = t.in();
+    EwExpr y = t.in();
+    return t.sigmoid(t.add(x, y));
+  });
+  return op({a, b});
+}
+
+Tensor tanh_add(const Tensor& a, const Tensor& b) {
+  static const FusedOp op("fused_tanh_add", [](EwTracer& t) {
+    EwExpr x = t.in();
+    EwExpr y = t.in();
+    return t.tanh(t.add(x, y));
+  });
+  return op({a, b});
+}
+
+Tensor gate_combine(const Tensor& z, const Tensor& h, const Tensor& c) {
+  static const FusedOp op("fused_gate_combine", [](EwTracer& t) {
+    EwExpr z_ = t.in();
+    EwExpr h_ = t.in();
+    EwExpr c_ = t.in();
+    EwExpr zh = t.mul(z_, h_);
+    EwExpr omz = t.one_minus(z_);
+    EwExpr omc = t.mul(omz, c_);
+    return t.add(zh, omc);
+  });
+  return op({z, h, c});
+}
+
+Tensor lstm_cell_state(const Tensor& f, const Tensor& c, const Tensor& i,
+                       const Tensor& g) {
+  static const FusedOp op("fused_lstm_cell_state", [](EwTracer& t) {
+    EwExpr f_ = t.in();
+    EwExpr c_ = t.in();
+    EwExpr i_ = t.in();
+    EwExpr g_ = t.in();
+    EwExpr fc = t.mul(f_, c_);
+    EwExpr ig = t.mul(i_, g_);
+    return t.add(fc, ig);
+  });
+  return op({f, c, i, g});
+}
+
+Tensor mul_tanh(const Tensor& o, const Tensor& c) {
+  static const FusedOp op("fused_mul_tanh", [](EwTracer& t) {
+    EwExpr o_ = t.in();
+    EwExpr c_ = t.in();
+    return t.mul(o_, t.tanh(c_));
+  });
+  return op({o, c});
+}
+
+Tensor bias_sigmoid(const Tensor& x, const Tensor& bias) {
+  static const FusedOp op("fused_bias_sigmoid", [](EwTracer& t) {
+    EwExpr x_ = t.in();
+    EwExpr b_ = t.in_bias();
+    return t.sigmoid(t.add_bias(x_, b_));
+  });
+  return op({x, bias});
+}
+
+Tensor bias_tanh(const Tensor& x, const Tensor& bias) {
+  static const FusedOp op("fused_bias_tanh", [](EwTracer& t) {
+    EwExpr x_ = t.in();
+    EwExpr b_ = t.in_bias();
+    return t.tanh(t.add_bias(x_, b_));
+  });
+  return op({x, bias});
+}
+
+}  // namespace stgraph::compiler::fusion

@@ -1,0 +1,140 @@
+// The fusing tape compiler's execution layer. A FusedOp owns one traced,
+// optimized elementwise program plus its derived backward; calling it runs
+// the whole region as ONE pass over the feature arrays (intermediates live
+// in registers, never materialized) and attaches a single autograd node
+// whose backward runs the derived gradient program in one more pass.
+//
+// Bit-parity contract (tests/test_fusion.cpp):
+//
+//   * STGRAPH_FUSION=off replays the SAME optimized program node-by-node
+//     through the ops:: tape — losses, parameters, and gradients are
+//     memcmp-equal against the fused path. Both interpreters share the
+//     scalar formulas in tensor/ew_scalar.hpp, and both TUs compile with
+//     -ffp-contract=off so no path gains an FMA the other lacks.
+//   * Collapsing a region to one node preserves the engine's gradient
+//     accumulation order: the replayed region occupies a contiguous run of
+//     autograd sequence numbers, so all in-region contributions to any
+//     producer arrive adjacently (decreasing-seq order) — exactly the
+//     left-associative fold differentiate_elementwise emits. Out-of-region
+//     consumers keep their relative arrival position either way.
+//   * A kBias input's gradient is reduced per column serially over rows,
+//     the order ops::add_bias's backward uses (parallel only across
+//     columns, which are independent).
+//   * Non-finite propagation is covered too (the fuzz salts NaN and Inf),
+//     with one carve-out: when BOTH operands of a binary op are NaN with
+//     different bit patterns, IEEE lets hardware return either payload and
+//     C does not pin operand order, so the resulting NaN's sign/payload is
+//     codegen-dependent on every path. As long as a single NaN pattern is
+//     in flight (a propagated qNaN, or the ffc00000 indefinite that
+//     invalid ops produce) parity is exact.
+//
+// Compiled programs are cached per (program signature, rows, cols): the
+// steady state of a training loop performs zero compilation work, which the
+// cache's hit/miss/compile counters let tests assert. STGRAPH_VALIDATE=1
+// audits every cache hit against the live view shape so a stale program
+// (e.g. after a snapshot view change that a bad key would alias) fails
+// loudly at the lookup instead of corrupting a step.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compiler/autodiff.hpp"
+#include "compiler/ir.hpp"
+#include "compiler/trace.hpp"
+#include "tensor/tensor.hpp"
+
+namespace stgraph::compiler::fusion {
+
+/// Interpreter capacity: programs beyond this node count are rejected at
+/// FusedOp construction (the largest real cell region is ~30 backward
+/// nodes). Register file = kMaxEwNodes × kEwBlock floats on the stack.
+inline constexpr int kMaxEwNodes = 64;
+inline constexpr int kEwBlock = 64;
+
+/// True unless STGRAPH_FUSION is set to a falsy value ("off", "0",
+/// "false", ""). Read once and cached; set_fusion_enabled overrides.
+bool fusion_enabled();
+void set_fusion_enabled(bool on);
+
+struct FusionStats {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;      // == programs compiled into the cache
+  uint64_t fused_forward = 0;     // fused forward launches
+  uint64_t fused_backward = 0;    // fused backward launches
+  uint64_t unfused_replays = 0;   // off-path region replays through ops::
+  uint64_t scratch_acquires = 0;  // bias-grad scratch requests
+  uint64_t scratch_reuses = 0;    // ... served from the arena free list
+};
+FusionStats fusion_stats();
+void reset_fusion_stats();
+
+std::size_t fusion_cache_size();
+void clear_fusion_cache();
+
+/// Test hook for the STGRAPH_VALIDATE audit: overwrite the recorded shape
+/// of every cached program so the next validated lookup sees a signature
+/// whose plan no longer matches the live tensors (the stale-program
+/// regression scenario).
+void debug_corrupt_cached_shapes(int64_t rows, int64_t cols);
+
+/// One traced region. Construction traces, optimizes, and differentiates
+/// the program once; operator() dispatches per call on fusion_enabled().
+class FusedOp {
+ public:
+  FusedOp(std::string name, const std::function<EwExpr(EwTracer&)>& build);
+
+  /// Execute on `inputs` (kMat inputs [N,F], kBias inputs [F], in program
+  /// input-slot order). Fused: one pass + one autograd node. Unfused: the
+  /// same program replayed through ops::.
+  Tensor operator()(const std::vector<Tensor>& inputs) const;
+
+  const std::string& name() const { return name_; }
+  const EwProgram& forward_program() const { return fwd_; }
+  const EwBackward& backward_program() const { return bwd_; }
+  uint64_t signature() const { return sig_; }
+
+ private:
+  std::string name_;
+  EwProgram fwd_;       // single-output program (replay / parity oracle)
+  /// fwd_ with its outputs extended by the transcendental values the
+  /// backward reads back (bwd_.saved) — what the fused path executes.
+  EwProgram fwd_exec_;
+  EwBackward bwd_;
+  uint64_t sig_ = 0;
+};
+
+/// Raw blocked interpreter (no autograd): evaluate `p` elementwise over
+/// rows×cols, writing one [rows,cols] array per program output. Exposed
+/// for the parity fuzz tests.
+void run_ew_program(const EwProgram& p, const float* const* inputs,
+                    int64_t rows, int64_t cols, float* const* outputs);
+
+/// Replay an optimized single-output program node-by-node through the
+/// ops:: tape (the STGRAPH_FUSION=off path and the parity oracle).
+Tensor replay_unfused(const EwProgram& p, const std::vector<Tensor>& inputs);
+
+// ---- the cell regions the nn/ layers route through the compiler ----------
+// Each is a static FusedOp traced at first use. Single leftover ops
+// (e.g. GRU's r⊙h) stay on the plain tape — a one-node "region" would
+// only add dispatch overhead.
+
+/// σ(a + b)
+Tensor sigmoid_add(const Tensor& a, const Tensor& b);
+/// tanh(a + b)
+Tensor tanh_add(const Tensor& a, const Tensor& b);
+/// z⊙h + (1−z)⊙c — the GRU state blend.
+Tensor gate_combine(const Tensor& z, const Tensor& h, const Tensor& c);
+/// f⊙c + i⊙g — the LSTM cell-state update.
+Tensor lstm_cell_state(const Tensor& f, const Tensor& c, const Tensor& i,
+                       const Tensor& g);
+/// o⊙tanh(c) — the LSTM hidden-state readout.
+Tensor mul_tanh(const Tensor& o, const Tensor& c);
+/// σ(x + bias) — fused linear epilogue (bias broadcast over rows).
+Tensor bias_sigmoid(const Tensor& x, const Tensor& bias);
+/// tanh(x + bias)
+Tensor bias_tanh(const Tensor& x, const Tensor& bias);
+
+}  // namespace stgraph::compiler::fusion

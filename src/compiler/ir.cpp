@@ -1,6 +1,7 @@
 #include "compiler/ir.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 namespace stgraph::compiler {
@@ -68,6 +69,87 @@ bool operator==(const Program& a, const Program& b) {
          a.include_self == b.include_self && a.self_coefs == b.self_coefs &&
          a.self_input == b.self_input && a.out_scale == b.out_scale &&
          a.max_backward == b.max_backward;
+}
+
+// ---- elementwise-program IR ----------------------------------------------
+
+const char* ew_op_name(EwOp op) {
+  switch (op) {
+    case EwOp::kInput: return "in";
+    case EwOp::kAdd: return "add";
+    case EwOp::kSub: return "sub";
+    case EwOp::kMul: return "mul";
+    case EwOp::kDiv: return "div";
+    case EwOp::kAddS: return "add_s";
+    case EwOp::kMulS: return "mul_s";
+    case EwOp::kNeg: return "neg";
+    case EwOp::kOneMinus: return "one_minus";
+    case EwOp::kSigmoid: return "sig";
+    case EwOp::kTanh: return "tanh";
+    case EwOp::kRelu: return "relu";
+    case EwOp::kLeakyRelu: return "leaky_relu";
+    case EwOp::kExp: return "exp";
+    case EwOp::kAddBias: return "add_bias";
+    case EwOp::kReluGrad: return "relu_grad";
+    case EwOp::kLeakyGrad: return "leaky_grad";
+  }
+  return "?";
+}
+
+std::string EwProgram::to_string() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const EwNode& n = nodes[i];
+    if (i) oss << "; ";
+    oss << "%" << i << "=" << ew_op_name(n.op);
+    if (n.op == EwOp::kInput) {
+      oss << n.input
+          << (inputs[static_cast<size_t>(n.input)] == EwInputKind::kBias
+                  ? "b"
+                  : "");
+      continue;
+    }
+    oss << "(%" << n.a;
+    if (n.b >= 0) oss << ",%" << n.b;
+    if (n.op == EwOp::kAddS || n.op == EwOp::kMulS ||
+        n.op == EwOp::kLeakyRelu || n.op == EwOp::kLeakyGrad)
+      oss << "," << n.imm;
+    oss << ")";
+  }
+  oss << " -> ";
+  for (size_t i = 0; i < outputs.size(); ++i)
+    oss << (i ? "," : "") << "%" << outputs[i];
+  return oss.str();
+}
+
+uint64_t EwProgram::hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (const EwNode& n : nodes) {
+    mix(static_cast<uint64_t>(n.op));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(n.a)) + 1);
+    mix(static_cast<uint64_t>(static_cast<int64_t>(n.b)) + 1);
+    uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(n.imm));
+    std::memcpy(&bits, &n.imm, sizeof(bits));
+    mix(bits);
+    mix(static_cast<uint64_t>(static_cast<int64_t>(n.input)) + 1);
+  }
+  for (EwInputKind k : inputs) mix(static_cast<uint64_t>(k) + 0x9e);
+  for (int o : outputs) mix(static_cast<uint64_t>(o) + 0x51);
+  return h;
+}
+
+bool operator==(const EwNode& a, const EwNode& b) {
+  return a.op == b.op && a.a == b.a && a.b == b.b && a.imm == b.imm &&
+         a.input == b.input;
+}
+
+bool operator==(const EwProgram& a, const EwProgram& b) {
+  return a.nodes == b.nodes && a.inputs == b.inputs && a.outputs == b.outputs;
 }
 
 }  // namespace stgraph::compiler

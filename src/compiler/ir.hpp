@@ -67,4 +67,74 @@ bool operator==(const Coef& a, const Coef& b);
 bool operator==(const MessageTerm& a, const MessageTerm& b);
 bool operator==(const Program& a, const Program& b);
 
+// ---------------------------------------------------------------------------
+// Elementwise-program IR (the fusing tape compiler).
+//
+// Aggregations are one half of a temporal cell; the other half is the
+// chain of elementwise ops around them — gate activations, bias adds,
+// GRU/LSTM combines. Executed op-by-op through the autograd tape, every
+// op materializes a full [N, F] intermediate. An EwProgram captures such a
+// chain as a small dataflow DAG so the whole region runs as ONE pass over
+// the feature arrays (and its derived backward as one more).
+//
+// Node operands reference earlier nodes by index, so a program listing is
+// always in topological (creation) order — the same order the unfused
+// reference path replays it through ops::, which is what makes the fused
+// and unfused gradients accumulate bit-identically.
+// ---------------------------------------------------------------------------
+
+enum class EwOp : uint8_t {
+  kInput,      // leaf: runtime input slot `input`
+  kAdd,        // a + b
+  kSub,        // a - b
+  kMul,        // a * b
+  kDiv,        // a / b
+  kAddS,       // a + imm
+  kMulS,       // a * imm
+  kNeg,        // -a                      (backward programs only)
+  kOneMinus,   // 1 - a
+  kSigmoid,    // stable logistic
+  kTanh,       // tanh
+  kRelu,       // max(a, 0)
+  kLeakyRelu,  // a > 0 ? a : imm * a
+  kExp,        // exp(a)
+  kAddBias,    // a[r,c] + b[c]  (b must be a kBias input)
+  kReluGrad,   // a > 0 ? b : 0           (backward programs only)
+  kLeakyGrad,  // a > 0 ? b : imm * b     (backward programs only)
+};
+
+/// How a runtime input broadcasts over the [N, F] iteration space.
+enum class EwInputKind : uint8_t {
+  kMat,   // full [N, F] operand
+  kBias,  // [F] vector broadcast over rows (bias of kAddBias)
+};
+
+struct EwNode {
+  EwOp op = EwOp::kInput;
+  int a = -1;        // first operand node id
+  int b = -1;        // second operand node id (binary ops)
+  float imm = 0.0f;  // kAddS / kMulS / kLeakyRelu slope
+  int input = -1;    // kInput: runtime input slot
+};
+
+/// A fused elementwise region: nodes in topological order, one or more
+/// outputs (forward programs have one; derived backward programs have one
+/// per differentiable forward input).
+struct EwProgram {
+  std::vector<EwNode> nodes;
+  std::vector<EwInputKind> inputs;
+  std::vector<int> outputs;
+
+  int num_inputs() const { return static_cast<int>(inputs.size()); }
+  /// Canonical signature, e.g. "sig(add(in0,in1))" — the structural half
+  /// of the program-cache key.
+  std::string to_string() const;
+  /// FNV-1a over the structure (ops, operands, immediates, input kinds).
+  uint64_t hash() const;
+};
+
+const char* ew_op_name(EwOp op);
+bool operator==(const EwNode& a, const EwNode& b);
+bool operator==(const EwProgram& a, const EwProgram& b);
+
 }  // namespace stgraph::compiler

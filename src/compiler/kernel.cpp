@@ -287,6 +287,9 @@ inline void process_row(const KernelSpec& spec, const KernelArgs& a,
         a.self_features + static_cast<std::size_t>(row) * a.num_feats;
     for (uint32_t f = f0; f < f1; ++f) orow[f] += c * src[f];
   }
+  if (a.epilogue_bias != nullptr) {
+    for (uint32_t f = f0; f < f1; ++f) orow[f] += a.epilogue_bias[f];
+  }
 }
 
 void validate_args(const KernelSpec& spec, const KernelArgs& args) {
@@ -303,6 +306,9 @@ void validate_args(const KernelSpec& spec, const KernelArgs& args) {
             "max-aggregation forward needs an argmax_out buffer");
   STG_CHECK(!spec.program.max_backward || args.argmax_in != nullptr,
             "max-aggregation backward needs the recorded argmax_in");
+  STG_CHECK(args.epilogue_bias == nullptr ||
+                (spec.program.agg == AggKind::kSum && !spec.program.max_backward),
+            "epilogue_bias is only defined for sum aggregation");
 }
 
 }  // namespace

@@ -91,6 +91,13 @@ struct KernelArgs {
   /// true  → forward  (rows are consumers; producer is the column)
   /// false → backward (rows are producers; consumer is the column)
   bool producer_is_col = true;
+  /// Fused elementwise epilogue (the fusing tape compiler grafts a layer's
+  /// bias add onto the aggregation's accumulator writeback): when non-null,
+  /// a [num_feats] row added to every output row as it is stored, saving
+  /// one full read-modify-write pass over the output. Sum aggregation only;
+  /// bit-identical to running the kernel and then ops::add_bias (the add
+  /// sees the same two floats either way).
+  const float* epilogue_bias = nullptr;
 };
 
 void run_kernel(const KernelSpec& spec, const KernelArgs& args);

@@ -93,6 +93,9 @@ struct Launch {
   TermPlan self_plan;
   float scale = 1.0f;
   uint32_t F = 0;
+  /// Fused bias epilogue ([F] row added at accumulator writeback); sum
+  /// modes only — validate_args rejects it for max programs.
+  const float* epilogue = nullptr;
   /// One past the last valid slot index (row_offset[num_nodes]): the edge
   /// prefetch looks across row boundaries up to here, since rows tile the
   /// slot array contiguously.
@@ -227,6 +230,12 @@ inline void sum_block(const Launch& L, uint32_t row, uint32_t f0,
         L.self_features + static_cast<std::size_t>(row) * L.F + f0;
     for (int i = 0; i < NV; ++i)
       acc[i] = Ops::madd(vc, Ops::load(src + i * W), acc[i]);
+  }
+  if (L.epilogue != nullptr) {
+    // Fused bias writeback: the same float add the unfused path performs
+    // after storing, applied while the row is still in registers.
+    for (int i = 0; i < NV; ++i)
+      acc[i] = Ops::add(acc[i], Ops::load(L.epilogue + f0 + i * W));
   }
   float* orow = L.out + static_cast<std::size_t>(row) * L.F + f0;
   for (int i = 0; i < NV; ++i) Ops::store(orow + i * W, acc[i]);
@@ -451,6 +460,9 @@ void range_row(const Launch& L, uint32_t row, uint32_t f0, uint32_t f1,
           L.self_features + static_cast<std::size_t>(row) * L.F + f0;
       for (uint32_t f = 0; f < len; ++f) acc[f] += c * src[f];
     }
+    if (L.epilogue != nullptr) {
+      for (uint32_t f = 0; f < len; ++f) acc[f] += L.epilogue[f0 + f];
+    }
     float* orow = L.out + static_cast<std::size_t>(row) * L.F + f0;
     for (uint32_t f = 0; f < len; ++f) orow[f] = acc[f];
   }
@@ -541,6 +553,7 @@ void run_engine(const KernelSpec& spec, const KernelArgs& a) {
   L.self_plan = spec.self_plan;
   L.scale = spec.program.out_scale;
   L.F = a.num_feats;
+  L.epilogue = a.epilogue_bias;
   L.slots_end =
       a.view.row_offset ? a.view.row_offset[a.view.num_nodes] : 0;
 

@@ -111,4 +111,71 @@ Program optimize(Program p) {
   return p;
 }
 
+// ---- elementwise-program passes ------------------------------------------
+
+EwProgram ew_eliminate_common(EwProgram p) {
+  std::vector<int> remap(p.nodes.size());
+  std::vector<EwNode> kept;
+  std::vector<int> kept_of;  // original index of each kept node
+  for (size_t i = 0; i < p.nodes.size(); ++i) {
+    EwNode n = p.nodes[i];
+    if (n.a >= 0) n.a = remap[static_cast<size_t>(n.a)];
+    if (n.b >= 0) n.b = remap[static_cast<size_t>(n.b)];
+    int found = -1;
+    // Inputs are never merged: two in() calls are distinct runtime slots.
+    if (n.op != EwOp::kInput) {
+      for (size_t j = 0; j < kept.size(); ++j) {
+        if (kept[j] == n) {
+          found = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+    if (found >= 0) {
+      remap[i] = found;
+    } else {
+      remap[i] = static_cast<int>(kept.size());
+      kept.push_back(n);
+      kept_of.push_back(static_cast<int>(i));
+    }
+  }
+  for (int& o : p.outputs) o = remap[static_cast<size_t>(o)];
+  p.nodes = std::move(kept);
+  return p;
+}
+
+EwProgram ew_eliminate_dead(EwProgram p) {
+  std::vector<bool> live(p.nodes.size(), false);
+  for (int o : p.outputs) live[static_cast<size_t>(o)] = true;
+  for (size_t i = p.nodes.size(); i-- > 0;) {
+    if (!live[i]) continue;
+    const EwNode& n = p.nodes[i];
+    if (n.a >= 0) live[static_cast<size_t>(n.a)] = true;
+    if (n.b >= 0) live[static_cast<size_t>(n.b)] = true;
+  }
+  // Keep every input node so the program's runtime arity is stable even
+  // when an input ends up unused (its gradient is then identically zero).
+  for (size_t i = 0; i < p.nodes.size(); ++i)
+    if (p.nodes[i].op == EwOp::kInput) live[i] = true;
+  std::vector<int> remap(p.nodes.size(), -1);
+  std::vector<EwNode> kept;
+  for (size_t i = 0; i < p.nodes.size(); ++i) {
+    if (!live[i]) continue;
+    EwNode n = p.nodes[i];
+    if (n.a >= 0) n.a = remap[static_cast<size_t>(n.a)];
+    if (n.b >= 0) n.b = remap[static_cast<size_t>(n.b)];
+    remap[i] = static_cast<int>(kept.size());
+    kept.push_back(n);
+  }
+  for (int& o : p.outputs) o = remap[static_cast<size_t>(o)];
+  p.nodes = std::move(kept);
+  return p;
+}
+
+EwProgram optimize_elementwise(EwProgram p) {
+  p = ew_eliminate_common(std::move(p));
+  p = ew_eliminate_dead(std::move(p));
+  return p;
+}
+
 }  // namespace stgraph::compiler

@@ -23,4 +23,22 @@ Program lower_mean(Program p);
 Program dedup_terms(Program p);
 Program eliminate_dead_terms(Program p);
 
+// ---- elementwise-program passes ------------------------------------------
+// Both passes preserve topological (creation) order and only remove nodes,
+// so the optimized program replays through ops:: in the same op order as
+// the fused engine evaluates it — the property the bit-parity contract
+// rests on.
+
+/// Run the elementwise pipeline (CSE then DCE); idempotent.
+EwProgram optimize_elementwise(EwProgram p);
+
+/// Common-subexpression elimination: merge structurally identical nodes
+/// (same op, operands, immediate) into the earliest occurrence.
+EwProgram ew_eliminate_common(EwProgram p);
+
+/// Dead-node elimination: drop nodes (including unused inputs' non-input
+/// consumers) not reachable from any output. Input nodes are always kept
+/// so the runtime input arity of the program never changes.
+EwProgram ew_eliminate_dead(EwProgram p);
+
 }  // namespace stgraph::compiler

@@ -53,4 +53,92 @@ Program trace(const std::function<AggExpr(VertexContext&)>& fn) {
   return p;
 }
 
+// ---- elementwise tracing --------------------------------------------------
+
+EwExpr EwTracer::emit(EwOp op, int a, int b, float imm) {
+  STG_CHECK(a >= 0 && a < static_cast<int>(prog_.nodes.size()),
+            "elementwise trace references an unknown operand");
+  STG_CHECK(b < static_cast<int>(prog_.nodes.size()),
+            "elementwise trace references an unknown operand");
+  EwNode n;
+  n.op = op;
+  n.a = a;
+  n.b = b;
+  n.imm = imm;
+  prog_.nodes.push_back(n);
+  return EwExpr(this, static_cast<int>(prog_.nodes.size()) - 1);
+}
+
+EwExpr EwTracer::in() {
+  EwNode n;
+  n.op = EwOp::kInput;
+  n.input = static_cast<int>(prog_.inputs.size());
+  prog_.inputs.push_back(EwInputKind::kMat);
+  prog_.nodes.push_back(n);
+  return EwExpr(this, static_cast<int>(prog_.nodes.size()) - 1);
+}
+
+EwExpr EwTracer::in_bias() {
+  EwNode n;
+  n.op = EwOp::kInput;
+  n.input = static_cast<int>(prog_.inputs.size());
+  prog_.inputs.push_back(EwInputKind::kBias);
+  prog_.nodes.push_back(n);
+  return EwExpr(this, static_cast<int>(prog_.nodes.size()) - 1);
+}
+
+EwExpr EwTracer::add(EwExpr a, EwExpr b) {
+  return emit(EwOp::kAdd, a.id(), b.id(), 0.0f);
+}
+EwExpr EwTracer::sub(EwExpr a, EwExpr b) {
+  return emit(EwOp::kSub, a.id(), b.id(), 0.0f);
+}
+EwExpr EwTracer::mul(EwExpr a, EwExpr b) {
+  return emit(EwOp::kMul, a.id(), b.id(), 0.0f);
+}
+EwExpr EwTracer::div(EwExpr a, EwExpr b) {
+  return emit(EwOp::kDiv, a.id(), b.id(), 0.0f);
+}
+EwExpr EwTracer::add_scalar(EwExpr a, float s) {
+  return emit(EwOp::kAddS, a.id(), -1, s);
+}
+EwExpr EwTracer::mul_scalar(EwExpr a, float s) {
+  return emit(EwOp::kMulS, a.id(), -1, s);
+}
+EwExpr EwTracer::one_minus(EwExpr a) {
+  return emit(EwOp::kOneMinus, a.id(), -1, 0.0f);
+}
+EwExpr EwTracer::sigmoid(EwExpr a) {
+  return emit(EwOp::kSigmoid, a.id(), -1, 0.0f);
+}
+EwExpr EwTracer::tanh(EwExpr a) {
+  return emit(EwOp::kTanh, a.id(), -1, 0.0f);
+}
+EwExpr EwTracer::relu(EwExpr a) {
+  return emit(EwOp::kRelu, a.id(), -1, 0.0f);
+}
+EwExpr EwTracer::leaky_relu(EwExpr a, float slope) {
+  return emit(EwOp::kLeakyRelu, a.id(), -1, slope);
+}
+EwExpr EwTracer::exp(EwExpr a) {
+  return emit(EwOp::kExp, a.id(), -1, 0.0f);
+}
+EwExpr EwTracer::add_bias(EwExpr x, EwExpr bias) {
+  const EwNode& bn = prog_.nodes[static_cast<size_t>(bias.id())];
+  STG_CHECK(bn.op == EwOp::kInput &&
+                prog_.inputs[static_cast<size_t>(bn.input)] ==
+                    EwInputKind::kBias,
+            "add_bias operand must come from in_bias()");
+  return emit(EwOp::kAddBias, x.id(), bias.id(), 0.0f);
+}
+
+EwProgram trace_elementwise(const std::function<EwExpr(EwTracer&)>& fn) {
+  EwTracer t;
+  EwExpr out = fn(t);
+  STG_CHECK(out.id() >= 0, "elementwise trace produced no output");
+  t.prog_.outputs = {out.id()};
+  STG_CHECK(!t.prog_.inputs.empty(), "elementwise trace declared no inputs");
+  return t.prog_;
+}
+
 }  // namespace stgraph::compiler

@@ -107,4 +107,65 @@ class VertexContext {
 /// Trace a vertex-centric function into Program IR.
 Program trace(const std::function<AggExpr(VertexContext&)>& fn);
 
+// ---------------------------------------------------------------------------
+// Elementwise-region tracing — the tape half of the fusing compiler.
+//
+// A cell describes its elementwise chain once, against symbolic values;
+// executing the builder records an EwProgram in creation order:
+//
+//   EwProgram p = trace_elementwise([](EwTracer& t) {
+//     return t.sigmoid(t.add(t.in(), t.in()));   // σ(a + b)
+//   });
+// ---------------------------------------------------------------------------
+
+class EwTracer;
+
+/// Symbolic value during elementwise tracing (a node id in the program
+/// being built).
+class EwExpr {
+ public:
+  EwExpr() = default;
+  int id() const { return id_; }
+
+ private:
+  friend class EwTracer;
+  EwExpr(EwTracer* t, int id) : tracer_(t), id_(id) {}
+  EwTracer* tracer_ = nullptr;
+  int id_ = -1;
+};
+
+/// Records the EwProgram as the traced function executes.
+class EwTracer {
+ public:
+  /// Declare the next [N, F] input slot.
+  EwExpr in();
+  /// Declare the next [F] bias input slot (broadcast over rows).
+  EwExpr in_bias();
+
+  EwExpr add(EwExpr a, EwExpr b);
+  EwExpr sub(EwExpr a, EwExpr b);
+  EwExpr mul(EwExpr a, EwExpr b);
+  EwExpr div(EwExpr a, EwExpr b);
+  EwExpr add_scalar(EwExpr a, float s);
+  EwExpr mul_scalar(EwExpr a, float s);
+  EwExpr one_minus(EwExpr a);
+  EwExpr sigmoid(EwExpr a);
+  EwExpr tanh(EwExpr a);
+  EwExpr relu(EwExpr a);
+  EwExpr leaky_relu(EwExpr a, float slope = 0.01f);
+  EwExpr exp(EwExpr a);
+  /// x [N,F] + bias [F]; `bias` must come from in_bias().
+  EwExpr add_bias(EwExpr x, EwExpr bias);
+
+ private:
+  friend EwProgram trace_elementwise(
+      const std::function<EwExpr(EwTracer&)>& fn);
+  EwExpr emit(EwOp op, int a, int b, float imm);
+  EwProgram prog_;
+};
+
+/// Trace an elementwise builder into EwProgram IR (unoptimized; callers
+/// run optimize_elementwise() from passes.hpp before compiling).
+EwProgram trace_elementwise(const std::function<EwExpr(EwTracer&)>& fn);
+
 }  // namespace stgraph::compiler

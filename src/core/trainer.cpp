@@ -6,6 +6,7 @@
 
 #include "gpma/gpma_graph.hpp"
 #include "io/train_state.hpp"
+#include "tensor/op_profile.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
@@ -144,6 +145,9 @@ EpochStats STGraphTrainer::run_epoch(bool training) {
       signal_.edge_weights.empty() ? nullptr : signal_.edge_weights.data();
 
   Timer epoch_timer;
+  // Per-op tape profile: counters are process-global, so the epoch's share
+  // is the delta between snapshots taken at entry and exit.
+  const ops::OpProfile profile_entry = ops::profile_snapshot();
   // Figure 9 attribution: snapshot-construction time accumulates in the
   // executor's positioning timer (which wraps Get-Graph / Algorithm 2 and
   // the Algorithm-3 rebuilds); reset so this epoch's share is isolated.
@@ -328,6 +332,11 @@ EpochStats STGraphTrainer::run_epoch(bool training) {
   }
   stats.forward_seconds = forward_timer.total_seconds();
   stats.backward_seconds = backward_timer.total_seconds();
+  const ops::OpProfile prof = ops::profile_snapshot() - profile_entry;
+  stats.tape_op_count = prof.tape_ops();
+  stats.tape_bytes = prof.tape_bytes();
+  stats.fused_op_count = prof.fused_ops();
+  stats.fused_bytes = prof.fused_bytes();
   stats.failures = failures_;
   return stats;
 }

@@ -94,6 +94,15 @@ struct EpochStats {
   double stall_seconds = 0.0;
   uint64_t prefetch_hits = 0;
   uint64_t prefetch_misses = 0;
+  // Per-op tape profile deltas for the epoch (PR 9, fusing tape compiler):
+  // tape_* counts the elementwise/activation tensor ops the autograd tape
+  // executed and the intermediate bytes they materialized; fused_* counts
+  // fused-region executions and their (single) output buffers. Fusion
+  // shrinks tape_op_count/tape_bytes and moves work into fused_*.
+  uint64_t tape_op_count = 0;
+  uint64_t tape_bytes = 0;
+  uint64_t fused_op_count = 0;
+  uint64_t fused_bytes = 0;
   FailureStats failures;              // cumulative guard counters
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/engine.hpp"
+#include "compiler/fusion.hpp"
 #include "compiler/trace.hpp"
 #include "core/backend.hpp"
 #include "tensor/ops.hpp"
@@ -70,8 +71,15 @@ Tensor SeastarGCNConv::forward(core::TemporalExecutor& exec, const Tensor& x,
     args.out = out.data();
     args.num_feats = static_cast<uint32_t>(out_);
     args.producer_is_col = true;
+    // Epilogue fusion: graft the bias add onto the aggregation's accumulator
+    // writeback instead of a second read-modify-write pass over `out`. The
+    // add sees the same two floats either way, so this is bit-identical to
+    // the unfused kernel-then-add_bias sequence.
+    const bool fuse_bias =
+        bias_.defined() && compiler::fusion::fusion_enabled();
+    if (fuse_bias) args.epilogue_bias = bias_.data();
     backend.launch_aggregation(fwd_kernel, args);
-    if (bias_.defined()) out = ops::add_bias(out, bias_);
+    if (bias_.defined() && !fuse_bias) out = ops::add_bias(out, bias_);
   }
 
   if (!NoGradGuard::grad_enabled()) return out;

@@ -1,5 +1,6 @@
 #include "nn/gconv_gru.hpp"
 
+#include "compiler/fusion.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -50,13 +51,18 @@ Tensor GConvGRU::forward(core::TemporalExecutor& exec, const Tensor& x,
                          const Tensor& h_in, const float* edge_weights) const {
   Tensor h = h_in.defined() ? h_in : initial_state(x.rows());
   using namespace ops;
-  Tensor z = sigmoid(add(conv_xz_.forward(exec, x, edge_weights),
-                         conv_hz_.forward(exec, h, edge_weights)));
-  Tensor r = sigmoid(add(conv_xr_.forward(exec, x, edge_weights),
-                         conv_hr_.forward(exec, h, edge_weights)));
-  Tensor h_tilde = tanh_op(add(conv_xh_.forward(exec, x, edge_weights),
-                               conv_hh_.forward(exec, mul(r, h), edge_weights)));
-  return add(mul(z, h), mul(one_minus(z), h_tilde));
+  namespace fu = compiler::fusion;
+  // Gate elementwise regions run through the fusing tape compiler: each
+  // helper replays the same optimized program fused (one blocked pass) or
+  // unfused (node-by-node through ops::) depending on STGRAPH_FUSION.
+  Tensor z = fu::sigmoid_add(conv_xz_.forward(exec, x, edge_weights),
+                             conv_hz_.forward(exec, h, edge_weights));
+  Tensor r = fu::sigmoid_add(conv_xr_.forward(exec, x, edge_weights),
+                             conv_hr_.forward(exec, h, edge_weights));
+  Tensor h_tilde =
+      fu::tanh_add(conv_xh_.forward(exec, x, edge_weights),
+                   conv_hh_.forward(exec, mul(r, h), edge_weights));
+  return fu::gate_combine(z, h, h_tilde);
 }
 
 GConvGRURegressor::GConvGRURegressor(int64_t in_features, int64_t hidden,

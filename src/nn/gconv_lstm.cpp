@@ -1,5 +1,6 @@
 #include "nn/gconv_lstm.hpp"
 
+#include "compiler/fusion.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -38,17 +39,19 @@ std::pair<Tensor, Tensor> GConvLSTM::forward(core::TemporalExecutor& exec,
                                              const float* edge_weights) const {
   Tensor h = h_in.defined() ? h_in : initial_state(x.rows());
   Tensor c = c_in.defined() ? c_in : initial_state(x.rows());
-  using namespace ops;
-  Tensor i = sigmoid(add(conv_xi_.forward(exec, x, edge_weights),
-                         conv_hi_.forward(exec, h, edge_weights)));
-  Tensor f = sigmoid(add(conv_xf_.forward(exec, x, edge_weights),
-                         conv_hf_.forward(exec, h, edge_weights)));
-  Tensor g = tanh_op(add(conv_xc_.forward(exec, x, edge_weights),
-                         conv_hc_.forward(exec, h, edge_weights)));
-  Tensor c_next = add(mul(f, c), mul(i, g));
-  Tensor o = sigmoid(add(conv_xo_.forward(exec, x, edge_weights),
-                         conv_ho_.forward(exec, h, edge_weights)));
-  Tensor h_next = mul(o, tanh_op(c_next));
+  namespace fu = compiler::fusion;
+  // Gate regions run through the fusing tape compiler (fused single-pass
+  // interpreter, or node-by-node ops:: replay under STGRAPH_FUSION=off).
+  Tensor i = fu::sigmoid_add(conv_xi_.forward(exec, x, edge_weights),
+                             conv_hi_.forward(exec, h, edge_weights));
+  Tensor f = fu::sigmoid_add(conv_xf_.forward(exec, x, edge_weights),
+                             conv_hf_.forward(exec, h, edge_weights));
+  Tensor g = fu::tanh_add(conv_xc_.forward(exec, x, edge_weights),
+                          conv_hc_.forward(exec, h, edge_weights));
+  Tensor c_next = fu::lstm_cell_state(f, c, i, g);
+  Tensor o = fu::sigmoid_add(conv_xo_.forward(exec, x, edge_weights),
+                             conv_ho_.forward(exec, h, edge_weights));
+  Tensor h_next = fu::mul_tanh(o, c_next);
   return {h_next, c_next};
 }
 

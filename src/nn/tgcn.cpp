@@ -1,5 +1,6 @@
 #include "nn/tgcn.hpp"
 
+#include "compiler/fusion.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
@@ -34,13 +35,25 @@ Tensor TGCN::forward(core::TemporalExecutor& exec, const Tensor& x,
             x.rows(), " nodes x ", out_, " features");
 
   using namespace ops;
-  Tensor z = sigmoid(
-      linear_z_.forward(cat_cols(conv_z_.forward(exec, x, edge_weights), h)));
-  Tensor r = sigmoid(
-      linear_r_.forward(cat_cols(conv_r_.forward(exec, x, edge_weights), h)));
-  Tensor h_tilde = tanh_op(linear_h_.forward(
-      cat_cols(conv_h_.forward(exec, x, edge_weights), mul(r, h))));
-  return add(mul(z, h), mul(one_minus(z), h_tilde));
+  namespace fu = compiler::fusion;
+  // Each gate's bias add + activation is one fused elementwise region
+  // (σ(xW + b) / tanh(xW + b)); the matmul stays a tape op. The bias add
+  // inside the region sees the same floats as Linear::forward's
+  // add_bias-then-activation sequence, so fused and unfused paths agree
+  // bitwise.
+  Tensor z = fu::bias_sigmoid(
+      matmul(cat_cols(conv_z_.forward(exec, x, edge_weights), h),
+             linear_z_.weight()),
+      linear_z_.bias());
+  Tensor r = fu::bias_sigmoid(
+      matmul(cat_cols(conv_r_.forward(exec, x, edge_weights), h),
+             linear_r_.weight()),
+      linear_r_.bias());
+  Tensor h_tilde = fu::bias_tanh(
+      matmul(cat_cols(conv_h_.forward(exec, x, edge_weights), mul(r, h)),
+             linear_h_.weight()),
+      linear_h_.bias());
+  return fu::gate_combine(z, h, h_tilde);
 }
 
 }  // namespace stgraph::nn

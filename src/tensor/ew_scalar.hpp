@@ -1,0 +1,24 @@
+// Scalar elementwise formulas shared by the tape ops (tensor/ops.cpp) and
+// the fusing compiler's interpreter (compiler/fusion.cpp). Both translation
+// units are built with -ffp-contract=off, so evaluating one of these
+// functions on the same float yields the same bits on both paths — the
+// foundation of the fused/unfused parity contract.
+#pragma once
+
+#include <cmath>
+
+namespace stgraph::ewmath {
+
+/// Numerically stable logistic sigmoid (no exp overflow for large |v|).
+inline float sigmoid(float v) {
+  return v >= 0 ? 1.0f / (1.0f + std::exp(-v))
+                : std::exp(v) / (1.0f + std::exp(v));
+}
+
+inline float relu(float v) { return v > 0 ? v : 0.0f; }
+
+inline float leaky_relu(float v, float slope) {
+  return v > 0 ? v : slope * v;
+}
+
+}  // namespace stgraph::ewmath

@@ -1,0 +1,48 @@
+#include "tensor/gemm.hpp"
+
+#include "runtime/parallel.hpp"
+#include "tensor/op_profile.hpp"
+#include "util/check.hpp"
+
+namespace stgraph::ops::detail {
+
+Tensor gemm(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  STG_CHECK(a.dim() == 2 && b.dim() == 2, "matmul needs rank-2 tensors, got ",
+            shape_str(a.shape()), " and ", shape_str(b.shape()));
+  const int64_t m = ta ? a.size(1) : a.size(0);
+  const int64_t k = ta ? a.size(0) : a.size(1);
+  const int64_t kb = tb ? b.size(1) : b.size(0);
+  const int64_t n = tb ? b.size(0) : b.size(1);
+  STG_CHECK(k == kb, "matmul inner dims mismatch: ", k, " vs ", kb, " (",
+            shape_str(a.shape()), (ta ? "ᵀ" : ""), " @ ", shape_str(b.shape()),
+            (tb ? "ᵀ" : ""), ")");
+  Tensor out = Tensor::zeros({m, n});
+  ProfileScope prof(OpClass::kMatmul,
+                    static_cast<uint64_t>(out.numel()) * sizeof(float));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  const int64_t lda = a.size(1), ldb = b.size(1);
+  // Parallel over output rows; ikj loop order keeps the B row and C row
+  // streaming (the cache-friendly classic for row-major GEMM).
+  device::parallel_for_ranges(
+      static_cast<std::size_t>(m), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          float* crow = pc + i * n;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float aval = ta ? pa[kk * lda + i] : pa[i * lda + kk];
+            if (aval == 0.0f) continue;
+            if (!tb) {
+              const float* brow = pb + kk * ldb;
+              for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+            } else {
+              for (int64_t j = 0; j < n; ++j) crow[j] += aval * pb[j * ldb + kk];
+            }
+          }
+        }
+      },
+      /*grain=*/16);
+  return out;
+}
+
+}  // namespace stgraph::ops::detail

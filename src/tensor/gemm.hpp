@@ -1,0 +1,16 @@
+// Raw GEMM, no autograd. Lives in its own translation unit so it keeps the
+// compiler's default FP contraction (the inner `c += a*b` becomes an FMA,
+// which dominates matmul throughput) while tensor/ops.cpp compiles with
+// -ffp-contract=off for bit-parity with the fusing compiler's interpreter.
+// GEMM results are identical on the fused and unfused paths either way —
+// both call this one kernel — so contraction here cannot break parity.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace stgraph::ops::detail {
+
+/// C[M,N] = op(A)·op(B), row-major. ta/tb transpose the operand reads.
+Tensor gemm(const Tensor& a, const Tensor& b, bool ta, bool tb);
+
+}  // namespace stgraph::ops::detail

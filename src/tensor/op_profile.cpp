@@ -1,0 +1,98 @@
+#include "tensor/op_profile.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace stgraph::ops {
+namespace {
+
+struct Counters {
+  std::atomic<uint64_t> count[kOpClassCount] = {};
+  std::atomic<uint64_t> bytes[kOpClassCount] = {};
+  std::atomic<uint64_t> nanos[kOpClassCount] = {};
+};
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+uint64_t now_nanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kElementwise: return "elementwise";
+    case OpClass::kActivation: return "activation";
+    case OpClass::kMatmul: return "matmul";
+    case OpClass::kShape: return "shape";
+    case OpClass::kReduction: return "reduction";
+    case OpClass::kFused: return "fused";
+    case OpClass::kCount: break;
+  }
+  return "?";
+}
+
+uint64_t OpProfile::tape_ops() const {
+  return count[static_cast<int>(OpClass::kElementwise)] +
+         count[static_cast<int>(OpClass::kActivation)];
+}
+
+uint64_t OpProfile::tape_bytes() const {
+  return bytes[static_cast<int>(OpClass::kElementwise)] +
+         bytes[static_cast<int>(OpClass::kActivation)];
+}
+
+OpProfile OpProfile::operator-(const OpProfile& rhs) const {
+  OpProfile d;
+  for (int i = 0; i < kOpClassCount; ++i) {
+    d.count[i] = count[i] - rhs.count[i];
+    d.bytes[i] = bytes[i] - rhs.bytes[i];
+    d.nanos[i] = nanos[i] - rhs.nanos[i];
+  }
+  return d;
+}
+
+void profile_record(OpClass c, uint64_t out_bytes, uint64_t elapsed_nanos) {
+  Counters& g = counters();
+  const int i = static_cast<int>(c);
+  g.count[i].fetch_add(1, std::memory_order_relaxed);
+  g.bytes[i].fetch_add(out_bytes, std::memory_order_relaxed);
+  if (elapsed_nanos)
+    g.nanos[i].fetch_add(elapsed_nanos, std::memory_order_relaxed);
+}
+
+OpProfile profile_snapshot() {
+  Counters& g = counters();
+  OpProfile s;
+  for (int i = 0; i < kOpClassCount; ++i) {
+    s.count[i] = g.count[i].load(std::memory_order_relaxed);
+    s.bytes[i] = g.bytes[i].load(std::memory_order_relaxed);
+    s.nanos[i] = g.nanos[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void profile_reset() {
+  Counters& g = counters();
+  for (int i = 0; i < kOpClassCount; ++i) {
+    g.count[i].store(0, std::memory_order_relaxed);
+    g.bytes[i].store(0, std::memory_order_relaxed);
+    g.nanos[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+ProfileScope::ProfileScope(OpClass c, uint64_t out_bytes)
+    : c_(c), bytes_(out_bytes), t0_(now_nanos()) {}
+
+ProfileScope::~ProfileScope() {
+  profile_record(c_, bytes_, now_nanos() - t0_);
+}
+
+}  // namespace stgraph::ops

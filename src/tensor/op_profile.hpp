@@ -1,0 +1,66 @@
+// Per-op-class tape profiling: every tensor op records how many launches of
+// its class ran, how many output bytes it materialized, and (for the classes
+// where the clock read is cheap relative to the work) how long it took.
+// Counters are process-wide relaxed atomics — recording is a handful of
+// fetch_adds on the hot path — and the trainer snapshots them around each
+// epoch to report tape-vs-fused op counts and intermediate traffic, the
+// before/after evidence for the fusing compiler (bench_table3 / bench_fig9
+// columns, BENCH_fusion.json).
+#pragma once
+
+#include <cstdint>
+
+namespace stgraph::ops {
+
+enum class OpClass : uint8_t {
+  kElementwise = 0,  // add/sub/mul/div/scalar/one_minus/add_bias
+  kActivation,       // sigmoid/tanh/relu/leaky_relu/exp/softmax
+  kMatmul,           // gemm launches (forward and backward)
+  kShape,            // cat/slice/gather/reshape copies
+  kReduction,        // sum/row_sum/losses
+  kFused,            // fused elementwise programs (one launch each)
+  kCount,
+};
+
+inline constexpr int kOpClassCount = static_cast<int>(OpClass::kCount);
+
+const char* op_class_name(OpClass c);
+
+/// Point-in-time copy of the counters (or a delta of two copies).
+struct OpProfile {
+  uint64_t count[kOpClassCount] = {};
+  uint64_t bytes[kOpClassCount] = {};  // output bytes materialized
+  uint64_t nanos[kOpClassCount] = {};  // 0 for classes recorded untimed
+
+  /// Unfused tape launches: everything the fusing compiler is trying to
+  /// collapse (elementwise + activation), not matmul/shape/reduction work
+  /// that fusion leaves in place.
+  uint64_t tape_ops() const;
+  uint64_t tape_bytes() const;
+  uint64_t fused_ops() const { return count[static_cast<int>(OpClass::kFused)]; }
+  uint64_t fused_bytes() const { return bytes[static_cast<int>(OpClass::kFused)]; }
+
+  OpProfile operator-(const OpProfile& rhs) const;
+};
+
+/// Record one launch of class `c` that materialized `out_bytes` of output.
+void profile_record(OpClass c, uint64_t out_bytes, uint64_t elapsed_nanos = 0);
+
+OpProfile profile_snapshot();
+void profile_reset();
+
+/// RAII timer for ops worth timing: records on destruction.
+class ProfileScope {
+ public:
+  ProfileScope(OpClass c, uint64_t out_bytes);
+  ~ProfileScope();
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  OpClass c_;
+  uint64_t bytes_;
+  uint64_t t0_;
+};
+
+}  // namespace stgraph::ops

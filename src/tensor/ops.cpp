@@ -1,9 +1,17 @@
+// NOTE: this translation unit is built with -ffp-contract=off (see
+// src/CMakeLists.txt): the fusing compiler's interpreter replays these
+// formulas and the parity contract requires neither path to gain an FMA
+// the other lacks. The FMA-hungry GEMM kernel lives in tensor/gemm.cpp
+// with default contraction.
 #include "tensor/ops.hpp"
 
 #include <cmath>
 
 #include "autograd/engine.hpp"
 #include "runtime/parallel.hpp"
+#include "tensor/ew_scalar.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/op_profile.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -14,8 +22,10 @@ using autograd::LambdaNode;
 
 // Elementwise map kernel: out[i] = f(a[i]).
 template <typename F>
-Tensor unary_map(const Tensor& a, F f) {
+Tensor unary_map(const Tensor& a, F f,
+                 OpClass cls = OpClass::kElementwise) {
   Tensor out = Tensor::empty(a.shape());
+  ProfileScope prof(cls, static_cast<uint64_t>(out.numel()) * sizeof(float));
   const float* pa = a.data();
   float* po = out.data();
   device::parallel_for_ranges(static_cast<std::size_t>(a.numel()),
@@ -28,10 +38,12 @@ Tensor unary_map(const Tensor& a, F f) {
 
 // Elementwise zip kernel: out[i] = f(a[i], b[i]).
 template <typename F>
-Tensor binary_map(const Tensor& a, const Tensor& b, F f) {
+Tensor binary_map(const Tensor& a, const Tensor& b, F f,
+                  OpClass cls = OpClass::kElementwise) {
   STG_CHECK(same_shape(a, b), "elementwise op shape mismatch: ",
             shape_str(a.shape()), " vs ", shape_str(b.shape()));
   Tensor out = Tensor::empty(a.shape());
+  ProfileScope prof(cls, static_cast<uint64_t>(out.numel()) * sizeof(float));
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -131,6 +143,8 @@ Tensor add_bias(const Tensor& x, const Tensor& bias) {
             "add_bias expects x [N,F] and bias [F], got ",
             shape_str(x.shape()), " and ", shape_str(bias.shape()));
   Tensor out = Tensor::empty(x.shape());
+  ProfileScope prof(OpClass::kElementwise,
+                    static_cast<uint64_t>(out.numel()) * sizeof(float));
   const float* px = x.data();
   const float* pb = bias.data();
   float* po = out.data();
@@ -166,68 +180,77 @@ Tensor one_minus(const Tensor& x) {
 }
 
 Tensor sigmoid(const Tensor& x) {
-  auto sig = [](float v) {
-    // Stable sigmoid: avoid exp overflow for large |v|.
-    return v >= 0 ? 1.0f / (1.0f + std::exp(-v))
-                  : std::exp(v) / (1.0f + std::exp(v));
-  };
-  Tensor out = unary_map(x, sig);
+  // Stable formula shared with the fused interpreter (tensor/ew_scalar.hpp).
+  Tensor out = unary_map(x, ewmath::sigmoid, OpClass::kActivation);
   // Save the input handle and recompute σ at backward time: saving the
   // output handle inside its own grad node would create an ownership
   // cycle, and a detached copy would double activation memory.
-  attach(out, "sigmoid", {x}, [x, sig](const Tensor& g) {
+  attach(out, "sigmoid", {x}, [x](const Tensor& g) {
     NoGradGuard ng;
-    Tensor d = binary_map(x, g, [sig](float v, float gg) {
-      const float y = sig(v);
-      return gg * y * (1.0f - y);
-    });
+    Tensor d = binary_map(
+        x, g,
+        [](float v, float gg) {
+          const float y = ewmath::sigmoid(v);
+          return gg * y * (1.0f - y);
+        },
+        OpClass::kActivation);
     return std::vector<Tensor>{d};
   });
   return out;
 }
 
 Tensor tanh_op(const Tensor& x) {
-  Tensor out = unary_map(x, [](float v) { return std::tanh(v); });
+  Tensor out = unary_map(
+      x, [](float v) { return std::tanh(v); }, OpClass::kActivation);
   attach(out, "tanh", {x}, [x](const Tensor& g) {
     NoGradGuard ng;
-    Tensor d = binary_map(x, g, [](float v, float gg) {
-      const float y = std::tanh(v);
-      return gg * (1.0f - y * y);
-    });
+    Tensor d = binary_map(
+        x, g,
+        [](float v, float gg) {
+          const float y = std::tanh(v);
+          return gg * (1.0f - y * y);
+        },
+        OpClass::kActivation);
     return std::vector<Tensor>{d};
   });
   return out;
 }
 
 Tensor relu(const Tensor& x) {
-  Tensor out = unary_map(x, [](float v) { return v > 0 ? v : 0.0f; });
+  Tensor out = unary_map(x, ewmath::relu, OpClass::kActivation);
   attach(out, "relu", {x}, [x](const Tensor& g) {
     NoGradGuard ng;
-    Tensor d = binary_map(x, g,
-                          [](float v, float gg) { return v > 0 ? gg : 0.0f; });
+    Tensor d = binary_map(
+        x, g, [](float v, float gg) { return v > 0 ? gg : 0.0f; },
+        OpClass::kActivation);
     return std::vector<Tensor>{d};
   });
   return out;
 }
 
 Tensor leaky_relu(const Tensor& x, float slope) {
-  Tensor out = unary_map(x, [slope](float v) { return v > 0 ? v : slope * v; });
+  Tensor out = unary_map(
+      x, [slope](float v) { return ewmath::leaky_relu(v, slope); },
+      OpClass::kActivation);
   attach(out, "leaky_relu", {x}, [x, slope](const Tensor& g) {
     NoGradGuard ng;
-    Tensor d = binary_map(x, g, [slope](float v, float gg) {
-      return v > 0 ? gg : slope * gg;
-    });
+    Tensor d = binary_map(
+        x, g,
+        [slope](float v, float gg) { return v > 0 ? gg : slope * gg; },
+        OpClass::kActivation);
     return std::vector<Tensor>{d};
   });
   return out;
 }
 
 Tensor exp_op(const Tensor& x) {
-  Tensor out = unary_map(x, [](float v) { return std::exp(v); });
+  Tensor out = unary_map(
+      x, [](float v) { return std::exp(v); }, OpClass::kActivation);
   attach(out, "exp", {x}, [x](const Tensor& g) {
     NoGradGuard ng;
-    Tensor d = binary_map(x, g,
-                          [](float v, float gg) { return gg * std::exp(v); });
+    Tensor d = binary_map(
+        x, g, [](float v, float gg) { return gg * std::exp(v); },
+        OpClass::kActivation);
     return std::vector<Tensor>{d};
   });
   return out;
@@ -238,7 +261,8 @@ Tensor softmax(const Tensor& x) {
   // Stable softmax: shift by the max.
   float mx = x.at(0);
   for (int64_t i = 1; i < x.numel(); ++i) mx = std::max(mx, x.at(i));
-  Tensor out = unary_map(x, [mx](float v) { return std::exp(v - mx); });
+  Tensor out = unary_map(
+      x, [mx](float v) { return std::exp(v - mx); }, OpClass::kActivation);
   float denom = 0;
   for (int64_t i = 0; i < out.numel(); ++i) denom += out.data()[i];
   for (int64_t i = 0; i < out.numel(); ++i) out.data()[i] /= denom;
@@ -270,45 +294,7 @@ Tensor element(const Tensor& x, int64_t index) {
   return out;
 }
 
-namespace {
-// Raw GEMM: C[M,N] = op(A) op(B), row-major, no autograd.
-Tensor gemm(const Tensor& a, const Tensor& b, bool ta, bool tb) {
-  STG_CHECK(a.dim() == 2 && b.dim() == 2, "matmul needs rank-2 tensors, got ",
-            shape_str(a.shape()), " and ", shape_str(b.shape()));
-  const int64_t m = ta ? a.size(1) : a.size(0);
-  const int64_t k = ta ? a.size(0) : a.size(1);
-  const int64_t kb = tb ? b.size(1) : b.size(0);
-  const int64_t n = tb ? b.size(0) : b.size(1);
-  STG_CHECK(k == kb, "matmul inner dims mismatch: ", k, " vs ", kb, " (",
-            shape_str(a.shape()), (ta ? "ᵀ" : ""), " @ ", shape_str(b.shape()),
-            (tb ? "ᵀ" : ""), ")");
-  Tensor out = Tensor::zeros({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  const int64_t lda = a.size(1), ldb = b.size(1);
-  // Parallel over output rows; ikj loop order keeps the B row and C row
-  // streaming (the cache-friendly classic for row-major GEMM).
-  device::parallel_for_ranges(
-      static_cast<std::size_t>(m), [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          float* crow = pc + i * n;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float aval = ta ? pa[kk * lda + i] : pa[i * lda + kk];
-            if (aval == 0.0f) continue;
-            if (!tb) {
-              const float* brow = pb + kk * ldb;
-              for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-            } else {
-              for (int64_t j = 0; j < n; ++j) crow[j] += aval * pb[j * ldb + kk];
-            }
-          }
-        }
-      },
-      /*grain=*/16);
-  return out;
-}
-}  // namespace
+using detail::gemm;  // tensor/gemm.cpp — its own TU, default FP contraction
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   Tensor out = gemm(a, b, trans_a, trans_b);
@@ -337,6 +323,8 @@ Tensor cat_cols(const Tensor& a, const Tensor& b) {
             " vs ", shape_str(b.shape()));
   const int64_t n = a.rows(), fa = a.cols(), fb = b.cols();
   Tensor out = Tensor::empty({n, fa + fb});
+  profile_record(OpClass::kShape,
+                 static_cast<uint64_t>(out.numel()) * sizeof(float));
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -360,6 +348,8 @@ Tensor slice_cols(const Tensor& x, int64_t begin, int64_t end) {
             "slice_cols [", begin, ",", end, ") on ", shape_str(x.shape()));
   const int64_t n = x.rows(), f = x.cols(), w = end - begin;
   Tensor out = Tensor::empty({n, w});
+  profile_record(OpClass::kShape,
+                 static_cast<uint64_t>(out.numel()) * sizeof(float));
   const float* px = x.data();
   float* po = out.data();
   device::parallel_for_ranges(
@@ -383,6 +373,8 @@ Tensor slice_rows(const Tensor& x, int64_t begin, int64_t end) {
             "slice_rows [", begin, ",", end, ") on ", shape_str(x.shape()));
   const int64_t f = x.cols(), h = end - begin;
   Tensor out = Tensor::empty({h, f});
+  profile_record(OpClass::kShape,
+                 static_cast<uint64_t>(out.numel()) * sizeof(float));
   std::copy(x.data() + begin * f, x.data() + end * f, out.data());
   const int64_t rows = x.rows();
   attach(out, "slice_rows", {x}, [rows, f, begin, h](const Tensor& g) {
@@ -398,6 +390,8 @@ Tensor gather_rows(const Tensor& x, const std::vector<uint32_t>& index) {
   const int64_t f = x.cols();
   const int64_t m = static_cast<int64_t>(index.size());
   Tensor out = Tensor::empty({m, f});
+  profile_record(OpClass::kShape,
+                 static_cast<uint64_t>(out.numel()) * sizeof(float));
   const float* px = x.data();
   float* po = out.data();
   device::parallel_for_ranges(
@@ -427,6 +421,8 @@ Tensor reshape(const Tensor& x, Shape new_shape) {
   STG_CHECK(n == x.numel(), "reshape to ", shape_str(new_shape),
             " from ", x.numel(), " elements");
   Tensor out = Tensor::empty(new_shape);
+  profile_record(OpClass::kShape,
+                 static_cast<uint64_t>(out.numel()) * sizeof(float));
   std::copy(x.data(), x.data() + x.numel(), out.data());
   Shape old = x.shape();
   attach(out, "reshape", {x}, [old](const Tensor& g) {
@@ -437,6 +433,7 @@ Tensor reshape(const Tensor& x, Shape new_shape) {
 }
 
 Tensor sum(const Tensor& x) {
+  ProfileScope prof(OpClass::kReduction, sizeof(float));
   const double total = device::parallel_reduce_sum(
       static_cast<std::size_t>(x.numel()),
       [p = x.data()](std::size_t i) { return static_cast<double>(p[i]); });
@@ -459,6 +456,8 @@ Tensor row_sum(const Tensor& x) {
   STG_CHECK(x.dim() == 2, "row_sum needs a rank-2 tensor");
   const int64_t n = x.rows(), f = x.cols();
   Tensor out = Tensor::empty({n});
+  ProfileScope prof(OpClass::kReduction,
+                    static_cast<uint64_t>(n) * sizeof(float));
   const float* px = x.data();
   float* po = out.data();
   device::parallel_for_ranges(
@@ -484,6 +483,7 @@ Tensor mse_loss(const Tensor& pred, const Tensor& target) {
   STG_CHECK(same_shape(pred, target), "mse_loss shape mismatch: ",
             shape_str(pred.shape()), " vs ", shape_str(target.shape()));
   const std::size_t n = static_cast<std::size_t>(pred.numel());
+  ProfileScope prof(OpClass::kReduction, sizeof(float));
   const float* pp = pred.data();
   const float* pt = target.data();
   const double total = device::parallel_reduce_sum(n, [&](std::size_t i) {
@@ -506,6 +506,7 @@ Tensor bce_with_logits_loss(const Tensor& logits, const Tensor& targets) {
   STG_CHECK(same_shape(logits, targets), "bce loss shape mismatch: ",
             shape_str(logits.shape()), " vs ", shape_str(targets.shape()));
   const std::size_t n = static_cast<std::size_t>(logits.numel());
+  ProfileScope prof(OpClass::kReduction, sizeof(float));
   const float* pz = logits.data();
   const float* py = targets.data();
   const double total = device::parallel_reduce_sum(n, [&](std::size_t i) {
@@ -518,9 +519,7 @@ Tensor bce_with_logits_loss(const Tensor& logits, const Tensor& targets) {
     NoGradGuard ng;
     const float scale = g.item() / static_cast<float>(n);
     Tensor gz = binary_map(logits, targets, [scale](float z, float y) {
-      const float s = z >= 0 ? 1.0f / (1.0f + std::exp(-z))
-                             : std::exp(z) / (1.0f + std::exp(z));
-      return scale * (s - y);
+      return scale * (ewmath::sigmoid(z) - y);
     });
     return std::vector<Tensor>{gz};
   });
