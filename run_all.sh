@@ -14,12 +14,25 @@
 #                           and the shard/pipeline training path
 #                           (test_scaling: background view preparation +
 #                           shard-parallel aggregation parity)
-#   ./run_all.sh lint       clang-tidy over src/ + a clang compile of the
-#                           concurrency layer with -Wthread-safety -Werror
-#                           (the annotations in util/thread_annotations.hpp
-#                           are no-ops under GCC; this is where they are
-#                           actually enforced). Skips cleanly when clang
-#                           is not installed.
+#   ./run_all.sh lint       clang-tidy over src/ + a clang syntax-only pass
+#                           of EVERY .cpp under src/ and tools/ with
+#                           -Wthread-safety -Werror (the annotations in
+#                           util/thread_annotations.hpp are no-ops under
+#                           GCC; this is where they are actually enforced),
+#                           plus a toolchain-independent guard that every
+#                           file declaring a Mutex member includes the
+#                           annotated wrapper header. Clang passes skip
+#                           cleanly when clang is not installed; the guard
+#                           always runs.
+#   ./run_all.sh fuzz-smoke deterministic structure-aware fuzz of the STGN
+#                           frame decoder and the STGW/STGT readers under
+#                           ASan+UBSan with raised iteration counts
+#                           (STGRAPH_FUZZ_ITERS=2000)
+#
+# Any mode can be combined with STGRAPH_DEADLOCK=1 in the environment to
+# arm the lock-order / blocking-hazard analyzer (runtime/analyze.hpp) in
+# every spawned test and bench process; armed processes fail at exit on
+# any lock-order cycle or unannotated blocking-while-locked hazard.
 #   ./run_all.sh validate   tier-1 suite with STGRAPH_VALIDATE=1 exported
 #                           (every GPMA view refresh / streaming append /
 #                           training sequence runs the structural invariant
@@ -177,7 +190,7 @@ if [ "$1" = "sanitize" ]; then
     -DSTGRAPH_BUILD_BENCH=OFF \
     -DSTGRAPH_BUILD_EXAMPLES=OFF || exit 1
   cmake --build build-asan -j "$(nproc)" || exit 1
-  UBSAN_OPTIONS=halt_on_error=1 \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
     ctest --test-dir build-asan --output-on-failure \
     > build-asan/test_output_asan.txt 2>&1
   status=$?
@@ -212,27 +225,60 @@ if [ "$1" = "lint" ]; then
   else
     echo "lint: clang-tidy not installed, skipping tidy pass"
   fi
+  # Self-maintenance guard, toolchain-independent: every file under src/
+  # that declares a stgraph::Mutex member must include the annotated
+  # wrapper header (directly or via its own header) — a raw std::mutex or
+  # a Mutex smuggled in some other way would be invisible to BOTH the
+  # -Wthread-safety pass below and the runtime lock-order analyzer. The
+  # compile list below is the full tree, so "on the list" reduces to
+  # "compiles with the wrapper in scope".
+  for f in $(grep -rlE '(^|[^:[:alnum:]_])Mutex[[:space:]]+[A-Za-z_]' \
+               --include='*.hpp' --include='*.cpp' src); do
+    [ "$f" = "src/runtime/mutex.hpp" ] && continue  # the wrapper itself
+    base=$(echo "$f" | sed 's/\.[^.]*$//')
+    if ! grep -q 'runtime/mutex\.hpp' "$f" \
+       && { [ ! -f "$base.hpp" ] || ! grep -q 'runtime/mutex\.hpp' "$base.hpp"; }; then
+      echo "lint: $f declares a Mutex member but never includes runtime/mutex.hpp"
+      status=1
+    fi
+  done
+  # Guard the guard: the pattern above must keep matching the known
+  # declarations, or a rename could silently empty the check.
+  mutex_files=$(grep -rlE '(^|[^:[:alnum:]_])Mutex[[:space:]]+[A-Za-z_]' \
+                  --include='*.hpp' --include='*.cpp' src | wc -l)
+  if [ "$mutex_files" -lt 5 ]; then
+    echo "lint: Mutex-member scan found only $mutex_files files — the pattern is broken"
+    status=1
+  fi
   if command -v clang++ > /dev/null 2>&1; then
-    # Thread-safety analysis of the annotated concurrency layer. The
-    # annotations expand to nothing under GCC, so this clang pass is the
-    # only place they are enforced.
-    for f in src/runtime/thread_pool.cpp src/serve/request_queue.cpp \
-             src/serve/server.cpp src/serve/wal.cpp src/serve/stats.cpp \
-             src/util/failpoint.cpp src/net/protocol.cpp \
-             src/net/event_loop.cpp src/net/connection.cpp \
-             src/net/listener.cpp src/net/frontend.cpp \
-             src/net/client.cpp src/gpma/gpma_graph.cpp \
-             src/graph/shard.cpp src/compiler/fusion.cpp \
-             src/compiler/autodiff.cpp src/compiler/passes.cpp \
-             src/compiler/trace.cpp src/compiler/ir.cpp; do
+    # Thread-safety analysis over the ENTIRE tree. The annotations expand
+    # to nothing under GCC, so this clang pass is the only place they are
+    # enforced; -Wno-everything keeps unrelated clang diagnostics out of
+    # the gate while -Werror makes every thread-safety finding fatal.
+    for f in $(find src tools -name '*.cpp' | sort); do
       echo "thread-safety: $f"
-      clang++ -std=c++17 -Isrc -fsyntax-only \
-        -Wthread-safety -Werror "$f" || status=1
+      clang++ -std=c++20 -Isrc -fsyntax-only \
+        -Wno-everything -Wthread-safety -Werror "$f" || status=1
     done
   else
     echo "lint: clang++ not installed, skipping -Wthread-safety pass"
   fi
   exit $status
+fi
+
+if [ "$1" = "fuzz-smoke" ]; then
+  # Structure-aware fuzz of the byte-level readers (STGN frames, STGW WAL,
+  # STGT containers) under ASan+UBSan with the iteration counts raised.
+  # Deterministic: fixed seeds, so a failing iteration replays exactly.
+  cmake -B build-asan -S . \
+    -DSTGRAPH_SANITIZE=address,undefined \
+    -DSTGRAPH_BUILD_BENCH=OFF \
+    -DSTGRAPH_BUILD_EXAMPLES=OFF || exit 1
+  cmake --build build-asan -j "$(nproc)" --target test_fuzz_formats || exit 1
+  STGRAPH_FUZZ_ITERS=2000 \
+    UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ./build-asan/tests/test_fuzz_formats || exit 1
+  exit 0
 fi
 
 if [ "$1" = "validate" ]; then

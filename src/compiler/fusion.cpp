@@ -77,7 +77,7 @@ struct CacheKeyHash {
 };
 
 struct ProgramCache {
-  Mutex mu;
+  Mutex mu{"fusion::ProgramCache::mu"};
   std::unordered_map<CacheKey, std::shared_ptr<ExecPlan>, CacheKeyHash> map
       STG_GUARDED_BY(mu);
 };

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "graph/csr.hpp"
+#include "runtime/analyze.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/scan.hpp"
 #include "runtime/sort.hpp"
@@ -223,6 +224,7 @@ GpmaGraph::~GpmaGraph() {
     pf_stop_ = true;
     pcv_.notify_all();
   }
+  if (analyze::armed()) analyze::on_blocking_call("thread-join");
   worker_.join();
 }
 

@@ -314,7 +314,7 @@ class GpmaGraph final : public STGraphBase {
   PublishedView pub_[2];
   int active_pub_ = 0;
   std::thread worker_;
-  mutable Mutex pmu_;
+  mutable Mutex pmu_{"gpma::GpmaGraph::pmu_"};
   mutable ConditionVariable pcv_;
   mutable PfState pf_state_ STG_GUARDED_BY(pmu_) = PfState::kIdle;
   uint32_t pf_target_ STG_GUARDED_BY(pmu_) = 0;

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "runtime/analyze.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
@@ -26,6 +27,7 @@ Writer::Writer(const std::string& path, bool crc_footer)
       tmp_path_(path + ".tmp." + std::to_string(::getpid())),
       crc_footer_(crc_footer),
       out_(new OutFile) {
+  if (analyze::armed()) analyze::on_blocking_call("file-io(checkpoint)");
   out_->stream.open(tmp_path_, std::ios::binary | std::ios::trunc);
   STG_CHECK(out_->stream.good(), "cannot open '", tmp_path_,
             "' for writing");
@@ -67,6 +69,7 @@ void Writer::finish() {
               "truncate('", tmp_path_, "') failed");
   });
 
+  if (analyze::armed()) analyze::on_blocking_call("file-io(checkpoint)");
   const int fd = ::open(tmp_path_.c_str(), O_WRONLY);
   STG_CHECK(fd >= 0, "cannot reopen '", tmp_path_, "' for fsync");
   const int sync_rc = ::fsync(fd);
@@ -78,6 +81,7 @@ void Writer::finish() {
 }
 
 Reader::Reader(const std::string& path, bool crc_footer) : path_(path) {
+  if (analyze::armed()) analyze::on_blocking_call("file-io(checkpoint)");
   std::ifstream in(path, std::ios::binary);
   STG_CHECK(in.good(), "cannot open '", path, "' for reading");
   std::ostringstream slurp;

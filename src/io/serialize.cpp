@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "io/binary_format.hpp"
+#include "runtime/analyze.hpp"
 #include "util/check.hpp"
 
 namespace stgraph::io {
@@ -170,6 +171,7 @@ void load_checkpoint(nn::Module& module, const std::string& path) {
 }
 
 EdgeList read_edge_list(const std::string& path, uint32_t* num_nodes_out) {
+  if (analyze::armed()) analyze::on_blocking_call("file-io(edge-list)");
   std::ifstream in(path);
   STG_CHECK(in.good(), "cannot open edge list '", path, "'");
   struct Row {

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/analyze.hpp"
 #include "util/check.hpp"
 
 namespace stgraph::net {
@@ -101,6 +102,7 @@ void EventLoop::run() {
   while (!stop_.load(std::memory_order_acquire)) {
     drain_posted();
     if (stop_.load(std::memory_order_acquire)) break;
+    if (analyze::armed()) analyze::on_blocking_call("epoll_wait");
     const int n = ::epoll_wait(epfd_, events.data(),
                                static_cast<int>(events.size()), /*ms=*/100);
     if (n < 0) {

@@ -64,7 +64,7 @@ class EventLoop {
   // shared_ptr so a callback that remove()s its own fd (or a sibling's)
   // mid-dispatch never frees a std::function the loop is still executing.
   std::unordered_map<int, std::shared_ptr<IoCallback>> handlers_;
-  Mutex post_mu_;
+  Mutex post_mu_{"net::EventLoop::post_mu_"};
   std::deque<std::function<void()>> posted_ STG_GUARDED_BY(post_mu_);
 };
 

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "runtime/analyze.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
@@ -106,6 +107,7 @@ void Frontend::stop() {
     ingest_stop_ = true;
   }
   ingest_cv_.notify_all();
+  if (analyze::armed()) analyze::on_blocking_call("thread-join");
   if (ingest_thread_.joinable()) ingest_thread_.join();
 
   // Test hook: hold the stop sequence here — ingest worker joined, loop
@@ -135,6 +137,7 @@ void Frontend::stop() {
     }
   });
   loop_.stop();
+  if (analyze::armed()) analyze::on_blocking_call("thread-join");
   if (loop_thread_.joinable()) loop_thread_.join();
 
   // 5. Loop is gone — no thread can touch the maps; closing the fds here

@@ -137,7 +137,7 @@ class Frontend {
   /// processed on the loop thread; stop() waits for this to hit zero.
   std::atomic<uint64_t> inflight_predicts_{0};
 
-  Mutex ingest_mu_;
+  Mutex ingest_mu_{"net::Frontend::ingest_mu_"};
   ConditionVariable ingest_cv_;
   std::deque<PendingIngest> ingest_q_ STG_GUARDED_BY(ingest_mu_);
   bool ingest_stop_ STG_GUARDED_BY(ingest_mu_) = false;

@@ -1,0 +1,180 @@
+// Lock-order and blocking-hazard analyzer (the concurrency half of the
+// correctness tooling; the structural half is src/verify/). Armed by
+// STGRAPH_DEADLOCK=1 — disarmed (the default) every hook below is one
+// relaxed atomic load and a predicted-not-taken branch, so the Mutex
+// wrappers in runtime/mutex.hpp stay behaviorally identical to the plain
+// zero-overhead wrappers on the hot path.
+//
+// Armed, the analyzer watches every acquisition made through the annotated
+// lock types (Mutex / MutexLock / MutexTimedLock / ConditionVariable):
+//
+//   * each Mutex registers under its SITE LABEL (the constructor argument,
+//     e.g. "serve::Server::exec_mu_") — the analysis is per program
+//     location, not per instance, so one run over any schedule covers
+//     every object of that class;
+//   * a per-thread HELD-LOCK SET tracks what the thread currently holds,
+//     with the acquisition backtrace captured per entry;
+//   * a global ACQUISITION-ORDER GRAPH gains an edge site(A) -> site(B)
+//     the first time any thread blocks on B while holding A. Edges are
+//     recorded BEFORE the acquisition blocks, so a schedule that is about
+//     to wedge still produces its report. The first edge that closes a
+//     cycle is a potential deadlock: the report carries the full cycle,
+//     with both acquisition stacks (the stack that took the held lock and
+//     the stack attempting the new one) and the site labels per edge.
+//     Non-wedging acquisitions — try_lock() and the deadline-bounded
+//     try_lock_for() behind MutexTimedLock — cannot complete a deadlock
+//     (they give up instead of blocking), so they enter the held set but
+//     create no edges; locks they hold still order later blocking
+//     acquisitions.
+//   * a BLOCKING-HAZARD CHECKER flags operations that can park the thread
+//     indefinitely while it holds any Mutex: condition-variable waits
+//     holding a second lock, epoll_wait, file I/O (WAL, checkpoint and
+//     container readers/writers), and thread joins. Sites where blocking
+//     under a lock is the design (the WAL append under exec_mu_ IS the
+//     ingest commit point) annotate the scope with STG_BLOCKING_OK("why")
+//     and are exempt; everything else is reported with the held sites and
+//     the blocking stack.
+//
+// Reports surface three ways: programmatically (cycles() / hazards() /
+// as_report(), which feeds the verify::Report plumbing that stgraph_check
+// and the tests share), as a formatted dump (format_report()), and — when
+// armed via the environment — through an atexit hook that prints the
+// report and fails the process, which is what makes the
+// STGRAPH_DEADLOCK=1 ctest variants and chaos/smoke runs self-checking.
+//
+// The analyzer's own synchronization deliberately uses std::mutex (not
+// stgraph::Mutex): its locks must be invisible to itself and to the
+// -Wthread-safety pass, and it may run inside any hook.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/report.hpp"
+
+namespace stgraph::analyze {
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True when the analyzer is recording (STGRAPH_DEADLOCK=1 or arm(true)).
+/// The single check every disarmed hook pays.
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+// ---- hooks wired into runtime/mutex.hpp (call only when armed()) ---------
+
+/// A blocking acquisition is about to start: record order-graph edges from
+/// every held lock to `site` and run cycle detection on new edges. Called
+/// BEFORE the native lock so an imminent deadlock still reports.
+void on_lock_attempt(const void* m, const char* site);
+/// The acquisition succeeded: push the held-set entry. `blocking` is false
+/// for try_lock / try_lock_for successes (held, but never edge sources of
+/// their own acquisition).
+void on_locked(const void* m, const char* site, bool blocking);
+/// The lock is being released: pop the held-set entry (tolerates entries
+/// acquired before arming).
+void on_unlocked(const void* m);
+/// Instance going away: drop it from the instance registry so a reused
+/// address can never inherit a stale site.
+void on_mutex_destroyed(const void* m);
+/// A condition wait on `waited` is starting: every OTHER held lock is a
+/// blocking hazard (`what` is "cv-wait" or "cv-wait-for").
+void on_cv_wait(const void* waited, const char* what);
+/// An operation that can block indefinitely (`what` names it: "epoll_wait",
+/// "file-io(wal)", "thread-join", ...) is starting: a hazard if any lock is
+/// held and no STG_BLOCKING_OK scope is active.
+void on_blocking_call(const char* what);
+
+/// RAII allowlist scope for deliberate blocking-under-lock (use the
+/// STG_BLOCKING_OK macro, which names the instance for you). The reason
+/// string is part of the annotation contract: it documents WHY holding the
+/// lock across the blocking call is correct at this site.
+class BlockingOkScope {
+ public:
+  explicit BlockingOkScope(const char* reason);
+  ~BlockingOkScope();
+  BlockingOkScope(const BlockingOkScope&) = delete;
+  BlockingOkScope& operator=(const BlockingOkScope&) = delete;
+};
+
+// ---- findings -------------------------------------------------------------
+
+/// One edge of a reported lock-order cycle.
+struct CycleEdge {
+  std::string from_site;      ///< label of the lock already held
+  std::string to_site;        ///< label of the lock being acquired
+  uint64_t thread_id = 0;     ///< thread that recorded the edge
+  std::string holder_stack;   ///< backtrace that acquired from_site
+  std::string acquirer_stack; ///< backtrace attempting to_site
+};
+
+/// A cycle in the acquisition-order graph — a potential deadlock. Reported
+/// once per distinct site set.
+struct LockCycle {
+  std::vector<CycleEdge> edges;  ///< in cycle order; edges.back() closed it
+  std::string to_string() const;
+};
+
+/// A blocking operation performed while holding locks, outside any
+/// STG_BLOCKING_OK scope. Reported once per (operation, innermost site).
+struct BlockingHazard {
+  std::string what;                     ///< which blocking operation
+  std::vector<std::string> held_sites;  ///< outermost-first
+  std::string stack;                    ///< backtrace of the blocking call
+  std::string to_string() const;
+};
+
+uint64_t cycle_count();
+uint64_t hazard_count();
+std::vector<LockCycle> cycles();
+std::vector<BlockingHazard> hazards();
+
+/// Everything found so far, formatted for humans (the atexit dump).
+std::string format_report();
+/// The same findings as a verify::Report (checkers "analyze.lock-order"
+/// and "analyze.blocking-hazard") so tools that already gate on the
+/// structural analyzer — stgraph_check, the test plumbing — fold the
+/// concurrency findings in unchanged.
+verify::Report as_report();
+
+/// Arm / disarm programmatically (tests; the environment arms once at
+/// startup). Arming mid-process only tracks locks acquired from here on.
+void arm(bool on);
+/// Drop all recorded state: order graph, instance registry, findings.
+/// Test isolation only — never call while other threads hold tracked locks
+/// you still care about.
+void reset();
+
+/// Scoped arm + reset for seeded tests: arms on construction, and on
+/// destruction clears recorded state and restores the previous armed
+/// state, so a deliberately seeded inversion never leaks into the
+/// process-exit enforcement.
+class ScopedArm {
+ public:
+  ScopedArm() : prev_(armed()) { arm(true); }
+  ~ScopedArm() {
+    reset();
+    arm(prev_);
+  }
+  ScopedArm(const ScopedArm&) = delete;
+  ScopedArm& operator=(const ScopedArm&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace stgraph::analyze
+
+// Annotation macro for deliberate blocking-under-lock scopes. Expands to a
+// uniquely named RAII object; the reason documents the design decision at
+// the site and is required.
+#define STG_ANALYZE_CONCAT2(a, b) a##b
+#define STG_ANALYZE_CONCAT(a, b) STG_ANALYZE_CONCAT2(a, b)
+#define STG_BLOCKING_OK(reason)                   \
+  ::stgraph::analyze::BlockingOkScope STG_ANALYZE_CONCAT( \
+      stg_blocking_ok_scope_, __COUNTER__)(reason)

@@ -6,13 +6,22 @@
 // wrappers that make every acquire/release visible.
 //
 //   class Buffered {
-//     Mutex mu_;
+//     Mutex mu_{"Buffered::mu_"};
 //     std::deque<Item> items_ STG_GUARDED_BY(mu_);
 //     void push(Item it) {
 //       MutexLock lock(mu_);
 //       items_.push_back(std::move(it));   // provably under mu_
 //     }
 //   };
+//
+// The same wrappers carry the DYNAMIC half of the lock discipline: the
+// stgraph::analyze lock-order / blocking-hazard analyzer
+// (runtime/analyze.hpp, armed by STGRAPH_DEADLOCK=1). The constructor's
+// site label ("Buffered::mu_" above) names the lock in acquisition-order
+// reports; disarmed, every hook is one relaxed load + a predicted branch,
+// so these compile down to the plain wrappers on the hot path. Label every
+// long-lived Mutex — unlabeled instances are tracked, but report as
+// anonymous per-instance sites.
 //
 // Condition waits use ConditionVariable, whose wait() re-establishes the
 // capability assertion after the native condition variable gives the lock
@@ -26,6 +35,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "runtime/analyze.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace stgraph {
@@ -36,23 +46,52 @@ namespace stgraph {
 class STG_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// `site` labels this lock in analyzer reports — pass a string literal
+  /// naming the declaration, e.g. "serve::Server::exec_mu_". All instances
+  /// sharing a label are one site (the analysis is per program location).
+  explicit Mutex(const char* site) : site_(site) {}
+  ~Mutex() {
+    if (analyze::armed()) analyze::on_mutex_destroyed(this);
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() STG_ACQUIRE() { mu_.lock(); }
-  void unlock() STG_RELEASE() { mu_.unlock(); }
-  bool try_lock() STG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() STG_ACQUIRE() {
+    if (analyze::armed()) {
+      analyze::on_lock_attempt(this, site_);
+      mu_.lock();
+      analyze::on_locked(this, site_, /*blocking=*/true);
+      return;
+    }
+    mu_.lock();
+  }
+  void unlock() STG_RELEASE() {
+    if (analyze::armed()) analyze::on_unlocked(this);
+    mu_.unlock();
+  }
+  bool try_lock() STG_TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+    if (ok && analyze::armed())
+      analyze::on_locked(this, site_, /*blocking=*/false);
+    return ok;
+  }
   /// Bounded acquire: true iff the lock was taken before `timeout` passed.
+  /// Non-wedging, so the analyzer records the hold but no order edge.
   bool try_lock_for(std::chrono::nanoseconds timeout) STG_TRY_ACQUIRE(true) {
-    return mu_.try_lock_for(timeout);
+    const bool ok = mu_.try_lock_for(timeout);
+    if (ok && analyze::armed())
+      analyze::on_locked(this, site_, /*blocking=*/false);
+    return ok;
   }
 
   /// The wrapped std::timed_mutex, for interop that the analysis cannot
   /// follow (ConditionVariable waits go through here).
   std::timed_mutex& native() { return mu_; }
+  const char* site() const { return site_; }
 
  private:
   std::timed_mutex mu_;
+  const char* site_ = nullptr;
 };
 
 /// Scoped lock (std::unique_lock semantics: movable-from-nothing, always
@@ -60,15 +99,28 @@ class STG_CAPABILITY("mutex") Mutex {
 /// the capability tracking trivially sound).
 class STG_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) STG_ACQUIRE(mu) : lock_(mu.native()) {}
-  ~MutexLock() STG_RELEASE() = default;
+  explicit MutexLock(Mutex& mu) STG_ACQUIRE(mu)
+      : mu_(&mu), lock_(mu.native(), std::defer_lock) {
+    if (analyze::armed()) {
+      analyze::on_lock_attempt(mu_, mu_->site());
+      lock_.lock();
+      analyze::on_locked(mu_, mu_->site(), /*blocking=*/true);
+    } else {
+      lock_.lock();
+    }
+  }
+  ~MutexLock() STG_RELEASE() {
+    if (analyze::armed()) analyze::on_unlocked(mu_);
+  }
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
   /// The underlying unique_lock, for condition-variable interop.
   std::unique_lock<std::timed_mutex>& native() { return lock_; }
+  Mutex& mutex() { return *mu_; }
 
  private:
+  Mutex* mu_;
   std::unique_lock<std::timed_mutex> lock_;
 };
 
@@ -77,20 +129,26 @@ class STG_SCOPED_CAPABILITY MutexLock {
 /// touching guarded state — the STG_ACQUIRE annotation tells the analysis
 /// the capability is held (the conditional-acquire pattern it cannot
 /// model), so the owns() check is the human half of the contract. A
-/// non-owning instance releases nothing.
+/// non-owning instance releases nothing. Bounded, so the analyzer records
+/// the hold but no order edge (a timed acquire sheds instead of wedging).
 class STG_SCOPED_CAPABILITY MutexTimedLock {
  public:
   MutexTimedLock(Mutex& mu, std::chrono::nanoseconds timeout) STG_ACQUIRE(mu)
-      : lock_(mu.native(), std::defer_lock) {
+      : mu_(&mu), lock_(mu.native(), std::defer_lock) {
     owns_ = timeout.count() > 0 && lock_.try_lock_for(timeout);
+    if (owns_ && analyze::armed())
+      analyze::on_locked(mu_, mu_->site(), /*blocking=*/false);
   }
-  ~MutexTimedLock() STG_RELEASE() = default;
+  ~MutexTimedLock() STG_RELEASE() {
+    if (owns_ && analyze::armed()) analyze::on_unlocked(mu_);
+  }
   MutexTimedLock(const MutexTimedLock&) = delete;
   MutexTimedLock& operator=(const MutexTimedLock&) = delete;
 
   bool owns() const { return owns_; }
 
  private:
+  Mutex* mu_;
   std::unique_lock<std::timed_mutex> lock_;
   bool owns_ = false;
 };
@@ -98,17 +156,26 @@ class STG_SCOPED_CAPABILITY MutexTimedLock {
 /// Condition variable that waits against a MutexLock. The native wait
 /// unlocks and relocks outside the analysis's view; from the caller's
 /// perspective the capability is held continuously across wait(), which is
-/// exactly how the analysis models it. Deliberately predicate-free: a
+/// exactly how the analysis models it — and how the dynamic analyzer's
+/// held-set models it too. Waiting while holding any OTHER Mutex is a
+/// blocking hazard (the second lock is stalled for an unbounded time) and
+/// is reported by the armed analyzer. Deliberately predicate-free: a
 /// predicate lambda would be analyzed as a separate function that does not
 /// hold the capability, so callers spin `while (!cond) cv.wait(lock);`
 /// with the condition read in their own (capability-holding) scope.
 /// condition_variable_any pairs with the timed_mutex underneath Mutex.
 class ConditionVariable {
  public:
-  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+  void wait(MutexLock& lock) {
+    if (analyze::armed()) analyze::on_cv_wait(&lock.mutex(), "cv-wait");
+    cv_.wait(lock.native());
+  }
   /// Bounded wait; returns false on timeout (spurious wakes return true —
-  /// callers re-check their predicate either way).
+  /// callers re-check their predicate either way). Bounded, but a held
+  /// second lock still stalls for up to `timeout`, so the hazard check
+  /// applies the same as wait().
   bool wait_for(MutexLock& lock, std::chrono::nanoseconds timeout) {
+    if (analyze::armed()) analyze::on_cv_wait(&lock.mutex(), "cv-wait-for");
     return cv_.wait_for(lock.native(), timeout) == std::cv_status::no_timeout;
   }
   void notify_one() { cv_.notify_one(); }

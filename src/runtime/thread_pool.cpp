@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "runtime/analyze.hpp"
+
 namespace stgraph {
 
 thread_local bool ThreadPool::in_pool_job_ = false;
@@ -36,6 +38,7 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   cv_start_.notify_all();
+  if (analyze::armed()) analyze::on_blocking_call("thread-join");
   for (auto& t : workers_) t.join();
 }
 

@@ -74,7 +74,7 @@ class ThreadPool {
   void worker_loop(unsigned lane);
 
   std::vector<std::thread> workers_;
-  Mutex mu_;
+  Mutex mu_{"runtime::ThreadPool::mu_"};
   ConditionVariable cv_start_;
   ConditionVariable cv_done_;
   RawJob job_fn_ STG_GUARDED_BY(mu_) = nullptr;

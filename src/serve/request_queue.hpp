@@ -139,7 +139,7 @@ class TenantQueueSet {
   };
 
   std::vector<Lane> lanes_;  // layout fixed after construction
-  mutable Mutex mu_;
+  mutable Mutex mu_{"serve::TenantQueueSet::mu_"};
   ConditionVariable cv_;
   std::size_t total_ STG_GUARDED_BY(mu_) = 0;
   std::size_t max_depth_ STG_GUARDED_BY(mu_) = 0;

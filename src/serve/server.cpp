@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "runtime/analyze.hpp"
 #include "tensor/ops.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
@@ -145,6 +146,9 @@ void Server::start(Tensor features) {
   // writer itself after replay — it must not truncate the log it is
   // reading.
   if (!cfg_.wal_path.empty() && !recovering_) {
+    STG_BLOCKING_OK(
+        "start(): the kStart record must be durable before the server is "
+        "visible — no request can race the journal of its own baseline");
     wal_ = std::make_unique<wal::Writer>(cfg_.wal_path, /*truncate=*/true,
                                          cfg_.wal_sync_every);
     wal::Record rec;
@@ -198,6 +202,7 @@ void Server::stop() {
     wd_stop_ = true;
   }
   wd_cv_.notify_all();
+  if (analyze::armed()) analyze::on_blocking_call("thread-join");
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
   for (std::thread& t : reader_threads_)
     if (t.joinable()) t.join();
@@ -216,6 +221,9 @@ void Server::stop() {
   {
     MutexLock lk(exec_mu_);
     if (wal_) {
+      STG_BLOCKING_OK(
+          "stop(): final WAL sync under exec_mu_ — ingest is drained and the "
+          "lock is what guarantees no append races the close");
       wal_->sync();
       wal_.reset();
     }
@@ -273,6 +281,9 @@ void Server::recover(const std::string& checkpoint_path,
   // records stay; future ingests extend them).
   {
     MutexLock lk(exec_mu_);
+    STG_BLOCKING_OK(
+        "recover(): reopening the journal in append mode under exec_mu_ — "
+        "replay is done and no ingest may slip in before the writer exists");
     wal_ = std::make_unique<wal::Writer>(wal_path, /*truncate=*/false,
                                          cfg_.wal_sync_every);
   }
@@ -546,6 +557,10 @@ void Server::ingest_locked(const EdgeDelta& delta, Tensor next_features,
   // *failed* append rolls the file back and aborts the ingest with nothing
   // committed.
   if (wal_) {
+    STG_BLOCKING_OK(
+        "ingest_locked(): the WAL append under exec_mu_ IS the commit point "
+        "— write-ahead means durable before the in-memory mutation, and "
+        "exec_mu_ is what orders the journal against concurrent queries");
     wal::Record rec;
     rec.type = wal::RecordType::kIngest;
     rec.time = next;

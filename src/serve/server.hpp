@@ -332,13 +332,14 @@ class Server {
   std::atomic<uint32_t> busy_readers_{0};
 
   // ---- watchdog signalling ------------------------------------------------
-  Mutex wd_mu_;
+  Mutex wd_mu_{"serve::Server::wd_mu_"};
   ConditionVariable wd_cv_;
   bool wd_stop_ STG_GUARDED_BY(wd_mu_) = false;
 
   /// Serializes all model/graph/executor access; acquired before view_mu_,
   /// pub_mu_ and stale_mu_.
-  mutable Mutex exec_mu_ STG_ACQUIRED_BEFORE(view_mu_, stale_mu_, pub_mu_);
+  mutable Mutex exec_mu_ STG_ACQUIRED_BEFORE(view_mu_, stale_mu_, pub_mu_){
+      "serve::Server::exec_mu_"};
   std::shared_ptr<const ModelSnapshot> snapshot_ STG_GUARDED_BY(exec_mu_);
   /// Live edge set (delta validation).
   std::unordered_set<uint64_t> edges_ STG_GUARDED_BY(exec_mu_);
@@ -363,18 +364,18 @@ class Server {
   /// Hidden state recover() restores instead of initial_state().
   Tensor start_hidden_override_;
 
-  mutable Mutex view_mu_;
+  mutable Mutex view_mu_{"serve::Server::view_mu_"};
   ReadView view_ STG_GUARDED_BY(view_mu_);
   /// Mirror of version_ readable without exec_mu_ (readers' staleness
   /// check); written only inside publish_view_locked().
   std::atomic<uint64_t> live_version_{0};
 
   /// Published current-version step (readers' lock-free serve path).
-  mutable Mutex pub_mu_;
+  mutable Mutex pub_mu_{"serve::Server::pub_mu_"};
   std::shared_ptr<const PublishedStep> published_ STG_GUARDED_BY(pub_mu_);
 
   /// Last-good step for stale-but-bounded reads while the circuit is open.
-  mutable Mutex stale_mu_;
+  mutable Mutex stale_mu_{"serve::Server::stale_mu_"};
   Tensor last_good_out_ STG_GUARDED_BY(stale_mu_);
   uint32_t last_good_time_ STG_GUARDED_BY(stale_mu_) = 0;
   uint64_t last_good_version_ STG_GUARDED_BY(stale_mu_) = 0;

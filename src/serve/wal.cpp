@@ -7,6 +7,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "runtime/analyze.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
@@ -131,6 +132,7 @@ bool decode_payload(const char* data, std::size_t n, Record* rec) {
 
 Writer::Writer(const std::string& path, bool truncate, uint32_t sync_every)
     : path_(path), sync_every_(sync_every) {
+  if (analyze::armed()) analyze::on_blocking_call("file-io(wal)");
   int flags = O_CREAT | O_WRONLY | (truncate ? O_TRUNC : 0);
   fd_ = ::open(path.c_str(), flags, 0644);
   STG_CHECK(fd_ >= 0, "wal: cannot open '", path, "': ", std::strerror(errno));
@@ -155,6 +157,7 @@ Writer::~Writer() {
 }
 
 void Writer::append(const Record& rec) {
+  if (analyze::armed()) analyze::on_blocking_call("file-io(wal)");
   STG_CHECK(fd_ >= 0, "wal: append on a closed writer");
   const off_t before = ::lseek(fd_, 0, SEEK_END);
   STG_CHECK(before >= 0, "wal: lseek failed on '", path_, "'");
@@ -187,6 +190,7 @@ void Writer::append(const Record& rec) {
 }
 
 void Writer::sync() {
+  if (analyze::armed()) analyze::on_blocking_call("file-io(wal)");
   STG_CHECK(fd_ >= 0, "wal: sync on a closed writer");
   STG_CHECK(::fsync(fd_) == 0, "wal: fsync failed on '", path_, "': ",
             std::strerror(errno));
@@ -194,6 +198,7 @@ void Writer::sync() {
 }
 
 ReadResult read(const std::string& path) {
+  if (analyze::armed()) analyze::on_blocking_call("file-io(wal)");
   std::ifstream in(path, std::ios::binary);
   STG_CHECK(in.good(), "wal: cannot open '", path, "'");
   std::string buf((std::istreambuf_iterator<char>(in)),

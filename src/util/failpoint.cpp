@@ -21,7 +21,7 @@ struct Point {
 };
 
 struct Registry {
-  Mutex mu;
+  Mutex mu{"failpoint::Registry::mu"};
   std::unordered_map<std::string, Point> points STG_GUARDED_BY(mu);
   bool env_loaded STG_GUARDED_BY(mu) = false;
   /// One PRNG for every probabilistic trigger: a fixed seed plus a fixed

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "runtime/mutex.hpp"
+
 namespace stgraph::log {
 namespace {
 
@@ -19,7 +21,11 @@ Level parse_env() {
 }
 
 Level g_level = parse_env();
-std::mutex g_mutex;
+// stgraph::Mutex (not std::mutex) so the sink serialization is visible to
+// both the -Wthread-safety pass and the armed lock-order analyzer: emit()
+// is called from arbitrary threads that may hold subsystem locks, and the
+// resulting held -> log edge belongs in the acquisition-order graph.
+Mutex g_mutex{"log::g_mutex"};
 
 const char* name(Level lvl) {
   switch (lvl) {
@@ -39,7 +45,7 @@ void set_level(Level lvl) { g_level = lvl; }
 
 namespace detail {
 void emit(Level lvl, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << "[stgraph " << name(lvl) << "] " << msg << "\n";
 }
 }  // namespace detail

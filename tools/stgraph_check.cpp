@@ -16,6 +16,12 @@
 //        record first, time advancing by one and version strictly
 //        monotonic, torn-tail detection.
 //
+// Under STGRAPH_DEADLOCK=1 the concurrency analyzer (runtime/analyze.hpp)
+// is armed for the run, and its findings — lock-order cycles and
+// blocking-while-locked hazards observed while the production readers and
+// graph builders exercised their worker threads — are folded into the same
+// exit gate as the structural checkers.
+//
 // Exit status: 0 when every invariant holds, 1 on violations, 2 on
 // usage/man I/O errors. Intended both as a debugging tool and as the CI
 // hook behind `run_all.sh validate`.
@@ -33,6 +39,7 @@
 #include "graph/static_graph.hpp"
 #include "io/serialize.hpp"
 #include "io/train_state.hpp"
+#include "runtime/analyze.hpp"
 #include "serve/wal.hpp"
 #include "util/check.hpp"
 #include "verify/invariants.hpp"
@@ -194,6 +201,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "stgraph_check: %s\n", e.what());
       rc = 2;
     }
+  }
+  // Armed runs audit the auditors: the worker threads the loads spun up
+  // (GPMA pipeline, thread pool) ran under the lock-order analyzer, and
+  // its findings gate the exit status like any structural violation.
+  if (stgraph::analyze::armed()) {
+    const stgraph::verify::Report cr = stgraph::analyze::as_report();
+    std::printf("concurrency: %s\n", cr.to_string().c_str());
+    if (!cr.ok()) rc = std::max(rc, 1);
   }
   return rc;
 }
